@@ -1,0 +1,148 @@
+// Package iceclave's root benchmarks regenerate every evaluation artifact
+// of the paper: one benchmark per table and figure (DESIGN.md maps each to
+// its experiment), plus micro-benchmarks for the security primitives.
+// Run with: go test -bench=. -benchmem
+package iceclave
+
+import (
+	"testing"
+
+	"iceclave/internal/core"
+	"iceclave/internal/experiments"
+	"iceclave/internal/host"
+	"iceclave/internal/stats"
+	"iceclave/internal/workload"
+)
+
+// benchScale keeps benchmark runtime moderate while exercising the full
+// experiment matrix; cmd/iceclave-bench runs the larger default scale.
+func benchScale() workload.Scale {
+	sc := workload.TinyScale()
+	sc.LineitemRows = 20_000
+	sc.Accounts = 8_000
+	sc.TPCBTxns = 2_000
+	sc.StockRows = 8_000
+	sc.TPCCTxns = 800
+	sc.TextPages = 512
+	return sc
+}
+
+func benchSuite() *experiments.Suite {
+	return experiments.NewSuite(benchScale(), core.DefaultConfig())
+}
+
+// runExperiment is the common shape of the per-artifact benchmarks.
+func runExperiment(b *testing.B, fn func(*experiments.Suite) (*stats.Table, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		s := benchSuite()
+		tb, err := fn(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tb.Rows) == 0 {
+			b.Fatal("empty result")
+		}
+		if i == 0 {
+			b.Log("\n" + tb.String())
+		}
+	}
+}
+
+func BenchmarkTable1WriteRatios(b *testing.B) {
+	runExperiment(b, func(s *experiments.Suite) (*stats.Table, error) { return s.Table1() })
+}
+
+func BenchmarkTable5OverheadSources(b *testing.B) {
+	runExperiment(b, func(s *experiments.Suite) (*stats.Table, error) { return s.Table5() })
+}
+
+func BenchmarkTable6ExtraTraffic(b *testing.B) {
+	runExperiment(b, func(s *experiments.Suite) (*stats.Table, error) { return s.Table6() })
+}
+
+func BenchmarkFigure5MappingTablePlacement(b *testing.B) {
+	runExperiment(b, func(s *experiments.Suite) (*stats.Table, error) { return s.Figure5() })
+}
+
+func BenchmarkFigure8CounterSchemes(b *testing.B) {
+	runExperiment(b, func(s *experiments.Suite) (*stats.Table, error) { return s.Figure8() })
+}
+
+func BenchmarkFigure11ModeComparison(b *testing.B) {
+	runExperiment(b, func(s *experiments.Suite) (*stats.Table, error) { return s.Figure11() })
+}
+
+func BenchmarkFigure12ChannelScalingVsHost(b *testing.B) {
+	runExperiment(b, func(s *experiments.Suite) (*stats.Table, error) { return s.Figure12() })
+}
+
+func BenchmarkFigure13ChannelScalingVsISC(b *testing.B) {
+	runExperiment(b, func(s *experiments.Suite) (*stats.Table, error) { return s.Figure13() })
+}
+
+func BenchmarkFigure14FlashLatency(b *testing.B) {
+	runExperiment(b, func(s *experiments.Suite) (*stats.Table, error) { return s.Figure14() })
+}
+
+func BenchmarkFigure15CPUCapability(b *testing.B) {
+	runExperiment(b, func(s *experiments.Suite) (*stats.Table, error) { return s.Figure15() })
+}
+
+func BenchmarkFigure16DRAMCapacity(b *testing.B) {
+	runExperiment(b, func(s *experiments.Suite) (*stats.Table, error) { return s.Figure16() })
+}
+
+func BenchmarkFigure17TwoTenants(b *testing.B) {
+	runExperiment(b, func(s *experiments.Suite) (*stats.Table, error) { return s.Figure17() })
+}
+
+func BenchmarkFigure18FourTenants(b *testing.B) {
+	runExperiment(b, func(s *experiments.Suite) (*stats.Table, error) { return s.Figure18() })
+}
+
+// BenchmarkOffloadRoundTrip measures the functional offload path: TEE
+// creation, a permission-checked encrypted page read, and termination.
+func BenchmarkOffloadRoundTrip(b *testing.B) {
+	ssd, err := Open(Options{Channels: 2, BlocksPerPlane: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := ssd.HostWrite(0, []byte("bench")); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		task, err := ssd.OffloadCode(hostOffload())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := task.Store().ReadPage(0); err != nil {
+			b.Fatal(err)
+		}
+		if err := task.Finish(nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func hostOffload() (o host.Offload) {
+	o.TaskID = 1
+	o.Binary = []byte{1}
+	o.LPAs = []uint32{0}
+	return o
+}
+
+// Ablation benchmarks for the design choices DESIGN.md calls out.
+
+func BenchmarkAblationCounterCache(b *testing.B) {
+	runExperiment(b, func(s *experiments.Suite) (*stats.Table, error) { return s.AblationCounterCache() })
+}
+
+func BenchmarkAblationCMTSize(b *testing.B) {
+	runExperiment(b, func(s *experiments.Suite) (*stats.Table, error) { return s.AblationCMTSize() })
+}
+
+func BenchmarkAblationPrefetchWindow(b *testing.B) {
+	runExperiment(b, func(s *experiments.Suite) (*stats.Table, error) { return s.AblationPrefetch() })
+}

@@ -1,0 +1,91 @@
+// iceclave-bench regenerates every table and figure of the paper's
+// evaluation section and prints them as text tables (optionally CSV).
+//
+// Usage:
+//
+//	iceclave-bench [-experiment "Figure 11"] [-csv] [-rows N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"iceclave/internal/core"
+	"iceclave/internal/experiments"
+	"iceclave/internal/stats"
+	"iceclave/internal/workload"
+)
+
+func main() {
+	var (
+		exp  = flag.String("experiment", "", "regenerate only the named experiment (e.g. \"Figure 11\", \"Table 6\")")
+		csv  = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		rows = flag.Int("rows", 0, "override lineitem row count (dataset scale)")
+	)
+	flag.Parse()
+
+	sc := workload.SmallScale()
+	if *rows > 0 {
+		sc.LineitemRows = *rows
+	}
+	suite := experiments.NewSuite(sc, core.DefaultConfig())
+
+	var tables []*stats.Table
+	if *exp == "" {
+		all, err := suite.All()
+		if err != nil {
+			log.Fatal(err)
+		}
+		tables = all
+	} else {
+		tb, err := one(suite, *exp)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tables = []*stats.Table{tb}
+	}
+	for _, tb := range tables {
+		if *csv {
+			fmt.Fprint(os.Stdout, tb.CSV())
+		} else {
+			fmt.Println(tb.String())
+		}
+	}
+}
+
+func one(s *experiments.Suite, name string) (*stats.Table, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "table 1":
+		return s.Table1()
+	case "table 3":
+		return s.Table3(), nil
+	case "table 5":
+		return s.Table5()
+	case "table 6":
+		return s.Table6()
+	case "figure 5":
+		return s.Figure5()
+	case "figure 8":
+		return s.Figure8()
+	case "figure 11":
+		return s.Figure11()
+	case "figure 12":
+		return s.Figure12()
+	case "figure 13":
+		return s.Figure13()
+	case "figure 14":
+		return s.Figure14()
+	case "figure 15":
+		return s.Figure15()
+	case "figure 16":
+		return s.Figure16()
+	case "figure 17":
+		return s.Figure17()
+	case "figure 18":
+		return s.Figure18()
+	}
+	return nil, fmt.Errorf("unknown experiment %q", name)
+}

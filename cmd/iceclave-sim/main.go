@@ -1,0 +1,110 @@
+// iceclave-sim replays one workload under one execution mode and prints
+// the timing breakdown — the single-run face of the simulator.
+//
+// Usage:
+//
+//	iceclave-sim -workload "TPC-H Q1" -mode iceclave [-channels 8]
+//	             [-readlat 50] [-rows 120000] [-cpu a72|a77|a53|a72slow]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"iceclave/internal/core"
+	"iceclave/internal/cpu"
+	"iceclave/internal/sim"
+	"iceclave/internal/workload"
+)
+
+func main() {
+	var (
+		name     = flag.String("workload", "TPC-H Q1", "workload name (see -list)")
+		mode     = flag.String("mode", "iceclave", "host | hostsgx | isc | iceclave")
+		channels = flag.Int("channels", 8, "flash channels")
+		readlat  = flag.Int("readlat", 50, "flash read latency (µs)")
+		rows     = flag.Int("rows", 120_000, "lineitem rows (dataset scale)")
+		cpuName  = flag.String("cpu", "a72", "storage core: a72 | a72slow | a77 | a53")
+		list     = flag.Bool("list", false, "list workloads and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, n := range workload.Names() {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	w, err := workload.ByName(*name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sc := workload.SmallScale()
+	sc.LineitemRows = *rows
+	fmt.Printf("recording %s at %d lineitem rows...\n", w.Name, sc.LineitemRows)
+	tr, err := workload.Record(w, sc, 4096)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trace: %d steps, %d pages read, %d written, %d instructions, result %q\n",
+		len(tr.Steps), tr.Meter.PagesRead, tr.Meter.PagesWritten,
+		tr.Meter.Instructions, firstLine(tr.Result))
+
+	cfg := core.DefaultConfig()
+	cfg.Channels = *channels
+	cfg.FlashTiming.ReadLatency = sim.Duration(*readlat) * sim.Microsecond
+	switch strings.ToLower(*cpuName) {
+	case "a72":
+		cfg.StorageCore = cpu.CortexA72
+	case "a72slow":
+		cfg.StorageCore = cpu.CortexA72Slow
+	case "a77":
+		cfg.StorageCore = cpu.CortexA77
+	case "a53":
+		cfg.StorageCore = cpu.CortexA53
+	default:
+		log.Fatalf("unknown cpu %q", *cpuName)
+	}
+
+	var m core.Mode
+	switch strings.ToLower(*mode) {
+	case "host":
+		m = core.ModeHost
+	case "hostsgx", "host+sgx":
+		m = core.ModeHostSGX
+	case "isc":
+		m = core.ModeISC
+	case "iceclave":
+		m = core.ModeIceClave
+	default:
+		log.Fatalf("unknown mode %q", *mode)
+	}
+
+	r, err := core.Run(tr, m, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%s on %s (%d channels, tRD=%dµs, %s)\n",
+		w.Name, m, *channels, *readlat, cfg.StorageCore.Name)
+	fmt.Printf("  total:        %v\n", r.Total)
+	fmt.Printf("  load stall:   %v\n", r.LoadTime)
+	fmt.Printf("  compute:      %v\n", r.ComputeTime)
+	fmt.Printf("  mem security: %v\n", r.SecurityTime)
+	fmt.Printf("  tee overhead: %v\n", r.TEETime)
+	fmt.Printf("  CMT miss:     %.4f%%\n", 100*r.CMTMissRate)
+	if m == core.ModeIceClave {
+		fmt.Printf("  MEE traffic:  +%.2f%% enc, +%.2f%% verify\n",
+			100*r.MEE.EncryptionOverhead(), 100*r.MEE.VerificationOverhead())
+	}
+	fmt.Printf("  throughput:   %.1f MB/s of input\n", r.Throughput(tr.InputBytes())/1e6)
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}

@@ -1,0 +1,38 @@
+// iceclave-trace records the functional execution of each workload and
+// dumps its characterization: the Table 1 write ratios plus page and
+// instruction counts — useful when recalibrating the timing model.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"iceclave/internal/workload"
+)
+
+func main() {
+	rows := flag.Int("rows", 0, "lineitem rows (default: the standard small scale)")
+	flag.Parse()
+
+	sc := workload.SmallScale()
+	if *rows > 0 {
+		sc.LineitemRows = *rows
+	}
+	fmt.Printf("%-12s %10s %10s %12s %10s %10s %12s\n",
+		"workload", "pagesRead", "pagesWrit", "instructions", "memReads", "memWrites", "writeRatio")
+	for _, w := range workload.Standard() {
+		tr, err := workload.Record(w, sc, 4096)
+		if err != nil {
+			log.Fatalf("%s: %v", w.Name, err)
+		}
+		m := tr.Meter
+		fmt.Printf("%-12s %10d %10d %12d %10d %10d %12.3e\n",
+			w.Name, m.PagesRead, m.PagesWritten, m.Instructions,
+			m.MemReads, m.MemWrites, m.WriteRatio())
+	}
+	fmt.Println("\npaper Table 1 write ratios for comparison:")
+	for _, w := range workload.Standard() {
+		fmt.Printf("%-12s %12.3e\n", w.Name, w.PaperWriteRatio)
+	}
+}

@@ -1,0 +1,129 @@
+// Attacks: demonstrates that the three attack classes of the paper's
+// threat model (§3) are actually blocked by the functional IceClave
+// implementation:
+//
+//  1. a malicious in-storage program probing another tenant's data via
+//     the shared mapping table (blocked by ID bits, attacker aborted);
+//  2. an in-storage program writing the FTL mapping table / secure world
+//     (blocked by the TrustZone region permissions);
+//  3. physical attacks on SSD DRAM — bus snooping, tampering, and replay
+//     (ciphertext on the bus; MEE integrity verification detects both
+//     tampering and rollback).
+package main
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"log"
+
+	"iceclave"
+	"iceclave/internal/ftl"
+	"iceclave/internal/host"
+	"iceclave/internal/mee"
+)
+
+func main() {
+	ssd, err := iceclave.Open(iceclave.Options{Channels: 2, BlocksPerPlane: 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for lpa := uint32(0); lpa < 8; lpa++ {
+		payload := bytes.Repeat([]byte{0xA0 + byte(lpa)}, 32)
+		if err := ssd.HostWrite(lpa, payload); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	victim, err := ssd.OffloadCode(host.Offload{TaskID: 1, Binary: []byte{1}, LPAs: []uint32{0, 1, 2, 3}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	attacker, err := ssd.OffloadCode(host.Offload{TaskID: 2, Binary: []byte{1}, LPAs: []uint32{4, 5, 6, 7}})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("== Attack 1: cross-TEE data probe via the mapping table ==")
+	_, err = attacker.Store().ReadPage(0) // LPA 0 belongs to the victim
+	fmt.Printf("attacker reads victim's LPA 0: %v\n", err)
+	if !errors.Is(err, ftl.ErrAccessDenied) {
+		log.Fatal("ATTACK SUCCEEDED: cross-TEE read was not denied")
+	}
+	fmt.Printf("attacker TEE state after violation: %v (reason: %s)\n",
+		attacker.TEE().State(), attacker.TEE().AbortReason())
+	if _, err := victim.Store().ReadPage(0); err != nil {
+		log.Fatal("victim collateral damage: ", err)
+	}
+	fmt.Println("victim unaffected: still reads its own data")
+
+	fmt.Println("\n== Attack 2: writing the FTL mapping table from the normal world ==")
+	rt := ssd.Runtime()
+	// The mapping table lives in the protected region at 64 MB.
+	const mappingTableAddr = 64 << 20
+	err = rt.CheckMemoryAccess(mappingTableAddr, 8, true)
+	fmt.Printf("normal-world write to mapping table: %v\n", err)
+	if err == nil {
+		log.Fatal("ATTACK SUCCEEDED: mapping table writable from normal world")
+	}
+	err = rt.CheckMemoryAccess(mappingTableAddr, 8, false)
+	fmt.Printf("normal-world read of mapping table (for translation): %v\n", err)
+	if err != nil {
+		log.Fatal("protected region must stay readable: ", err)
+	}
+	err = rt.CheckMemoryAccess(0x1000, 8, false) // secure region: runtime + FTL code
+	fmt.Printf("normal-world read of secure-world FTL state: %v\n", err)
+	if err == nil {
+		log.Fatal("ATTACK SUCCEEDED: secure world readable")
+	}
+
+	fmt.Println("\n== Attack 3a: bus snooping ==")
+	plain, err := victim.Store().ReadPage(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	snooped := rt.LastBusTransfer()
+	fmt.Printf("TEE sees plaintext:   %x...\n", plain[:8])
+	fmt.Printf("bus snooper captures: %x...\n", snooped[:8])
+	if bytes.Equal(snooped, plain) {
+		log.Fatal("ATTACK SUCCEEDED: plaintext on the internal bus")
+	}
+
+	fmt.Println("\n== Attack 3b: DRAM tampering and replay ==")
+	memEngine := rt.Memory()
+	line := bytes.Repeat([]byte{0x42}, mee.LineSize)
+	if err := memEngine.Write(100, 0, line); err != nil {
+		log.Fatal(err)
+	}
+	snap, err := memEngine.Snapshot(100, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Tamper: flip a ciphertext bit in DRAM.
+	if err := memEngine.TamperCiphertext(100, 0); err != nil {
+		log.Fatal(err)
+	}
+	_, err = memEngine.Read(100, 0)
+	fmt.Printf("read after physical tamper: %v\n", err)
+	if !errors.Is(err, mee.ErrIntegrity) {
+		log.Fatal("ATTACK SUCCEEDED: tamper undetected")
+	}
+	// Replay: restore the whole old triple (ciphertext, MAC, counters)
+	// after a legitimate update — defeats MAC-only protection.
+	if err := memEngine.Replay(snap); err != nil { // heal the tamper first
+		log.Fatal(err)
+	}
+	if err := memEngine.Write(100, 0, bytes.Repeat([]byte{0x43}, mee.LineSize)); err != nil {
+		log.Fatal(err)
+	}
+	if err := memEngine.Replay(snap); err != nil {
+		log.Fatal(err)
+	}
+	_, err = memEngine.Read(100, 0)
+	fmt.Printf("read after replay attack:   %v\n", err)
+	if !errors.Is(err, mee.ErrIntegrity) {
+		log.Fatal("ATTACK SUCCEEDED: replay undetected")
+	}
+
+	fmt.Println("\nall attacks blocked")
+}

@@ -1,0 +1,86 @@
+// TPC-H: runs the paper's five TPC-H queries (Q1, Q3, Q12, Q14, Q19)
+// inside in-storage TEEs and compares the four execution schemes of the
+// evaluation (Host, Host+SGX, ISC, IceClave) on the timing model —
+// a miniature of Figure 11.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"iceclave"
+	"iceclave/internal/core"
+	"iceclave/internal/host"
+	"iceclave/internal/query"
+	"iceclave/internal/workload"
+)
+
+func main() {
+	// Part 1: functional — execute the queries inside TEEs and verify
+	// the results against plain host execution.
+	ssd, err := iceclave.Open(iceclave.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ds := query.GenerateTPCH(20_000, 7)
+	sd, err := ssd.StoreDataset(ds, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	queries := []struct {
+		name string
+		prog query.Program
+	}{
+		{"Q1", query.Q1}, {"Q3", query.Q3}, {"Q12", query.Q12},
+		{"Q14", query.Q14}, {"Q19", query.Q19},
+	}
+	fmt.Println("== functional: queries inside in-storage TEEs ==")
+	for _, q := range queries {
+		task, err := ssd.OffloadCode(host.Offload{
+			TaskID: 1, Binary: make([]byte, 64<<10), LPAs: sd.AllLPAs(ssd.PageSize()),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		out, err := q.prog(task.Store(), sd, task.Meter())
+		if err != nil {
+			log.Fatalf("%s: %v", q.name, err)
+		}
+		if err := task.Finish([]byte(out)); err != nil {
+			log.Fatal(err)
+		}
+		first := out
+		if i := len(first); i > 60 {
+			first = first[:60] + "..."
+		}
+		fmt.Printf("%-4s pages=%-5d result: %s\n", q.name, task.Meter().PagesRead, first)
+	}
+
+	// Part 2: timing — replay each query's trace under the four schemes.
+	fmt.Println("\n== timing: Host vs Host+SGX vs ISC vs IceClave ==")
+	fmt.Printf("%-10s %10s %10s %10s %10s %9s\n",
+		"query", "Host", "Host+SGX", "ISC", "IceClave", "speedup")
+	sc := workload.SmallScale()
+	cfg := core.DefaultConfig()
+	for _, name := range []string{"TPC-H Q1", "TPC-H Q3", "TPC-H Q12", "TPC-H Q14", "TPC-H Q19"} {
+		w, err := workload.ByName(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tr, err := workload.Record(w, sc, 4096)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var results []core.Result
+		for _, mode := range []core.Mode{core.ModeHost, core.ModeHostSGX, core.ModeISC, core.ModeIceClave} {
+			r, err := core.Run(tr, mode, cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			results = append(results, r)
+		}
+		fmt.Printf("%-10s %10v %10v %10v %10v %8.2fx\n",
+			name, results[0].Total, results[1].Total, results[2].Total, results[3].Total,
+			results[3].SpeedupOver(results[0]))
+	}
+}

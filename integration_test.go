@@ -1,0 +1,231 @@
+package iceclave
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"iceclave/internal/ftl"
+	"iceclave/internal/host"
+	"iceclave/internal/query"
+	"iceclave/internal/sim"
+	"iceclave/internal/tee"
+)
+
+// TestAllWorkloadsInsideTEE runs every TPC-H style program through the
+// full encrypted TEE path and checks the output equals plain execution.
+func TestAllWorkloadsInsideTEE(t *testing.T) {
+	ssd, err := Open(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := query.GenerateTPCH(3000, 11)
+	sd, err := ssd.StoreDataset(ds, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reference: plain in-memory execution.
+	mem := query.NewMemStore(4096)
+	ds2 := query.GenerateTPCH(3000, 11)
+	sd2, err := ds2.Store(mem, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	programs := map[string]query.Program{
+		"Q1": query.Q1, "Q3": query.Q3, "Q12": query.Q12, "Q14": query.Q14,
+		"Q19": query.Q19, "Arithmetic": query.Arithmetic,
+		"Aggregate": query.Aggregate, "Filter": query.Filter,
+	}
+	for name, p := range programs {
+		task, err := ssd.OffloadCode(host.Offload{
+			TaskID: 9, Binary: []byte{1}, LPAs: sd.AllLPAs(4096),
+		})
+		if err != nil {
+			t.Fatalf("%s: offload: %v", name, err)
+		}
+		got, err := p(task.Store(), sd, task.Meter())
+		if err != nil {
+			t.Fatalf("%s in TEE: %v", name, err)
+		}
+		var m query.Meter
+		want, err := p(mem, sd2, &m)
+		if err != nil {
+			t.Fatalf("%s reference: %v", name, err)
+		}
+		if got != want {
+			t.Fatalf("%s: TEE output diverges from reference", name)
+		}
+		if err := task.Finish([]byte(got)); err != nil {
+			t.Fatalf("%s: finish: %v", name, err)
+		}
+	}
+}
+
+// TestTEEWriteReadBackThroughFlash pushes intermediate data through the
+// full write path (FTL allocation, out-of-place writes) and reads it back
+// through the encrypted bus.
+func TestTEEWriteReadBackThroughFlash(t *testing.T) {
+	ssd, err := Open(Options{Channels: 2, BlocksPerPlane: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ssd.HostWrite(0, []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	task, err := ssd.OffloadCode(host.Offload{TaskID: 1, Binary: []byte{1}, LPAs: []uint32{0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := task.Store()
+	// Write and rewrite a set of intermediate pages, then verify.
+	for round := 0; round < 3; round++ {
+		for p := uint32(100); p < 140; p++ {
+			payload := bytes.Repeat([]byte{byte(round)<<4 | byte(p)}, 128)
+			if err := st.WritePage(p, payload); err != nil {
+				t.Fatalf("round %d write %d: %v", round, p, err)
+			}
+		}
+	}
+	for p := uint32(100); p < 140; p++ {
+		data, err := st.ReadPage(p)
+		if err != nil {
+			t.Fatalf("read back %d: %v", p, err)
+		}
+		want := byte(2)<<4 | byte(p)
+		if data[0] != want {
+			t.Fatalf("page %d holds %#x, want %#x", p, data[0], want)
+		}
+	}
+}
+
+// TestFaultInjectionFlashPath exercises error propagation through the
+// stack: reads of never-written pages and access-control violations must
+// surface as errors, never as silent wrong data or panics.
+func TestFaultInjectionFlashPath(t *testing.T) {
+	ssd, err := Open(Options{Channels: 2, BlocksPerPlane: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ssd.HostWrite(0, []byte{1})
+	task, err := ssd.OffloadCode(host.Offload{TaskID: 1, Binary: []byte{1}, LPAs: []uint32{0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unmapped LPA: clean error.
+	if _, err := task.Store().ReadPage(500); !errors.Is(err, ftl.ErrUnmapped) {
+		t.Fatalf("unmapped read returned %v", err)
+	}
+	// Out-of-range LPA: clean error.
+	huge := uint32(ssd.LogicalPages() + 10)
+	if _, err := task.Store().ReadPage(huge); err == nil {
+		t.Fatal("out-of-range read succeeded")
+	}
+	// TEE still healthy after recoverable errors.
+	if task.TEE().State() != tee.StateRunning {
+		t.Fatalf("TEE state %v after recoverable errors", task.TEE().State())
+	}
+	if _, err := task.Store().ReadPage(0); err != nil {
+		t.Fatalf("TEE broken by error handling: %v", err)
+	}
+}
+
+// TestAbortedTEEReleasesID verifies ID reuse after violent teardown: an
+// aborted attacker's 4-bit ID returns to the pool.
+func TestAbortedTEEReleasesID(t *testing.T) {
+	ssd, err := Open(Options{Channels: 2, BlocksPerPlane: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for lpa := uint32(0); lpa < 2; lpa++ {
+		ssd.HostWrite(lpa, []byte{byte(lpa)})
+	}
+	victim, _ := ssd.OffloadCode(host.Offload{TaskID: 1, Binary: []byte{1}, LPAs: []uint32{0}})
+	attacker, _ := ssd.OffloadCode(host.Offload{TaskID: 2, Binary: []byte{1}, LPAs: []uint32{1}})
+	attackerID := attacker.TEE().EID()
+	attacker.Store().ReadPage(0) // violation -> abort
+	if attacker.TEE().State() != tee.StateAborted {
+		t.Fatal("attacker not aborted")
+	}
+	// A new tenant gets the recycled ID.
+	next, err := ssd.OffloadCode(host.Offload{TaskID: 3, Binary: []byte{1}, LPAs: []uint32{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next.TEE().EID() != attackerID {
+		t.Fatalf("recycled ID = %d, want %d", next.TEE().EID(), attackerID)
+	}
+	_ = victim
+}
+
+// TestHostTEEInterleavingProperty randomly interleaves host writes and
+// TEE reads/writes over disjoint page sets; every read must return the
+// most recent write through whichever path made it.
+func TestHostTEEInterleavingProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		ssd, err := Open(Options{Channels: 2, BlocksPerPlane: 8})
+		if err != nil {
+			return false
+		}
+		rng := sim.NewRNG(seed)
+		const hostPages, teePages = 8, 8
+		// Host owns 0..7, TEE owns 8..15 (host seeds them first).
+		shadow := make(map[uint32]byte)
+		for p := uint32(0); p < hostPages+teePages; p++ {
+			v := byte(rng.Uint32())
+			if err := ssd.HostWrite(p, []byte{v}); err != nil {
+				return false
+			}
+			shadow[p] = v
+		}
+		var lpas []uint32
+		for p := uint32(hostPages); p < hostPages+teePages; p++ {
+			lpas = append(lpas, p)
+		}
+		task, err := ssd.OffloadCode(host.Offload{TaskID: 1, Binary: []byte{1}, LPAs: lpas})
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 120; i++ {
+			switch rng.Intn(3) {
+			case 0: // host writes its own page
+				p := uint32(rng.Intn(hostPages))
+				v := byte(rng.Uint32())
+				if err := ssd.HostWrite(p, []byte{v}); err != nil {
+					return false
+				}
+				shadow[p] = v
+			case 1: // TEE writes its own page
+				p := uint32(hostPages + rng.Intn(teePages))
+				v := byte(rng.Uint32())
+				if err := task.Store().WritePage(p, []byte{v}); err != nil {
+					return false
+				}
+				shadow[p] = v
+			default: // TEE reads its own page
+				p := uint32(hostPages + rng.Intn(teePages))
+				data, err := task.Store().ReadPage(p)
+				if err != nil || data[0] != shadow[p] {
+					return false
+				}
+			}
+		}
+		// Final sweep through both paths.
+		for p := uint32(0); p < hostPages; p++ {
+			data, err := ssd.HostRead(p)
+			if err != nil || data[0] != shadow[p] {
+				return false
+			}
+		}
+		for p := uint32(hostPages); p < hostPages+teePages; p++ {
+			data, err := task.Store().ReadPage(p)
+			if err != nil || data[0] != shadow[p] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Fatal(err)
+	}
+}

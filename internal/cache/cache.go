@@ -1,0 +1,203 @@
+// Package cache implements a set-associative cache simulator with LRU
+// replacement and write-back dirty tracking. It is the building block for
+// the MEE counter cache, the cached FTL mapping table (CMT), and the CPU
+// last-level-cache model in the IceClave simulator.
+//
+// The cache tracks presence and recency of fixed-size lines identified by a
+// 64-bit address; it stores no payload. Callers model data movement by
+// acting on the hit/miss/eviction results.
+package cache
+
+import "fmt"
+
+// Eviction describes a line pushed out of the cache by an insertion.
+type Eviction struct {
+	Addr  uint64 // line-aligned address of the victim
+	Dirty bool   // whether the victim must be written back
+}
+
+// Stats aggregates cache activity counters.
+type Stats struct {
+	Hits       int64
+	Misses     int64
+	Evictions  int64
+	Writebacks int64
+}
+
+// HitRate returns Hits / (Hits + Misses), or 0 if the cache was never
+// accessed.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+type line struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	lru   uint64 // last-touch tick; larger is more recent
+}
+
+// Cache is a set-associative cache. Create instances with New.
+type Cache struct {
+	name     string
+	lineSize uint64
+	sets     int
+	ways     int
+	lines    []line // sets*ways, set-major
+	tick     uint64
+	stats    Stats
+}
+
+// New returns a cache with the given total capacity in bytes, line size in
+// bytes, and associativity. Capacity must be an exact multiple of
+// lineSize*ways and the set count must be a power of two; these are
+// configuration errors, so New panics on violation.
+func New(name string, capacity, lineSize uint64, ways int) *Cache {
+	if lineSize == 0 || ways < 1 || capacity == 0 {
+		panic("cache: invalid geometry")
+	}
+	if capacity%(lineSize*uint64(ways)) != 0 {
+		panic(fmt.Sprintf("cache %s: capacity %d not a multiple of lineSize*ways", name, capacity))
+	}
+	sets := int(capacity / (lineSize * uint64(ways)))
+	if sets&(sets-1) != 0 {
+		panic(fmt.Sprintf("cache %s: set count %d not a power of two", name, sets))
+	}
+	return &Cache{
+		name:     name,
+		lineSize: lineSize,
+		sets:     sets,
+		ways:     ways,
+		lines:    make([]line, sets*ways),
+	}
+}
+
+// Name returns the label given at construction.
+func (c *Cache) Name() string { return c.name }
+
+// LineSize returns the line size in bytes.
+func (c *Cache) LineSize() uint64 { return c.lineSize }
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return c.sets }
+
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return c.ways }
+
+// Capacity returns the total capacity in bytes.
+func (c *Cache) Capacity() uint64 { return c.lineSize * uint64(c.sets) * uint64(c.ways) }
+
+// Stats returns a copy of the activity counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// Align returns addr rounded down to its line boundary.
+func (c *Cache) Align(addr uint64) uint64 { return addr &^ (c.lineSize - 1) }
+
+func (c *Cache) setFor(addr uint64) int {
+	return int((addr / c.lineSize) % uint64(c.sets))
+}
+
+func (c *Cache) set(i int) []line { return c.lines[i*c.ways : (i+1)*c.ways] }
+
+// lookup returns the way holding addr's line, or -1.
+func (c *Cache) lookup(addr uint64) (setIdx, way int) {
+	tag := addr / c.lineSize
+	setIdx = c.setFor(addr)
+	for w, ln := range c.set(setIdx) {
+		if ln.valid && ln.tag == tag {
+			return setIdx, w
+		}
+	}
+	return setIdx, -1
+}
+
+// Contains reports whether addr's line is resident, without touching LRU
+// state or statistics.
+func (c *Cache) Contains(addr uint64) bool {
+	_, way := c.lookup(addr)
+	return way >= 0
+}
+
+// Access touches addr's line. write marks the line dirty. It returns
+// whether the access hit and, on a miss that displaced a valid line, the
+// eviction (otherwise ev.Addr is 0 and ev.Dirty is false with hit==false
+// meaning a cold fill).
+func (c *Cache) Access(addr uint64, write bool) (hit bool, ev Eviction, evicted bool) {
+	c.tick++
+	setIdx, way := c.lookup(addr)
+	set := c.set(setIdx)
+	if way >= 0 {
+		c.stats.Hits++
+		set[way].lru = c.tick
+		if write {
+			set[way].dirty = true
+		}
+		return true, Eviction{}, false
+	}
+	c.stats.Misses++
+	// Choose victim: first invalid way, else true-LRU.
+	victim := 0
+	for w := range set {
+		if !set[w].valid {
+			victim = w
+			break
+		}
+		if set[w].lru < set[victim].lru {
+			victim = w
+		}
+	}
+	if set[victim].valid {
+		ev = Eviction{Addr: set[victim].tag * c.lineSize, Dirty: set[victim].dirty}
+		evicted = true
+		c.stats.Evictions++
+		if ev.Dirty {
+			c.stats.Writebacks++
+		}
+	}
+	set[victim] = line{tag: addr / c.lineSize, valid: true, dirty: write, lru: c.tick}
+	return false, ev, evicted
+}
+
+// Invalidate drops addr's line if resident, returning whether it was dirty.
+// Invalidation does not count as an eviction in the statistics.
+func (c *Cache) Invalidate(addr uint64) (wasDirty bool) {
+	setIdx, way := c.lookup(addr)
+	if way < 0 {
+		return false
+	}
+	set := c.set(setIdx)
+	wasDirty = set[way].dirty
+	set[way] = line{}
+	return wasDirty
+}
+
+// Flush invalidates every line and returns the dirty lines that would be
+// written back, in unspecified order.
+func (c *Cache) Flush() []Eviction {
+	var dirty []Eviction
+	for i := range c.lines {
+		if c.lines[i].valid && c.lines[i].dirty {
+			dirty = append(dirty, Eviction{Addr: c.lines[i].tag * c.lineSize, Dirty: true})
+		}
+		c.lines[i] = line{}
+	}
+	return dirty
+}
+
+// Resident returns the number of valid lines.
+func (c *Cache) Resident() int {
+	n := 0
+	for i := range c.lines {
+		if c.lines[i].valid {
+			n++
+		}
+	}
+	return n
+}
+
+// ResetStats clears the activity counters but keeps cache contents.
+func (c *Cache) ResetStats() { c.stats = Stats{} }

@@ -1,0 +1,160 @@
+// Package core composes the IceClave system model: the flash device, FTL,
+// DRAM, MEE, stream cipher, TrustZone runtime, and host models, plus the
+// trace-replay engine that executes recorded workloads under the four
+// evaluation modes (Host, Host+SGX, ISC, IceClave) and their variants.
+package core
+
+import (
+	"fmt"
+
+	"iceclave/internal/cpu"
+	"iceclave/internal/flash"
+	"iceclave/internal/host"
+	"iceclave/internal/mee"
+	"iceclave/internal/sim"
+	"iceclave/internal/tee"
+)
+
+// Mode is an execution scheme from the §6.1 comparison.
+type Mode int
+
+// Execution modes.
+const (
+	// ModeHost loads data over PCIe and computes on the host CPU.
+	ModeHost Mode = iota
+	// ModeHostSGX is ModeHost with the queries inside an SGX enclave.
+	ModeHostSGX
+	// ModeISC computes on the storage processor without any TEE.
+	ModeISC
+	// ModeIceClave is the full system: in-storage TEE with protected
+	// mapping table, hybrid-counter MEE, and the stream cipher engine.
+	ModeIceClave
+)
+
+// String names the mode as the figures do.
+func (m Mode) String() string {
+	switch m {
+	case ModeHost:
+		return "Host"
+	case ModeHostSGX:
+		return "Host+SGX"
+	case ModeISC:
+		return "ISC"
+	default:
+		return "IceClave"
+	}
+}
+
+// InStorage reports whether the mode computes inside the SSD.
+func (m Mode) InStorage() bool { return m == ModeISC || m == ModeIceClave }
+
+// Config is the full simulator configuration: Table 3 defaults plus the
+// calibration constants documented in DESIGN.md.
+type Config struct {
+	// Channels is the flash channel count (Figure 12/13 sweep).
+	Channels int
+	// FlashTiming holds tRD/tPROG/tERS and per-channel bandwidth
+	// (Figure 14 sweeps ReadLatency).
+	FlashTiming flash.Timing
+	// DRAMBytes is controller DRAM capacity (Figure 16 sweep).
+	DRAMBytes uint64
+	// PageCacheFraction is the share of controller DRAM caching flash
+	// pages for in-storage programs.
+	PageCacheFraction float64
+	// StorageCore is the in-storage processor (Figure 15 sweep).
+	StorageCore cpu.Core
+	// StorageCores is the controller core count for multi-tenancy.
+	StorageCores int
+	// HostCore is the host processor.
+	HostCore cpu.Core
+	// PCIe is the external path model.
+	PCIe host.PCIeConfig
+	// SGX is the Host+SGX cost model.
+	SGX host.SGXConfig
+	// Costs are the Table 5 TEE constants.
+	Costs tee.Costs
+	// MEEMode selects the DRAM protection scheme in IceClave mode
+	// (Figure 8 compares ModeHybrid against ModeSplit64 and ModeNone).
+	MEEMode mee.Mode
+	// CounterCacheBytes is the MEE metadata cache (128 KB, §5).
+	CounterCacheBytes uint64
+	// CMTBytes is the protected-region mapping cache capacity.
+	CMTBytes uint64
+	// SecureWorldMapping places the FTL mapping table in the secure world
+	// instead of the protected region, charging a world-switch round trip
+	// per translation — the Figure 5 comparison point.
+	SecureWorldMapping bool
+	// CipherPerPage is the stream-cipher engine latency per 4 KB page
+	// (the 64-bit-per-cycle Trivium engine of §5: ~512 cycles).
+	CipherPerPage sim.Duration
+	// MEESampling drives the counter-cache model with every Nth memory
+	// access and scales the result, bounding replay cost. 1 = exact.
+	MEESampling int
+	// MEEExposure is the fraction of the extra metadata-traffic time that
+	// lands on the critical path; the rest is hidden by memory-level
+	// parallelism. Calibrated so IceClave's overhead vs ISC averages in
+	// the paper's 7.6% band.
+	MEEExposure float64
+	// PrefetchWindow is the number of outstanding flash reads the
+	// in-storage runtime keeps in flight.
+	PrefetchWindow int
+	// MinFlashPages forces the auto-sized device to at least this many
+	// pages. Multi-tenant experiments set it so solo and collocated runs
+	// execute on identical hardware.
+	MinFlashPages int64
+	// Seed feeds address-synthesis randomness.
+	Seed uint64
+}
+
+// DefaultConfig returns the Table 3 device with calibrated host-side
+// constants.
+func DefaultConfig() Config {
+	return Config{
+		Channels:          8,
+		FlashTiming:       flash.DefaultTiming(),
+		DRAMBytes:         4 << 30,
+		PageCacheFraction: 0.5,
+		StorageCore:       cpu.CortexA72,
+		StorageCores:      4,
+		HostCore:          cpu.HostI7,
+		PCIe:              host.DefaultPCIeConfig(),
+		SGX:               host.DefaultSGXConfig(),
+		Costs:             tee.DefaultCosts(),
+		MEEMode:           mee.ModeHybrid,
+		CounterCacheBytes: 128 << 10,
+		CMTBytes:          8 << 20,
+		CipherPerPage:     640 * sim.Nanosecond,
+		MEESampling:       8,
+		MEEExposure:       0.5,
+		PrefetchWindow:    256,
+		Seed:              1,
+	}
+}
+
+// geometryFor builds a scaled flash geometry with the configured channel
+// count and at least minPages pages (plus over-provisioning headroom).
+func (c Config) geometryFor(minPages int64) (flash.Geometry, error) {
+	if c.MinFlashPages > minPages {
+		minPages = c.MinFlashPages
+	}
+	g := flash.Geometry{
+		Channels:        c.Channels,
+		ChipsPerChannel: 4,
+		DiesPerChip:     4,
+		PlanesPerDie:    2,
+		PagesPerBlock:   64,
+		PageSize:        4096,
+		BlocksPerPlane:  1,
+	}
+	planes := int64(g.Planes())
+	needed := minPages*2 + planes*int64(g.PagesPerBlock)*4 // 2x headroom + GC slack
+	perPlane := (needed + planes - 1) / planes
+	g.BlocksPerPlane = int((perPlane + int64(g.PagesPerBlock) - 1) / int64(g.PagesPerBlock))
+	if g.BlocksPerPlane < 4 {
+		g.BlocksPerPlane = 4
+	}
+	if err := g.Validate(); err != nil {
+		return g, fmt.Errorf("core: cannot size flash for %d pages: %w", minPages, err)
+	}
+	return g, nil
+}

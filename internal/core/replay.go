@@ -1,0 +1,500 @@
+package core
+
+import (
+	"fmt"
+
+	"iceclave/internal/cpu"
+	"iceclave/internal/dram"
+	"iceclave/internal/flash"
+	"iceclave/internal/ftl"
+	"iceclave/internal/host"
+	"iceclave/internal/mee"
+	"iceclave/internal/sim"
+	"iceclave/internal/workload"
+)
+
+// Result is the outcome of replaying one workload trace under one mode.
+type Result struct {
+	Workload string
+	Mode     Mode
+
+	// Total is the end-to-end simulated time.
+	Total sim.Duration
+	// LoadTime is time stalled on storage I/O (flash and, on the host
+	// path, PCIe).
+	LoadTime sim.Duration
+	// ComputeTime is pure instruction execution.
+	ComputeTime sim.Duration
+	// SecurityTime is the memory encryption/verification and stream
+	// cipher overhead (the "Memory Encrypt" segment of Figure 11).
+	SecurityTime sim.Duration
+	// TEETime is TEE creation/termination and world-switch overhead.
+	TEETime sim.Duration
+
+	// CMTMissRate is the cached-mapping-table miss fraction (§6.3).
+	CMTMissRate float64
+	// MEE is the memory-protection traffic accounting (Table 6).
+	MEE mee.TrafficStats
+	// PageCacheHitRate is the controller DRAM data-cache hit fraction.
+	PageCacheHitRate float64
+}
+
+// Throughput returns input bytes per simulated second.
+func (r Result) Throughput(inputBytes int64) float64 {
+	if r.Total <= 0 {
+		return 0
+	}
+	return float64(inputBytes) / r.Total.Seconds()
+}
+
+// SpeedupOver returns other.Total / r.Total: >1 means r is faster.
+func (r Result) SpeedupOver(other Result) float64 {
+	if r.Total <= 0 {
+		return 0
+	}
+	return float64(other.Total) / float64(r.Total)
+}
+
+// resources is the shared hardware one replay run executes against.
+// Tenants contend on everything here.
+type resources struct {
+	cfg       Config
+	dev       *flash.Device
+	ftl       *ftl.FTL
+	cmt       *ftl.MappingCache
+	pageCache *dram.PageCache
+	storage   *cpu.Complex
+	hostCPU   *cpu.Complex
+	pcie      *host.PCIe
+}
+
+// newResources sizes and populates the device for the given traces: each
+// tenant's logical pages are placed at a disjoint LPA offset.
+func newResources(cfg Config, traces []*workload.Trace) (*resources, []uint32, error) {
+	stride := int64(0)
+	for _, tr := range traces {
+		s := int64(tr.SetupPages) + int64(tr.Meter.PagesWritten) + 1024
+		if s > stride {
+			stride = s
+		}
+	}
+	totalPages := stride * int64(len(traces))
+	geo, err := cfg.geometryFor(totalPages)
+	if err != nil {
+		return nil, nil, err
+	}
+	dev, err := flash.NewDevice(geo, cfg.FlashTiming)
+	if err != nil {
+		return nil, nil, err
+	}
+	f := ftl.New(dev, ftl.Config{})
+	if f.LogicalPages() < totalPages {
+		return nil, nil, fmt.Errorf("core: sized %d logical pages, need %d", f.LogicalPages(), totalPages)
+	}
+	// Prepopulate every tenant's dataset pages (timing discarded).
+	offsets := make([]uint32, len(traces))
+	for i, tr := range traces {
+		offsets[i] = uint32(int64(i) * stride)
+		var at sim.Time
+		for p := 0; p < tr.SetupPages; p++ {
+			done, err := f.Write(at, ftl.LPA(offsets[i])+ftl.LPA(p), nil)
+			if err != nil {
+				return nil, nil, fmt.Errorf("core: prepopulate %s page %d: %w", tr.Name, p, err)
+			}
+			at = done
+		}
+	}
+	dev.ResetTiming()
+
+	pcBytes := uint64(float64(cfg.DRAMBytes) * cfg.PageCacheFraction)
+	// Cache geometry needs a power-of-two set count; round down.
+	ps := uint64(geo.PageSize)
+	sets := pcBytes / (ps * 8)
+	for sets&(sets-1) != 0 {
+		sets &= sets - 1
+	}
+	if sets == 0 {
+		sets = 1
+	}
+	return &resources{
+		cfg:       cfg,
+		dev:       dev,
+		ftl:       f,
+		cmt:       ftl.NewMappingCache(cfg.CMTBytes, ps),
+		pageCache: dram.NewPageCache(sets*ps*8, ps),
+		storage:   cpu.NewComplex(cfg.StorageCore, cfg.StorageCores),
+		hostCPU:   cpu.NewComplex(cfg.HostCore, 1),
+		pcie:      host.NewPCIe(cfg.PCIe),
+	}, offsets, nil
+}
+
+// tenant replays one trace against shared resources.
+type tenant struct {
+	res    *resources
+	trace  *workload.Trace
+	mode   Mode
+	offset uint32
+	rng    *sim.RNG
+	meeM   *mee.TrafficModel
+
+	now           sim.Time
+	step          int
+	lastWrite     sim.Time
+	heapPages     uint64
+	secMapPending int
+
+	// Sliding-window prefetcher state: read steps are issued up to
+	// PrefetchWindow ahead of consumption, which is what lets a scan
+	// saturate all channels instead of serializing on per-page latency.
+	readSteps   []int
+	readDone    []sim.Time
+	nextIssue   int
+	nextConsume int
+	window      int
+
+	result          Result
+	cmtHit, cmtMiss int64
+}
+
+func newTenant(res *resources, tr *workload.Trace, mode Mode, offset uint32, seed uint64) *tenant {
+	t := &tenant{
+		res:    res,
+		trace:  tr,
+		mode:   mode,
+		offset: offset,
+		rng:    sim.NewRNG(seed),
+		result: Result{Workload: tr.Name, Mode: mode},
+	}
+	writes := 0
+	for i, st := range tr.Steps {
+		if st.Op == workload.OpRead {
+			t.readSteps = append(t.readSteps, i)
+		} else {
+			writes++
+		}
+	}
+	t.readDone = make([]sim.Time, len(t.readSteps))
+	// Scans prefetch deeply (streaming readahead); transactional traces
+	// have dependent point accesses, so their effective queue depth is
+	// the modest transaction-level concurrency.
+	t.window = res.cfg.PrefetchWindow
+	if len(tr.Steps) > 0 && float64(writes)/float64(len(tr.Steps)) > 0.05 {
+		t.window = 8
+	}
+	// The writable intermediate region is sized from the workload's
+	// measured working set (hash tables, buckets, output buffers),
+	// bounded by the 16 MB TEE heap preallocation.
+	t.heapPages = uint64(tr.Meter.Intermediate/mee.PageSize) + 1
+	if t.heapPages > maxHeapPages {
+		t.heapPages = maxHeapPages
+	}
+	if mode == ModeIceClave {
+		sampling := res.cfg.MEESampling
+		if sampling < 1 {
+			sampling = 1
+		}
+		t.meeM = mee.NewTrafficModel(mee.TrafficConfig{
+			Mode:              res.cfg.MEEMode,
+			CounterCacheBytes: res.cfg.CounterCacheBytes,
+			SampleWeight:      sampling,
+		})
+		// The intermediate/result region of the TEE heap is writable;
+		// input pages default to read-only.
+		for p := uint64(0); p < t.heapPages; p++ {
+			t.meeM.SetPageWritable(heapBasePage+p, true)
+		}
+	}
+	return t
+}
+
+// The synthesized TEE-heap address region for intermediate data: up to
+// 16 MB of writable pages far above any input page index.
+const (
+	heapBasePage = uint64(1) << 22
+	maxHeapPages = uint64(16<<20) / mee.PageSize
+)
+
+// secMapBatch is how many translations the secure-world-mapping variant
+// amortizes per world-switch round trip (Figure 5 comparison).
+const secMapBatch = 8
+
+// done reports whether the tenant has consumed its whole trace.
+func (t *tenant) done() bool { return t.step > len(t.trace.Steps) }
+
+// advance replays the next step. Steps 0..len-1 are storage ops with their
+// preceding compute; step len is the tail compute.
+func (t *tenant) advance() {
+	if t.done() {
+		return
+	}
+	var st workload.Step
+	tail := t.step == len(t.trace.Steps)
+	if tail {
+		st = t.trace.Tail
+	} else {
+		st = t.trace.Steps[t.step]
+	}
+	t.step++
+
+	// Compute phase: instructions on the mode's CPU, memory-security
+	// charges on the step's memory accesses.
+	t.computePhase(st)
+	if tail {
+		// Wait out buffered writes at the end.
+		if t.lastWrite > t.now {
+			t.result.LoadTime += t.lastWrite - t.now
+			t.now = t.lastWrite
+		}
+		return
+	}
+
+	// Storage phase.
+	lpa := ftl.LPA(t.offset + st.LPA)
+	if st.Op == workload.OpRead {
+		t.readPhase(st, lpa)
+	} else {
+		t.writePhase(st, lpa)
+	}
+}
+
+func (t *tenant) computePhase(st workload.Step) {
+	if st.PreInstr > 0 {
+		if t.mode.InStorage() {
+			// Core-queueing delay under multi-tenancy counts as compute
+			// interference.
+			_, done := t.res.storage.Run(t.now, st.PreInstr)
+			t.result.ComputeTime += done - t.now
+			t.now = done
+		} else {
+			_, done := t.res.hostCPU.Run(t.now, st.PreInstr)
+			base := done - t.now
+			t.result.ComputeTime += base
+			t.now = done
+			if t.mode == ModeHostSGX {
+				pen := t.res.cfg.SGX.ComputePenalty(base, int64(t.trace.PageSize))
+				t.now += pen
+				t.result.SecurityTime += pen
+			}
+		}
+	}
+	// MEE charges for the compute window's memory traffic (IceClave only).
+	if t.meeM != nil && (st.PreMemReads > 0 || st.PreMemWrites > 0) {
+		t.chargeMEE(st)
+	}
+}
+
+// chargeMEE synthesizes addresses for the step's memory accesses and runs
+// them (sampled) through the counter-cache model. Heap traffic (hash
+// tables, aggregation state, intermediate buffers) follows a skewed
+// distribution — hot structures dominate — and the exposed cost of the
+// extra metadata traffic is scaled by MEEExposure because memory-level
+// parallelism overlaps most of it with execution.
+func (t *tenant) chargeMEE(st workload.Step) {
+	sampling := t.res.cfg.MEESampling
+	if sampling < 1 {
+		sampling = 1
+	}
+	var extra sim.Duration
+	// Input page scan: sequential read-only lines at the page's address.
+	pageLines := int64(t.trace.PageSize / mee.LineSize)
+	seqReads := st.PreMemReads
+	if seqReads > pageLines {
+		seqReads = pageLines
+	}
+	base := uint64(st.LPA) * uint64(t.trace.PageSize)
+	for i := int64(0); i < seqReads; i += int64(sampling) {
+		extra += t.meeM.Access(base+uint64(i)*mee.LineSize, false)
+	}
+	// Remaining reads and all writes: skewed traffic in the writable
+	// intermediate heap. Only the cache-miss fraction of heap accesses
+	// reaches DRAM (and thus the MEE); the processor caches absorb the
+	// rest.
+	heapAddr := func() uint64 {
+		page := heapBasePage + uint64(t.rng.Zipf(int64(t.heapPages), 0.85, 0.05))
+		return page*mee.PageSize + uint64(t.rng.Intn(mee.LinesPerPage))*mee.LineSize
+	}
+	// ~25% of heap accesses miss the processor caches and reach DRAM.
+	randReads := (st.PreMemReads - seqReads) / 4
+	randWrites := st.PreMemWrites / 4
+	for i := int64(0); i < randReads; i += int64(sampling) {
+		extra += t.meeM.Access(heapAddr(), false)
+	}
+	for i := int64(0); i < randWrites; i += int64(sampling) {
+		extra += t.meeM.Access(heapAddr(), true)
+	}
+	exposed := sim.Duration(float64(extra) * t.res.cfg.MEEExposure)
+	t.now += exposed
+	t.result.SecurityTime += exposed
+}
+
+// issueAhead issues queued read steps until the prefetch window is full,
+// with arrival time t.now. Completion times are stored for consumption.
+func (t *tenant) issueAhead() {
+	cfg := t.res.cfg
+	for t.nextIssue < len(t.readSteps) && t.nextIssue < t.nextConsume+t.window {
+		st := t.trace.Steps[t.readSteps[t.nextIssue]]
+		lpa := ftl.LPA(t.offset + st.LPA)
+		// Controller page cache: a hit skips the flash read entirely
+		// (in-storage modes only — the host path always pulls over PCIe).
+		if t.mode.InStorage() && t.res.pageCache.Touch(uint64(lpa), false) {
+			t.readDone[t.nextIssue] = t.now
+			t.nextIssue++
+			continue
+		}
+		ppa, err := t.res.ftl.Translate(lpa)
+		if err != nil {
+			// Reads of never-written pages can only be a replay-layer bug.
+			panic(fmt.Sprintf("core: replay translate %d: %v", lpa, err))
+		}
+		done, _, err := t.res.dev.Read(t.now, ppa)
+		if err != nil {
+			panic(fmt.Sprintf("core: replay read %d: %v", ppa, err))
+		}
+		if t.mode == ModeIceClave {
+			// The stream cipher engine decrypts inline at bus rate; its
+			// per-page latency extends the read completion but is hidden
+			// by prefetching unless the read is on the critical path.
+			done += cfg.CipherPerPage
+		}
+		if !t.mode.InStorage() {
+			// Ship to host memory over PCIe with amortized command cost.
+			done = t.res.pcie.TransferStream(done, int64(t.trace.PageSize))
+		}
+		t.readDone[t.nextIssue] = done
+		t.nextIssue++
+	}
+}
+
+// readPhase consumes the next prefetched read, charging translation costs
+// and stalling until the data is resident.
+func (t *tenant) readPhase(st workload.Step, lpa ftl.LPA) {
+	cfg := t.res.cfg
+	// Address translation on the consume path.
+	switch {
+	case t.mode == ModeIceClave && cfg.SecureWorldMapping:
+		// Figure 5 variant: translations must cross into the secure world.
+		// The runtime batches a cluster of translations per crossing
+		// (eight here), but unlike the protected region the switches sit
+		// on the critical path of every flash access.
+		t.secMapPending++
+		if t.secMapPending >= secMapBatch {
+			t.secMapPending = 0
+			sw := 2 * cfg.Costs.WorldSwitch
+			t.now += sw
+			t.result.TEETime += sw
+		}
+	case t.mode == ModeIceClave:
+		if t.res.cmt.Lookup(lpa) {
+			t.cmtHit++
+		} else {
+			t.cmtMiss++
+			pen := 2*cfg.Costs.WorldSwitch + cfg.FlashTiming.ReadLatency
+			t.now += pen
+			t.result.TEETime += pen
+		}
+	case t.mode == ModeISC:
+		// Translation through the (unprotected) cached mapping table;
+		// misses fetch the mapping page without world switches.
+		if t.res.cmt.Lookup(lpa) {
+			t.cmtHit++
+		} else {
+			t.cmtMiss++
+			t.now += cfg.FlashTiming.ReadLatency
+			t.result.LoadTime += cfg.FlashTiming.ReadLatency
+		}
+	}
+	t.issueAhead()
+	done := t.readDone[t.nextConsume]
+	t.nextConsume++
+	if done > t.now {
+		t.result.LoadTime += done - t.now
+		t.now = done
+	}
+}
+
+// writePhase performs a buffered page write: the program continues while
+// the flash program completes in the background.
+func (t *tenant) writePhase(st workload.Step, lpa ftl.LPA) {
+	if t.mode.InStorage() {
+		t.res.pageCache.Touch(uint64(lpa), true)
+	}
+	done, err := t.res.ftl.Write(t.now, lpa, nil)
+	if err != nil {
+		panic(fmt.Sprintf("core: replay write %d: %v", lpa, err))
+	}
+	if t.mode == ModeIceClave {
+		t.res.cmt.Update(lpa)
+	}
+	if !t.mode.InStorage() {
+		done = t.res.pcie.TransferStreamDown(done, int64(t.trace.PageSize))
+	}
+	if done > t.lastWrite {
+		t.lastWrite = done
+	}
+}
+
+// finish computes the derived statistics.
+func (t *tenant) finish() Result {
+	t.result.Total = sim.Duration(t.now)
+	if t.cmtHit+t.cmtMiss > 0 {
+		t.result.CMTMissRate = float64(t.cmtMiss) / float64(t.cmtHit+t.cmtMiss)
+	}
+	if t.meeM != nil {
+		t.result.MEE = t.meeM.Stats()
+	}
+	t.result.PageCacheHitRate = t.res.pageCache.Stats().HitRate()
+	return t.result
+}
+
+// Run replays a single trace under mode with the given configuration.
+func Run(tr *workload.Trace, mode Mode, cfg Config) (Result, error) {
+	results, err := RunMulti([]*workload.Trace{tr}, mode, cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	return results[0], nil
+}
+
+// RunMulti replays several traces concurrently against shared hardware —
+// the multi-tenant experiments of Figures 17 and 18. Tenants advance in
+// virtual-time order, contending for channels, dies, cores, the mapping
+// cache, and the page cache.
+func RunMulti(traces []*workload.Trace, mode Mode, cfg Config) ([]Result, error) {
+	res, offsets, err := newResources(cfg, traces)
+	if err != nil {
+		return nil, err
+	}
+	tenants := make([]*tenant, len(traces))
+	for i, tr := range traces {
+		tenants[i] = newTenant(res, tr, mode, offsets[i], cfg.Seed+uint64(i)*7919)
+		if mode == ModeIceClave {
+			// TEE creation cost (Table 5) opens each tenant's run.
+			tenants[i].now += cfg.Costs.Create
+			tenants[i].result.TEETime += cfg.Costs.Create
+		}
+	}
+	for {
+		var next *tenant
+		for _, tn := range tenants {
+			if tn.done() {
+				continue
+			}
+			if next == nil || tn.now < next.now {
+				next = tn
+			}
+		}
+		if next == nil {
+			break
+		}
+		next.advance()
+	}
+	out := make([]Result, len(tenants))
+	for i, tn := range tenants {
+		if mode == ModeIceClave {
+			tn.now += cfg.Costs.Delete
+			tn.result.TEETime += cfg.Costs.Delete
+		}
+		out[i] = tn.finish()
+	}
+	return out, nil
+}

@@ -1,0 +1,100 @@
+// Package cpu provides analytic processor models for the IceClave
+// simulator: embedded storage cores (the ARM Cortex family in SSD
+// controllers) and the host CPU baseline. The paper models an out-of-order
+// A72 in gem5 (Table 3); figures depend on *relative* compute capability
+// across A77/A72/A53 and the host i7 (Figure 15), which a calibrated
+// throughput model preserves.
+package cpu
+
+import (
+	"fmt"
+
+	"iceclave/internal/sim"
+)
+
+// Core is a processor core model: sustained instruction throughput is
+// FreqHz x IPC. IPC values are calibration constants for data-processing
+// kernels (hash joins, scans, aggregation), not peak issue width.
+type Core struct {
+	Name   string
+	FreqHz float64
+	IPC    float64
+	// OutOfOrder is informational: OoO cores hold higher effective IPC on
+	// the same workloads, which is already folded into IPC.
+	OutOfOrder bool
+}
+
+// Preset cores used across the evaluation (§6.1 and Figure 15).
+var (
+	// CortexA72 at 1.6 GHz is the default in-storage processor (Table 3).
+	CortexA72 = Core{Name: "A72 @1.6GHz", FreqHz: 1.6e9, IPC: 1.5, OutOfOrder: true}
+	// CortexA72Slow is the 0.8 GHz variant of Figure 15.
+	CortexA72Slow = Core{Name: "A72 @0.8GHz", FreqHz: 0.8e9, IPC: 1.5, OutOfOrder: true}
+	// CortexA77 at 2.8 GHz is the high-end variant of Figure 15.
+	CortexA77 = Core{Name: "A77 @2.8GHz", FreqHz: 2.8e9, IPC: 1.9, OutOfOrder: true}
+	// CortexA53 at 1.6 GHz is the in-order variant of Figure 15.
+	CortexA53 = Core{Name: "A53 @1.6GHz", FreqHz: 1.6e9, IPC: 0.9, OutOfOrder: false}
+	// HostI7 is the evaluation server's Intel i7-7700K at 4.2 GHz (§6.1).
+	HostI7 = Core{Name: "i7-7700K @4.2GHz", FreqHz: 4.2e9, IPC: 1.6, OutOfOrder: true}
+)
+
+// Validate reports an error for non-positive parameters.
+func (c Core) Validate() error {
+	if c.FreqHz <= 0 || c.IPC <= 0 {
+		return fmt.Errorf("cpu: core %q has non-positive freq/IPC", c.Name)
+	}
+	return nil
+}
+
+// InstructionsPerSecond returns the sustained throughput.
+func (c Core) InstructionsPerSecond() float64 { return c.FreqHz * c.IPC }
+
+// ComputeTime returns the time to retire n instructions.
+func (c Core) ComputeTime(n int64) sim.Duration {
+	if n <= 0 {
+		return 0
+	}
+	d := sim.Duration(float64(n) / c.InstructionsPerSecond() * float64(sim.Second))
+	if d == 0 {
+		d = 1
+	}
+	return d
+}
+
+// Relative returns how much slower (>1) or faster (<1) this core is than
+// other for the same instruction stream.
+func (c Core) Relative(other Core) float64 {
+	return other.InstructionsPerSecond() / c.InstructionsPerSecond()
+}
+
+// Complex is a small multiprocessor: the SSD controller's core cluster.
+// Multi-tenant experiments (Figures 17–18) schedule one TEE per core and
+// share the cluster when instances outnumber cores.
+type Complex struct {
+	Core  Core
+	Cores int
+
+	srv *sim.Server
+}
+
+// NewComplex returns a cluster of n identical cores.
+func NewComplex(core Core, n int) *Complex {
+	if n < 1 {
+		panic("cpu: complex needs at least one core")
+	}
+	return &Complex{Core: core, Cores: n, srv: sim.NewServer("cpu:"+core.Name, n)}
+}
+
+// Run reserves one core for the time needed to retire n instructions
+// starting no earlier than at, returning start and completion times.
+func (c *Complex) Run(at sim.Time, n int64) (start, done sim.Time) {
+	return c.srv.Acquire(at, c.Core.ComputeTime(n))
+}
+
+// RunFor reserves one core for an explicit duration.
+func (c *Complex) RunFor(at sim.Time, d sim.Duration) (start, done sim.Time) {
+	return c.srv.Acquire(at, d)
+}
+
+// Reset clears reservations.
+func (c *Complex) Reset() { c.srv.Reset() }

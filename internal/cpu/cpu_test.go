@@ -1,0 +1,104 @@
+package cpu
+
+import (
+	"testing"
+
+	"iceclave/internal/sim"
+)
+
+func TestComputeTimeScalesWithFrequency(t *testing.T) {
+	fast := CortexA72
+	slow := CortexA72Slow
+	n := int64(1_000_000)
+	diff := slow.ComputeTime(n) - fast.ComputeTime(n)*2
+	if diff < -2 || diff > 2 { // float->ns rounding tolerance
+		t.Fatalf("half frequency should double time: %v vs %v",
+			fast.ComputeTime(n), slow.ComputeTime(n))
+	}
+}
+
+func TestCoreOrdering(t *testing.T) {
+	// The Figure 15 ordering: A77@2.8 > A72@1.6 > A53@1.6 > A72@0.8 on
+	// throughput... A53@1.6 vs A72@0.8: the OoO core at half clock still
+	// wins or loses depending on IPC; assert the paper's qualitative
+	// claims instead: A77 fastest, and A72 beats A53 at equal frequency.
+	if CortexA77.InstructionsPerSecond() <= CortexA72.InstructionsPerSecond() {
+		t.Fatal("A77 not faster than A72")
+	}
+	if CortexA72.InstructionsPerSecond() <= CortexA53.InstructionsPerSecond() {
+		t.Fatal("OoO A72 not faster than in-order A53 at the same frequency")
+	}
+	if HostI7.InstructionsPerSecond() <= CortexA72.InstructionsPerSecond() {
+		t.Fatal("host i7 not faster than the storage A72")
+	}
+}
+
+func TestRelative(t *testing.T) {
+	r := CortexA72.Relative(HostI7)
+	if r <= 1 {
+		t.Fatalf("A72 relative to i7 = %v, want > 1 (slower)", r)
+	}
+	// The §6.2 breakdown reports ~2.47x longer in-storage compute; the
+	// calibrated model should land in that neighbourhood.
+	if r < 1.8 || r > 3.5 {
+		t.Fatalf("A72/i7 ratio = %v, outside the calibrated 1.8-3.5 band", r)
+	}
+}
+
+func TestComputeTimeEdges(t *testing.T) {
+	if CortexA72.ComputeTime(0) != 0 {
+		t.Fatal("zero instructions took time")
+	}
+	if CortexA72.ComputeTime(-5) != 0 {
+		t.Fatal("negative instructions took time")
+	}
+	if CortexA72.ComputeTime(1) == 0 {
+		t.Fatal("one instruction took zero time")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := CortexA72.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := Core{Name: "bad"}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero core validated")
+	}
+}
+
+func TestComplexParallelism(t *testing.T) {
+	c := NewComplex(CortexA72, 2)
+	n := int64(1_000_000)
+	_, d1 := c.Run(0, n)
+	_, d2 := c.Run(0, n)
+	if d1 != d2 {
+		t.Fatalf("two cores should run two tasks in parallel: %v vs %v", d1, d2)
+	}
+	start3, _ := c.Run(0, n)
+	if start3 == 0 {
+		t.Fatal("third task should queue behind the two cores")
+	}
+}
+
+func TestComplexRunFor(t *testing.T) {
+	c := NewComplex(CortexA72, 1)
+	_, done := c.RunFor(0, 100*sim.Microsecond)
+	if done != 100*sim.Microsecond {
+		t.Fatalf("done = %v", done)
+	}
+	c.Reset()
+	_, done = c.RunFor(0, sim.Microsecond)
+	if done != sim.Microsecond {
+		t.Fatal("reset did not clear reservations")
+	}
+}
+
+func TestComplexValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero-core complex did not panic")
+		}
+	}()
+	NewComplex(CortexA72, 0)
+}

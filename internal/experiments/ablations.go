@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"fmt"
+
+	"iceclave/internal/core"
+	"iceclave/internal/stats"
+)
+
+// AblationCounterCache sweeps the MEE counter-cache capacity, isolating
+// the design choice behind the paper's 128 KB figure (§5): too small and
+// metadata thrashes; beyond the metadata working set, more buys nothing.
+func (s *Suite) AblationCounterCache() (*stats.Table, error) {
+	sizes := []uint64{16 << 10, 64 << 10, 128 << 10, 512 << 10}
+	header := []string{"Workload"}
+	for _, b := range sizes {
+		header = append(header, fmt.Sprintf("%dKB", b>>10))
+	}
+	t := &stats.Table{
+		ID:     "Ablation A1",
+		Title:  "Counter-cache capacity (IceClave time normalized to 128KB)",
+		Header: header,
+	}
+	for _, name := range []string{"TPC-H Q1", "TPC-H Q19", "TPC-B", "Wordcount"} {
+		base, err := s.run(name, core.ModeIceClave, func(c *core.Config) { c.CounterCacheBytes = 128 << 10 })
+		if err != nil {
+			return nil, err
+		}
+		row := []any{name}
+		for _, b := range sizes {
+			b := b
+			r, err := s.run(name, core.ModeIceClave, func(c *core.Config) { c.CounterCacheBytes = b })
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, fmt.Sprintf("%.3f", float64(r.Total)/float64(base.Total)))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// AblationCMTSize sweeps the cached-mapping-table capacity in the
+// protected region, the structure §4.2 places there to avoid world
+// switches; the miss rate (and hence switch count) falls with capacity.
+func (s *Suite) AblationCMTSize() (*stats.Table, error) {
+	sizes := []uint64{64 << 10, 1 << 20, 8 << 20}
+	header := []string{"Workload"}
+	for _, b := range sizes {
+		header = append(header, fmt.Sprintf("%dKB miss%%", b>>10))
+	}
+	t := &stats.Table{
+		ID:     "Ablation A2",
+		Title:  "Cached mapping table capacity vs translation miss rate",
+		Header: header,
+	}
+	for _, name := range []string{"TPC-H Q1", "TPC-C"} {
+		row := []any{name}
+		for _, b := range sizes {
+			b := b
+			r, err := s.run(name, core.ModeIceClave, func(c *core.Config) { c.CMTBytes = b })
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, stats.Pct(r.CMTMissRate))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// AblationPrefetch sweeps the in-storage read prefetch depth: the lever
+// that converts per-page flash latency into channel-limited throughput
+// for scans.
+func (s *Suite) AblationPrefetch() (*stats.Table, error) {
+	windows := []int{1, 8, 64, 256}
+	header := []string{"Workload"}
+	for _, w := range windows {
+		header = append(header, fmt.Sprintf("w=%d", w))
+	}
+	t := &stats.Table{
+		ID:     "Ablation A3",
+		Title:  "Prefetch window (IceClave time normalized to w=256)",
+		Header: header,
+	}
+	for _, name := range []string{"TPC-H Q1", "Filter"} {
+		base, err := s.run(name, core.ModeIceClave, nil)
+		if err != nil {
+			return nil, err
+		}
+		row := []any{name}
+		for _, w := range windows {
+			w := w
+			r, err := s.run(name, core.ModeIceClave, func(c *core.Config) { c.PrefetchWindow = w })
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, fmt.Sprintf("%.2f", float64(r.Total)/float64(base.Total)))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}

@@ -1,0 +1,44 @@
+package experiments
+
+import "testing"
+
+func TestAblationCounterCache(t *testing.T) {
+	s := testSuite()
+	tb, err := s.AblationCounterCache()
+	rs := rows(t, tb, err)
+	// A tiny counter cache must never beat the 128KB default on the
+	// metadata-heavy workloads (within noise).
+	for _, r := range rs {
+		tiny, def := cellFloat(t, r[1]), cellFloat(t, r[3])
+		if tiny < def-0.02 {
+			t.Errorf("%s: 16KB counter cache (%v) beats 128KB (%v)", r[0], tiny, def)
+		}
+	}
+}
+
+func TestAblationCMTSize(t *testing.T) {
+	s := testSuite()
+	tb, err := s.AblationCMTSize()
+	rs := rows(t, tb, err)
+	for _, r := range rs {
+		small, large := cellFloat(t, r[1]), cellFloat(t, r[3])
+		if large > small+0.01 {
+			t.Errorf("%s: bigger CMT raised miss rate: %v%% -> %v%%", r[0], small, large)
+		}
+	}
+}
+
+func TestAblationPrefetch(t *testing.T) {
+	s := testSuite()
+	tb, err := s.AblationPrefetch()
+	rs := rows(t, tb, err)
+	for _, r := range rs {
+		w1, w256 := cellFloat(t, r[1]), cellFloat(t, r[4])
+		if w1 < 2.0 {
+			t.Errorf("%s: depth-1 prefetch only %vx slower; scans should be latency-crushed", r[0], w1)
+		}
+		if w256 > 1.01 {
+			t.Errorf("%s: w=256 normalized to itself is %v", r[0], w256)
+		}
+	}
+}

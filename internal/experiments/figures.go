@@ -1,0 +1,378 @@
+package experiments
+
+import (
+	"fmt"
+
+	"iceclave/internal/core"
+	"iceclave/internal/cpu"
+	"iceclave/internal/mee"
+	"iceclave/internal/sim"
+	"iceclave/internal/stats"
+	"iceclave/internal/workload"
+)
+
+// Figure5 compares IceClave against the variant that keeps the FTL
+// mapping table in the secure world, forcing a world-switch round trip on
+// every translation (the paper reports the protected region wins by 21.6%
+// on average).
+func (s *Suite) Figure5() (*stats.Table, error) {
+	t := &stats.Table{
+		ID:     "Figure 5",
+		Title:  "Mapping table in protected region vs secure world (normalized to IceClave)",
+		Header: []string{"Workload", "IceClave", "Map-in-secure-world", "Win"},
+	}
+	var sum float64
+	var n int
+	err := forEach(func(name string) error {
+		base, err := s.run(name, core.ModeIceClave, nil)
+		if err != nil {
+			return err
+		}
+		sec, err := s.run(name, core.ModeIceClave, func(c *core.Config) { c.SecureWorldMapping = true })
+		if err != nil {
+			return err
+		}
+		norm := float64(base.Total) / float64(sec.Total)
+		sum += float64(sec.Total)/float64(base.Total) - 1
+		n++
+		t.AddRow(name, "1.000", fmt.Sprintf("%.3f", norm), stats.Pct(float64(sec.Total-base.Total)/float64(sec.Total)))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	t.AddNote("average improvement from the protected region: %s (paper: 21.6%%)", stats.Pct(sum/float64(n)))
+	return t, nil
+}
+
+// Figure8 compares the DRAM protection schemes: no encryption, SC-64
+// split counters, and IceClave's hybrid counters, normalized to the
+// non-encrypted run.
+func (s *Suite) Figure8() (*stats.Table, error) {
+	t := &stats.Table{
+		ID:     "Figure 8",
+		Title:  "Memory protection schemes (performance normalized to Non-Encryption)",
+		Header: []string{"Workload", "Non-Encryption", "SC-64", "IceClave"},
+	}
+	var gain float64
+	var n int
+	err := forEach(func(name string) error {
+		none, err := s.run(name, core.ModeIceClave, func(c *core.Config) { c.MEEMode = mee.ModeNone })
+		if err != nil {
+			return err
+		}
+		sc, err := s.run(name, core.ModeIceClave, func(c *core.Config) { c.MEEMode = mee.ModeSplit64 })
+		if err != nil {
+			return err
+		}
+		hy, err := s.run(name, core.ModeIceClave, func(c *core.Config) { c.MEEMode = mee.ModeHybrid })
+		if err != nil {
+			return err
+		}
+		t.AddRow(name, "1.000",
+			fmt.Sprintf("%.3f", float64(none.Total)/float64(sc.Total)),
+			fmt.Sprintf("%.3f", float64(none.Total)/float64(hy.Total)))
+		gain += float64(sc.Total)/float64(hy.Total) - 1
+		n++
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	t.AddNote("hybrid counters improve on SC-64 by %s on average (paper: 43%% on memory-bound phases)", stats.Pct(gain/float64(n)))
+	return t, nil
+}
+
+// Figure11 is the headline comparison: Host, Host+SGX, ISC, and IceClave
+// with the load/compute/security breakdown, normalized to Host.
+func (s *Suite) Figure11() (*stats.Table, error) {
+	t := &stats.Table{
+		ID:    "Figure 11",
+		Title: "Performance of Host, Host+SGX, ISC, IceClave (normalized to Host; breakdown in ms)",
+		Header: []string{"Workload", "Host", "Host+SGX", "ISC", "IceClave",
+			"IC-load", "IC-compute", "IC-memsec", "IC-tee"},
+	}
+	var spHost, spSGX, ovISC float64
+	var n int
+	err := forEach(func(name string) error {
+		host, err := s.run(name, core.ModeHost, nil)
+		if err != nil {
+			return err
+		}
+		sgx, err := s.run(name, core.ModeHostSGX, nil)
+		if err != nil {
+			return err
+		}
+		isc, err := s.run(name, core.ModeISC, nil)
+		if err != nil {
+			return err
+		}
+		ice, err := s.run(name, core.ModeIceClave, nil)
+		if err != nil {
+			return err
+		}
+		norm := func(r core.Result) string {
+			return fmt.Sprintf("%.3f", float64(r.Total)/float64(host.Total))
+		}
+		ms := func(d sim.Duration) string { return fmt.Sprintf("%.2f", float64(d)/1e6) }
+		t.AddRow(name, "1.000", norm(sgx), norm(isc), norm(ice),
+			ms(ice.LoadTime), ms(ice.ComputeTime), ms(ice.SecurityTime), ms(ice.TEETime))
+		spHost += ice.SpeedupOver(host)
+		spSGX += ice.SpeedupOver(sgx)
+		ovISC += float64(ice.Total-isc.Total) / float64(isc.Total)
+		n++
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	fn := float64(n)
+	t.AddNote("IceClave vs Host: %.2fx avg speedup (paper: 2.31x)", spHost/fn)
+	t.AddNote("IceClave vs Host+SGX: %.2fx avg speedup (paper: 2.38x)", spSGX/fn)
+	t.AddNote("IceClave overhead vs ISC: %s avg (paper: 7.6%%)", stats.Pct(ovISC/fn))
+	return t, nil
+}
+
+// channelSweep runs the channel-count sensitivity for the given baseline.
+func (s *Suite) channelSweep(id, title string, baseline core.Mode, invert bool) (*stats.Table, error) {
+	channels := []int{4, 8, 16, 32}
+	header := []string{"Workload"}
+	for _, ch := range channels {
+		header = append(header, fmt.Sprintf("%d ch", ch))
+	}
+	t := &stats.Table{ID: id, Title: title, Header: header}
+	err := forEach(func(name string) error {
+		row := []any{name}
+		for _, ch := range channels {
+			base, err := s.run(name, baseline, func(c *core.Config) { c.Channels = ch })
+			if err != nil {
+				return err
+			}
+			ice, err := s.run(name, core.ModeIceClave, func(c *core.Config) { c.Channels = ch })
+			if err != nil {
+				return err
+			}
+			v := ice.SpeedupOver(base)
+			if invert {
+				// Figure 13 plots IceClave relative to ISC (<=1).
+				row = append(row, fmt.Sprintf("%.3f", v))
+			} else {
+				row = append(row, stats.Ratio(v))
+			}
+		}
+		t.AddRow(row...)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Figure12 sweeps the internal bandwidth (channel count) against Host.
+func (s *Suite) Figure12() (*stats.Table, error) {
+	return s.channelSweep("Figure 12",
+		"IceClave speedup vs Host across flash channel counts", core.ModeHost, false)
+}
+
+// Figure13 sweeps the channel count against ISC (values <= 1; the gap is
+// IceClave's security overhead).
+func (s *Suite) Figure13() (*stats.Table, error) {
+	return s.channelSweep("Figure 13",
+		"IceClave performance normalized to ISC across channel counts", core.ModeISC, true)
+}
+
+// Figure14 sweeps the flash read latency from ultra-low-latency (10 µs)
+// to commodity TLC (110 µs), reporting speedup over Host.
+func (s *Suite) Figure14() (*stats.Table, error) {
+	lats := []int{10, 20, 50, 80, 110}
+	header := []string{"Workload"}
+	for _, l := range lats {
+		header = append(header, fmt.Sprintf("%dus", l))
+	}
+	t := &stats.Table{ID: "Figure 14", Title: "IceClave speedup vs Host across flash read latencies", Header: header}
+	err := forEach(func(name string) error {
+		row := []any{name}
+		for _, l := range lats {
+			mut := func(c *core.Config) { c.FlashTiming.ReadLatency = sim.Duration(l) * sim.Microsecond }
+			host, err := s.run(name, core.ModeHost, mut)
+			if err != nil {
+				return err
+			}
+			ice, err := s.run(name, core.ModeIceClave, mut)
+			if err != nil {
+				return err
+			}
+			row = append(row, stats.Ratio(ice.SpeedupOver(host)))
+		}
+		t.AddRow(row...)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Figure15 sweeps the in-storage processor model, reporting speedup over
+// the host baseline.
+func (s *Suite) Figure15() (*stats.Table, error) {
+	cores := []cpu.Core{cpu.CortexA77, cpu.CortexA72, cpu.CortexA72Slow, cpu.CortexA53}
+	header := []string{"Workload"}
+	for _, c := range cores {
+		header = append(header, c.Name)
+	}
+	t := &stats.Table{ID: "Figure 15", Title: "IceClave speedup vs Host across in-storage processors", Header: header}
+	err := forEach(func(name string) error {
+		host, err := s.run(name, core.ModeHost, nil)
+		if err != nil {
+			return err
+		}
+		row := []any{name}
+		for _, c := range cores {
+			c := c
+			ice, err := s.run(name, core.ModeIceClave, func(cf *core.Config) { cf.StorageCore = c })
+			if err != nil {
+				return err
+			}
+			row = append(row, stats.Ratio(ice.SpeedupOver(host)))
+		}
+		t.AddRow(row...)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Figure16 halves the controller DRAM. The paper's 32 GB datasets exceed
+// 4 GB of DRAM; at simulation scale the DRAM is set proportional to the
+// dataset (1.5x and 0.75x) to preserve the fits/does-not-fit relation.
+func (s *Suite) Figure16() (*stats.Table, error) {
+	t := &stats.Table{
+		ID:     "Figure 16",
+		Title:  "Impact of SSD DRAM capacity (normalized to ISC with large DRAM)",
+		Header: []string{"Workload", "ISC 4GB-eq", "IceClave 4GB-eq", "ISC 2GB-eq", "IceClave 2GB-eq"},
+	}
+	err := forEach(func(name string) error {
+		tr, err := s.Trace(name)
+		if err != nil {
+			return err
+		}
+		dataset := uint64(tr.SetupPages) * 4096
+		big := func(c *core.Config) { c.DRAMBytes = dataset*3/2 + (8 << 20) }
+		small := func(c *core.Config) { c.DRAMBytes = dataset*3/4 + (8 << 20) }
+		iscBig, err := s.run(name, core.ModeISC, big)
+		if err != nil {
+			return err
+		}
+		iceBig, err := s.run(name, core.ModeIceClave, big)
+		if err != nil {
+			return err
+		}
+		iscSmall, err := s.run(name, core.ModeISC, small)
+		if err != nil {
+			return err
+		}
+		iceSmall, err := s.run(name, core.ModeIceClave, small)
+		if err != nil {
+			return err
+		}
+		norm := func(r core.Result) string {
+			return fmt.Sprintf("%.3f", float64(iscBig.Total)/float64(r.Total))
+		}
+		t.AddRow(name, "1.000", norm(iceBig), norm(iscSmall), norm(iceSmall))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	t.AddNote("DRAM scaled with the dataset (1.5x / 0.75x) to preserve the capacity relation of 4GB/2GB vs 32GB data")
+	return t, nil
+}
+
+// multiTenant replays a mix concurrently and reports the mean normalized
+// performance (solo time / collocated time) across instances.
+func (s *Suite) multiTenant(id, title string, mixes [][]string) (*stats.Table, error) {
+	t := &stats.Table{ID: id, Title: title, Header: []string{"Mix", "Normalized perf"}}
+	for _, mix := range mixes {
+		var traces []*workload.Trace
+		var totalPages int64
+		for _, name := range mix {
+			tr, err := s.Trace(name)
+			if err != nil {
+				return nil, err
+			}
+			traces = append(traces, tr)
+			totalPages += int64(tr.SetupPages) + tr.Meter.PagesWritten + 1024
+		}
+		// Solo and collocated runs execute on identical hardware: the
+		// device is sized for the whole mix in both cases.
+		cfg := s.Config
+		cfg.MinFlashPages = totalPages
+		solo := make([]core.Result, len(mix))
+		for i, tr := range traces {
+			r, err := core.Run(tr, core.ModeIceClave, cfg)
+			if err != nil {
+				return nil, err
+			}
+			solo[i] = r
+		}
+		colo, err := core.RunMulti(traces, core.ModeIceClave, cfg)
+		if err != nil {
+			return nil, err
+		}
+		var sum float64
+		for i := range colo {
+			sum += float64(solo[i].Total) / float64(colo[i].Total)
+		}
+		t.AddRow(mixLabel(mix), fmt.Sprintf("%.3f", sum/float64(len(colo))))
+	}
+	return t, nil
+}
+
+// mixLabel abbreviates a workload mix the way the paper's x-axis does
+// (TC+AG, TB+H1+H3+H12, ...).
+func mixLabel(mix []string) string {
+	abbr := map[string]string{
+		"Arithmetic": "AR", "Aggregate": "AG", "Filter": "FI",
+		"TPC-H Q1": "H1", "TPC-H Q3": "H3", "TPC-H Q12": "H12",
+		"TPC-H Q14": "H14", "TPC-H Q19": "H19",
+		"TPC-B": "TB", "TPC-C": "TC", "Wordcount": "WC",
+	}
+	out := ""
+	for i, m := range mix {
+		if i > 0 {
+			out += "+"
+		}
+		out += abbr[m]
+	}
+	return out
+}
+
+// Figure17 collocates TPC-C with each other workload (two tenants).
+func (s *Suite) Figure17() (*stats.Table, error) {
+	mixes := [][]string{
+		{"TPC-C", "Aggregate"}, {"TPC-C", "Arithmetic"}, {"TPC-C", "Filter"},
+		{"TPC-C", "TPC-H Q1"}, {"TPC-C", "TPC-H Q3"}, {"TPC-C", "TPC-H Q12"},
+		{"TPC-C", "TPC-H Q14"}, {"TPC-C", "TPC-H Q19"}, {"TPC-C", "TPC-B"},
+	}
+	return s.multiTenant("Figure 17", "Two concurrent IceClave instances (normalized to solo)", mixes)
+}
+
+// Figure18 runs the paper's four-tenant mixes.
+func (s *Suite) Figure18() (*stats.Table, error) {
+	mixes := [][]string{
+		{"TPC-C", "Aggregate", "Arithmetic", "Filter"},
+		{"TPC-C", "TPC-H Q1", "TPC-H Q3", "TPC-H Q12"},
+		{"TPC-C", "TPC-H Q12", "TPC-H Q14", "TPC-H Q19"},
+		{"TPC-C", "TPC-B", "Aggregate", "TPC-H Q1"},
+		{"TPC-B", "Aggregate", "Arithmetic", "Filter"},
+		{"TPC-B", "TPC-H Q1", "TPC-H Q3", "TPC-H Q12"},
+		{"TPC-B", "TPC-H Q12", "TPC-H Q14", "TPC-H Q19"},
+		{"TPC-H Q1", "TPC-H Q3", "TPC-H Q12", "TPC-H Q14"},
+		{"TPC-H Q3", "TPC-H Q12", "TPC-H Q14", "TPC-H Q19"},
+	}
+	return s.multiTenant("Figure 18", "Four concurrent IceClave instances (normalized to solo)", mixes)
+}

@@ -1,0 +1,106 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§6). Each exported method of Suite produces one result as a
+// stats.Table; the per-experiment index in DESIGN.md maps paper artifacts
+// to these methods and to the benchmark targets in the repository root.
+package experiments
+
+import (
+	"fmt"
+
+	"iceclave/internal/core"
+	"iceclave/internal/stats"
+	"iceclave/internal/workload"
+)
+
+// Suite shares recorded workload traces across experiments so each
+// workload's functional execution happens once.
+type Suite struct {
+	Scale  workload.Scale
+	Config core.Config
+
+	traces map[string]*workload.Trace
+}
+
+// NewSuite returns a suite at the given scale with the given base device
+// configuration.
+func NewSuite(sc workload.Scale, cfg core.Config) *Suite {
+	return &Suite{Scale: sc, Config: cfg, traces: make(map[string]*workload.Trace)}
+}
+
+// DefaultSuite uses the experiment scale and Table 3 configuration.
+func DefaultSuite() *Suite {
+	return NewSuite(workload.SmallScale(), core.DefaultConfig())
+}
+
+// Trace records (or returns the cached) trace for the named workload.
+func (s *Suite) Trace(name string) (*workload.Trace, error) {
+	if tr, ok := s.traces[name]; ok {
+		return tr, nil
+	}
+	w, err := workload.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	tr, err := workload.Record(w, s.Scale, 4096)
+	if err != nil {
+		return nil, err
+	}
+	s.traces[name] = tr
+	return tr, nil
+}
+
+// run replays a workload under a mode with an optional config mutation.
+func (s *Suite) run(name string, mode core.Mode, mut func(*core.Config)) (core.Result, error) {
+	tr, err := s.Trace(name)
+	if err != nil {
+		return core.Result{}, err
+	}
+	cfg := s.Config
+	if mut != nil {
+		mut(&cfg)
+	}
+	return core.Run(tr, mode, cfg)
+}
+
+// forEach runs fn over the standard workload list, collecting errors.
+func forEach(fn func(name string) error) error {
+	for _, name := range workload.Names() {
+		if err := fn(name); err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// All regenerates every table and figure, in paper order.
+func (s *Suite) All() ([]*stats.Table, error) {
+	type gen struct {
+		name string
+		fn   func() (*stats.Table, error)
+	}
+	gens := []gen{
+		{"Table 1", s.Table1},
+		{"Table 3", func() (*stats.Table, error) { return s.Table3(), nil }},
+		{"Figure 5", s.Figure5},
+		{"Figure 8", s.Figure8},
+		{"Table 5", s.Table5},
+		{"Table 6", s.Table6},
+		{"Figure 11", s.Figure11},
+		{"Figure 12", s.Figure12},
+		{"Figure 13", s.Figure13},
+		{"Figure 14", s.Figure14},
+		{"Figure 15", s.Figure15},
+		{"Figure 16", s.Figure16},
+		{"Figure 17", s.Figure17},
+		{"Figure 18", s.Figure18},
+	}
+	var out []*stats.Table
+	for _, g := range gens {
+		t, err := g.fn()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", g.name, err)
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}

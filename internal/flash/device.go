@@ -1,0 +1,249 @@
+package flash
+
+import (
+	"fmt"
+
+	"iceclave/internal/sim"
+)
+
+// Timing holds the NAND command latencies and channel bandwidth. Defaults
+// follow Table 3 of the paper: tRD = 50 µs, tPROG = 300 µs, 600 MB/s per
+// channel. tERS uses a typical 3 ms block-erase figure (the paper does not
+// state it; GC cost is dominated by page movement for the read-intensive
+// workloads evaluated).
+type Timing struct {
+	ReadLatency      sim.Duration // array read (tRD), per page
+	ProgramLatency   sim.Duration // array program (tPROG), per page
+	EraseLatency     sim.Duration // block erase (tERS)
+	ChannelBandwidth float64      // bytes/sec of each channel bus
+}
+
+// DefaultTiming returns the Table 3 configuration.
+func DefaultTiming() Timing {
+	return Timing{
+		ReadLatency:      50 * sim.Microsecond,
+		ProgramLatency:   300 * sim.Microsecond,
+		EraseLatency:     3 * sim.Millisecond,
+		ChannelBandwidth: 600 * (1 << 20), // 600 MB/s
+	}
+}
+
+// PageState tracks the erase-before-write lifecycle of a flash page.
+type PageState uint8
+
+// Page lifecycle states.
+const (
+	PageFree    PageState = iota // erased, programmable
+	PageValid                    // programmed, holds live data
+	PageInvalid                  // programmed, data superseded; needs erase
+)
+
+// Stats aggregates device activity.
+type Stats struct {
+	Reads        int64
+	Programs     int64
+	Erases       int64
+	BytesRead    int64
+	BytesWritten int64
+}
+
+// Device is a simulated NAND flash array: functional page storage plus a
+// timing model with per-die command units and per-channel bus bandwidth.
+// All operations take an arrival time and return a completion time, so
+// callers compose the device into larger discrete-event simulations.
+//
+// Device is not safe for concurrent use; the simulator is single-threaded
+// by design (see package sim).
+type Device struct {
+	geo    Geometry
+	timing Timing
+
+	state      []PageState
+	eraseCount []int32
+	data       map[PPA][]byte // sparse payload store for programmed pages
+
+	dies  []*sim.Server // array reads, one unit per die
+	diesW []*sim.Server // programs/erases; modern controllers suspend
+	// in-flight programs for reads, so the read path does not queue
+	// behind the much slower program operations
+	channels []*sim.Server // bus serialization per channel
+
+	stats Stats
+}
+
+// NewDevice builds a device with the given geometry and timing. It returns
+// an error if the geometry is invalid.
+func NewDevice(geo Geometry, timing Timing) (*Device, error) {
+	if err := geo.Validate(); err != nil {
+		return nil, err
+	}
+	if timing.ChannelBandwidth <= 0 {
+		return nil, fmt.Errorf("flash: channel bandwidth must be positive, got %v", timing.ChannelBandwidth)
+	}
+	d := &Device{
+		geo:        geo,
+		timing:     timing,
+		state:      make([]PageState, geo.TotalPages()),
+		eraseCount: make([]int32, geo.TotalBlocks()),
+		data:       make(map[PPA][]byte),
+		dies:       make([]*sim.Server, geo.Dies()),
+		diesW:      make([]*sim.Server, geo.Dies()),
+		channels:   make([]*sim.Server, geo.Channels),
+	}
+	for i := range d.dies {
+		d.dies[i] = sim.NewServer(fmt.Sprintf("die%d", i), 1)
+		d.diesW[i] = sim.NewServer(fmt.Sprintf("die%dw", i), 1)
+	}
+	for i := range d.channels {
+		d.channels[i] = sim.NewServer(fmt.Sprintf("chan%d", i), 1)
+	}
+	return d, nil
+}
+
+// Geometry returns the device geometry.
+func (d *Device) Geometry() Geometry { return d.geo }
+
+// Timing returns the device timing parameters.
+func (d *Device) Timing() Timing { return d.timing }
+
+// Stats returns a copy of the activity counters.
+func (d *Device) Stats() Stats { return d.stats }
+
+// State returns the lifecycle state of page p.
+func (d *Device) State(p PPA) PageState { return d.state[p] }
+
+// EraseCount returns how many times p's block has been erased (the wear
+// figure used by wear leveling).
+func (d *Device) EraseCount(b BlockID) int { return int(d.eraseCount[b]) }
+
+func (d *Device) checkPPA(p PPA) error {
+	if int64(p) >= d.geo.TotalPages() {
+		return fmt.Errorf("flash: PPA %d out of range (%d pages)", p, d.geo.TotalPages())
+	}
+	return nil
+}
+
+// transferTime is the channel-bus time for one page.
+func (d *Device) transferTime() sim.Duration {
+	return sim.DurationForBytes(int64(d.geo.PageSize), d.timing.ChannelBandwidth)
+}
+
+// Read performs a page read arriving at time at: the die is busy for tRD,
+// then the page crosses the channel bus. It returns the completion time and
+// the stored payload (nil if the page was never programmed with data).
+// Reading a free page is a protocol error — the FTL must never map a live
+// LPA to an unwritten page.
+func (d *Device) Read(at sim.Time, p PPA) (done sim.Time, data []byte, err error) {
+	if err := d.checkPPA(p); err != nil {
+		return at, nil, err
+	}
+	if d.state[p] == PageFree {
+		return at, nil, fmt.Errorf("flash: read of free page %d", p)
+	}
+	_, arrayDone := d.dies[d.geo.DieIndex(p)].Acquire(at, d.timing.ReadLatency)
+	_, done = d.channels[d.geo.ChannelOf(p)].Acquire(arrayDone, d.transferTime())
+	d.stats.Reads++
+	d.stats.BytesRead += int64(d.geo.PageSize)
+	return done, d.data[p], nil
+}
+
+// Program writes data into page p (out-of-place write discipline: the page
+// must be in the free state). The payload crosses the channel bus first,
+// then the die is busy for tPROG. data may be nil for pure-timing callers;
+// a non-nil payload is copied and must not exceed the page size.
+func (d *Device) Program(at sim.Time, p PPA, data []byte) (done sim.Time, err error) {
+	if err := d.checkPPA(p); err != nil {
+		return at, err
+	}
+	if d.state[p] != PageFree {
+		return at, fmt.Errorf("flash: program of non-free page %d (state %d)", p, d.state[p])
+	}
+	if len(data) > d.geo.PageSize {
+		return at, fmt.Errorf("flash: payload %d bytes exceeds page size %d", len(data), d.geo.PageSize)
+	}
+	_, busDone := d.channels[d.geo.ChannelOf(p)].Acquire(at, d.transferTime())
+	_, done = d.diesW[d.geo.DieIndex(p)].Acquire(busDone, d.timing.ProgramLatency)
+	d.state[p] = PageValid
+	if data != nil {
+		d.data[p] = append([]byte(nil), data...)
+	}
+	d.stats.Programs++
+	d.stats.BytesWritten += int64(d.geo.PageSize)
+	return done, nil
+}
+
+// Invalidate marks a valid page as superseded. Only the FTL calls this,
+// when an LPA is rewritten elsewhere.
+func (d *Device) Invalidate(p PPA) error {
+	if err := d.checkPPA(p); err != nil {
+		return err
+	}
+	if d.state[p] != PageValid {
+		return fmt.Errorf("flash: invalidate of non-valid page %d (state %d)", p, d.state[p])
+	}
+	d.state[p] = PageInvalid
+	delete(d.data, p)
+	return nil
+}
+
+// Erase erases block b, returning every page to the free state. Erasing a
+// block that still holds valid pages is a data-loss bug in the caller, so
+// it is rejected.
+func (d *Device) Erase(at sim.Time, b BlockID) (done sim.Time, err error) {
+	if int64(b) >= d.geo.TotalBlocks() {
+		return at, fmt.Errorf("flash: block %d out of range", b)
+	}
+	first := d.geo.FirstPage(b)
+	for i := 0; i < d.geo.PagesPerBlock; i++ {
+		p := first + PPA(i)
+		if d.state[p] == PageValid {
+			return at, fmt.Errorf("flash: erase of block %d with valid page %d", b, p)
+		}
+	}
+	for i := 0; i < d.geo.PagesPerBlock; i++ {
+		p := first + PPA(i)
+		d.state[p] = PageFree
+		delete(d.data, p)
+	}
+	_, done = d.diesW[d.geo.DieIndex(first)].Acquire(at, d.timing.EraseLatency)
+	d.eraseCount[b]++
+	d.stats.Erases++
+	return done, nil
+}
+
+// ValidPages returns the number of valid pages in block b.
+func (d *Device) ValidPages(b BlockID) int {
+	first := d.geo.FirstPage(b)
+	n := 0
+	for i := 0; i < d.geo.PagesPerBlock; i++ {
+		if d.state[first+PPA(i)] == PageValid {
+			n++
+		}
+	}
+	return n
+}
+
+// ChannelBusy returns the accumulated busy time of channel ch, for
+// bandwidth-utilization reporting.
+func (d *Device) ChannelBusy(ch int) sim.Duration { return d.channels[ch].Busy() }
+
+// InternalBandwidth returns the aggregate internal bandwidth in bytes/sec
+// (channels x per-channel bandwidth) — the quantity Figure 12 sweeps.
+func (d *Device) InternalBandwidth() float64 {
+	return float64(d.geo.Channels) * d.timing.ChannelBandwidth
+}
+
+// ResetTiming clears the timing reservations and stats while keeping page
+// contents, letting one populated device serve several timing experiments.
+func (d *Device) ResetTiming() {
+	for _, s := range d.dies {
+		s.Reset()
+	}
+	for _, s := range d.diesW {
+		s.Reset()
+	}
+	for _, s := range d.channels {
+		s.Reset()
+	}
+	d.stats = Stats{}
+}

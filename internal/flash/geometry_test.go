@@ -1,0 +1,113 @@
+package flash
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func testGeometry() Geometry {
+	return Geometry{
+		Channels:        8,
+		ChipsPerChannel: 4,
+		DiesPerChip:     4,
+		PlanesPerDie:    2,
+		BlocksPerPlane:  16,
+		PagesPerBlock:   32,
+		PageSize:        4096,
+	}
+}
+
+func TestGeometryCounts(t *testing.T) {
+	g := testGeometry()
+	if g.Dies() != 128 {
+		t.Fatalf("dies = %d, want 128", g.Dies())
+	}
+	if g.Planes() != 256 {
+		t.Fatalf("planes = %d, want 256", g.Planes())
+	}
+	if g.TotalBlocks() != 256*16 {
+		t.Fatalf("blocks = %d", g.TotalBlocks())
+	}
+	if g.TotalPages() != 256*16*32 {
+		t.Fatalf("pages = %d", g.TotalPages())
+	}
+	if g.Capacity() != g.TotalPages()*4096 {
+		t.Fatalf("capacity = %d", g.Capacity())
+	}
+}
+
+func TestComposeDecomposeRoundTrip(t *testing.T) {
+	g := testGeometry()
+	for _, p := range []PPA{0, 1, 31, 32, 511, 512, PPA(g.TotalPages() - 1)} {
+		a := g.Decompose(p)
+		if got := g.Compose(a); got != p {
+			t.Fatalf("roundtrip %d -> %+v -> %d", p, a, got)
+		}
+	}
+}
+
+func TestDecomposeRanges(t *testing.T) {
+	g := testGeometry()
+	for p := PPA(0); int64(p) < g.TotalPages(); p += 977 { // stride over the space
+		a := g.Decompose(p)
+		if a.Channel < 0 || a.Channel >= g.Channels ||
+			a.Chip < 0 || a.Chip >= g.ChipsPerChannel ||
+			a.Die < 0 || a.Die >= g.DiesPerChip ||
+			a.Plane < 0 || a.Plane >= g.PlanesPerDie ||
+			a.Block < 0 || a.Block >= g.BlocksPerPlane ||
+			a.Page < 0 || a.Page >= g.PagesPerBlock {
+			t.Fatalf("decompose %d out of range: %+v", p, a)
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	g := testGeometry()
+	n := g.TotalPages()
+	f := func(raw uint32) bool {
+		p := PPA(int64(raw) % n)
+		return g.Compose(g.Decompose(p)) == p
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBlockOfAndFirstPage(t *testing.T) {
+	g := testGeometry()
+	p := PPA(3*32 + 7) // block 3, page 7
+	if b := g.BlockOf(p); b != 3 {
+		t.Fatalf("BlockOf = %d, want 3", b)
+	}
+	if fp := g.FirstPage(3); fp != 96 {
+		t.Fatalf("FirstPage = %d, want 96", fp)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	g := testGeometry()
+	if err := g.Validate(); err != nil {
+		t.Fatalf("valid geometry rejected: %v", err)
+	}
+	g.Channels = 0
+	if err := g.Validate(); err == nil {
+		t.Fatal("zero channels accepted")
+	}
+}
+
+func TestDieIndexDistinctPerDie(t *testing.T) {
+	g := testGeometry()
+	seen := map[int]bool{}
+	// First page of each plane of each die should map to a stable die index.
+	pagesPerPlane := g.PagesPerPlane()
+	for plane := int64(0); plane < int64(g.Planes()); plane++ {
+		idx := g.DieIndex(PPA(plane * pagesPerPlane))
+		if idx < 0 || idx >= g.Dies() {
+			t.Fatalf("die index %d out of range", idx)
+		}
+		seen[idx] = true
+	}
+	if len(seen) != g.Dies() {
+		t.Fatalf("found %d distinct dies, want %d", len(seen), g.Dies())
+	}
+}

@@ -1,0 +1,65 @@
+package ftl
+
+import (
+	"testing"
+
+	"iceclave/internal/sim"
+)
+
+func TestMappingCacheSequentialScanMissRate(t *testing.T) {
+	// A sequential scan should miss once per mapping page: with 512
+	// entries per 4KB page the miss rate is ~1/512 = 0.195%, the order of
+	// the 0.17% figure in paper §6.3.
+	m := NewMappingCache(1<<20, 4096)
+	if m.EntriesPerPage() != 512 {
+		t.Fatalf("entries per page = %d, want 512", m.EntriesPerPage())
+	}
+	for l := LPA(0); l < 100_000; l++ {
+		m.Lookup(l)
+	}
+	s := m.Stats()
+	missRate := 1 - s.HitRate()
+	if missRate < 0.001 || missRate > 0.003 {
+		t.Fatalf("sequential scan miss rate = %v, want ~0.002", missRate)
+	}
+}
+
+func TestMappingCacheThrashingWhenSmall(t *testing.T) {
+	// Random lookups over a space far larger than the CMT must mostly miss.
+	m := NewMappingCache(64*1024, 4096) // 16 mapping pages resident
+	rng := sim.NewRNG(1)
+	for i := 0; i < 50_000; i++ {
+		m.Lookup(LPA(rng.Intn(1 << 22)))
+	}
+	if hr := m.Stats().HitRate(); hr > 0.1 {
+		t.Fatalf("thrashing CMT hit rate = %v, want < 0.1", hr)
+	}
+}
+
+func TestMappingCacheUpdateDirties(t *testing.T) {
+	m := NewMappingCache(64*1024, 4096)
+	m.Update(0)
+	if hit := m.Lookup(0); !hit {
+		t.Fatal("updated mapping page not resident")
+	}
+}
+
+func TestMappingCacheResetStats(t *testing.T) {
+	m := NewMappingCache(64*1024, 4096)
+	m.Lookup(0)
+	m.ResetStats()
+	s := m.Stats()
+	if s.Hits+s.Misses != 0 {
+		t.Fatal("stats not cleared")
+	}
+	if !m.Lookup(0) {
+		t.Fatal("residency lost on stats reset")
+	}
+}
+
+func TestMissCostTotal(t *testing.T) {
+	c := MissCost{WorldSwitch: 3800 * sim.Nanosecond, FlashFetch: 50 * sim.Microsecond}
+	if c.Total() != 53800*sim.Nanosecond {
+		t.Fatalf("total = %v", c.Total())
+	}
+}

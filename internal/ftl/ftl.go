@@ -1,0 +1,475 @@
+// Package ftl implements the flash translation layer of the IceClave SSD
+// model: page-level logical-to-physical mapping with per-entry TEE ID bits
+// (paper §4.3), out-of-place writes striped across channels, greedy garbage
+// collection, wear-aware block allocation, and a demand-cached mapping
+// table (CMT) in the DFTL style that IceClave places in the protected
+// memory region (paper §4.2).
+package ftl
+
+import (
+	"errors"
+	"fmt"
+
+	"iceclave/internal/flash"
+	"iceclave/internal/sim"
+)
+
+// LPA is a logical page address: the page index in the linear logical
+// space exposed to hosts and in-storage programs.
+type LPA uint32
+
+// TEEID identifies the in-storage TEE owning a mapping entry. The paper
+// uses 4 ID bits per 8-byte entry (6.25% table overhead); IDNone marks
+// entries not owned by any TEE.
+type TEEID uint8
+
+// MaxTEEID is the largest representable owner ID (4 bits).
+const MaxTEEID TEEID = 15
+
+// IDNone marks an entry with no TEE owner; such pages are accessible only
+// through the secure world (host I/O path).
+const IDNone TEEID = 0
+
+// entry packs a mapping-table entry the way the paper describes its 8-byte
+// entries: physical page address, 4 ID bits, and a valid bit.
+type entry struct {
+	ppa   flash.PPA
+	id    TEEID
+	valid bool
+}
+
+// ErrUnmapped is returned when reading an LPA that was never written.
+var ErrUnmapped = errors.New("ftl: unmapped LPA")
+
+// ErrAccessDenied is returned when a TEE touches an entry it does not own.
+var ErrAccessDenied = errors.New("ftl: mapping entry access denied")
+
+// ErrDeviceFull is returned when no free page can be found even after GC.
+var ErrDeviceFull = errors.New("ftl: device full")
+
+// Config tunes FTL policy.
+type Config struct {
+	// OverProvision is the fraction of raw capacity hidden from the
+	// logical space and kept for GC headroom. Default 0.125.
+	OverProvision float64
+	// GCFreeBlockLow is the per-channel free-block threshold that triggers
+	// garbage collection. Default 2.
+	GCFreeBlockLow int
+	// WearDelta is the max allowed spread between block erase counts
+	// before allocation steers to the least-worn candidates. Default 8.
+	WearDelta int
+}
+
+func (c *Config) applyDefaults() {
+	if c.OverProvision <= 0 || c.OverProvision >= 1 {
+		c.OverProvision = 0.125
+	}
+	if c.GCFreeBlockLow <= 0 {
+		c.GCFreeBlockLow = 2
+	}
+	if c.WearDelta <= 0 {
+		c.WearDelta = 8
+	}
+}
+
+// Stats aggregates FTL activity.
+type Stats struct {
+	HostWrites   int64 // pages written by callers
+	GCWrites     int64 // pages moved by garbage collection
+	GCRuns       int64
+	Erases       int64
+	Translations int64
+}
+
+// WriteAmplification returns (host + GC writes) / host writes.
+func (s Stats) WriteAmplification() float64 {
+	if s.HostWrites == 0 {
+		return 0
+	}
+	return float64(s.HostWrites+s.GCWrites) / float64(s.HostWrites)
+}
+
+// dieState tracks one die's free-block pool and active (partially
+// programmed) block within a channel.
+type dieState struct {
+	freeBlocks  []flash.BlockID
+	activeBlock flash.BlockID
+	nextPage    int // next free page index within activeBlock
+	hasActive   bool
+}
+
+// channelState holds the per-die allocators of one channel plus a
+// round-robin cursor. Striping consecutive writes across dies is what
+// lets reads exploit die-level parallelism behind one channel bus.
+type channelState struct {
+	dies []dieState
+	rr   int
+}
+
+func (cs *channelState) freeTotal() int {
+	n := 0
+	for i := range cs.dies {
+		n += len(cs.dies[i].freeBlocks)
+	}
+	return n
+}
+
+// FTL is the flash translation layer. It owns the device's block
+// allocation, the logical-to-physical mapping table, and the TEE ID bits.
+// Like the rest of the simulator it is single-threaded.
+type FTL struct {
+	dev *flash.Device
+	geo flash.Geometry
+	cfg Config
+
+	table   []entry // indexed by LPA
+	reverse []LPA   // PPA -> LPA for GC relocation; InvalidLPA when free
+	chans   []channelState
+
+	logicalPages int64
+	stats        Stats
+}
+
+// invalidLPA marks an unused reverse-map slot.
+const invalidLPA = ^LPA(0)
+
+// New builds an FTL over dev. Every block starts free.
+func New(dev *flash.Device, cfg Config) *FTL {
+	cfg.applyDefaults()
+	geo := dev.Geometry()
+	logical := int64(float64(geo.TotalPages()) * (1 - cfg.OverProvision))
+	f := &FTL{
+		dev:          dev,
+		geo:          geo,
+		cfg:          cfg,
+		table:        make([]entry, logical),
+		reverse:      make([]LPA, geo.TotalPages()),
+		chans:        make([]channelState, geo.Channels),
+		logicalPages: logical,
+	}
+	for i := range f.reverse {
+		f.reverse[i] = invalidLPA
+	}
+	// Distribute blocks to per-die pools within their channels.
+	diesPerChannel := geo.ChipsPerChannel * geo.DiesPerChip
+	for ch := range f.chans {
+		f.chans[ch].dies = make([]dieState, diesPerChannel)
+	}
+	for b := flash.BlockID(0); int64(b) < geo.TotalBlocks(); b++ {
+		first := geo.FirstPage(b)
+		ch := geo.ChannelOf(first)
+		die := geo.DieIndex(first) % diesPerChannel
+		ds := &f.chans[ch].dies[die]
+		ds.freeBlocks = append(ds.freeBlocks, b)
+	}
+	return f
+}
+
+// LogicalPages returns the number of LPAs exposed.
+func (f *FTL) LogicalPages() int64 { return f.logicalPages }
+
+// LogicalBytes returns the logical capacity in bytes.
+func (f *FTL) LogicalBytes() int64 { return f.logicalPages * int64(f.geo.PageSize) }
+
+// Device returns the underlying flash device.
+func (f *FTL) Device() *flash.Device { return f.dev }
+
+// Stats returns a copy of the activity counters.
+func (f *FTL) Stats() Stats { return f.stats }
+
+func (f *FTL) checkLPA(l LPA) error {
+	if int64(l) >= f.logicalPages {
+		return fmt.Errorf("ftl: LPA %d out of range (%d logical pages)", l, f.logicalPages)
+	}
+	return nil
+}
+
+// Translate returns the physical page backing l. It does not check ID
+// bits; use TranslateFor on the TEE path.
+func (f *FTL) Translate(l LPA) (flash.PPA, error) {
+	if err := f.checkLPA(l); err != nil {
+		return flash.InvalidPPA, err
+	}
+	f.stats.Translations++
+	e := f.table[l]
+	if !e.valid {
+		return flash.InvalidPPA, ErrUnmapped
+	}
+	return e.ppa, nil
+}
+
+// TranslateFor is the permission-checked translation used by in-storage
+// TEEs reading the shared mapping table: the entry's ID bits must match the
+// caller's TEE ID (paper §4.3).
+func (f *FTL) TranslateFor(l LPA, id TEEID) (flash.PPA, error) {
+	if err := f.checkLPA(l); err != nil {
+		return flash.InvalidPPA, err
+	}
+	f.stats.Translations++
+	e := f.table[l]
+	if !e.valid {
+		return flash.InvalidPPA, ErrUnmapped
+	}
+	if e.id != id {
+		return flash.InvalidPPA, fmt.Errorf("%w: LPA %d owned by ID %d, caller ID %d", ErrAccessDenied, l, e.id, id)
+	}
+	return e.ppa, nil
+}
+
+// IDOf returns the TEE ID bits of l's entry.
+func (f *FTL) IDOf(l LPA) (TEEID, error) {
+	if err := f.checkLPA(l); err != nil {
+		return IDNone, err
+	}
+	return f.table[l].id, nil
+}
+
+// SetID sets the ID bits of l's entry. This is the FTL half of the
+// runtime's SetIDBits API and runs in the secure world.
+func (f *FTL) SetID(l LPA, id TEEID) error {
+	if err := f.checkLPA(l); err != nil {
+		return err
+	}
+	if id > MaxTEEID {
+		return fmt.Errorf("ftl: TEE ID %d exceeds 4 bits", id)
+	}
+	f.table[l].id = id
+	return nil
+}
+
+// ClearIDs resets the ID bits of every entry owned by id back to IDNone,
+// used when a TEE terminates and its ID is recycled.
+func (f *FTL) ClearIDs(id TEEID) {
+	for i := range f.table {
+		if f.table[i].id == id {
+			f.table[i].id = IDNone
+		}
+	}
+}
+
+// Read translates and reads l, returning the completion time and payload.
+func (f *FTL) Read(at sim.Time, l LPA) (done sim.Time, data []byte, err error) {
+	ppa, err := f.Translate(l)
+	if err != nil {
+		return at, nil, err
+	}
+	return f.dev.Read(at, ppa)
+}
+
+// Write performs an out-of-place write of l: it allocates a fresh page
+// (running GC first if the target channel is short on free blocks),
+// programs it, invalidates the old page, and updates the mapping. The ID
+// bits of the entry are preserved across rewrites.
+func (f *FTL) Write(at sim.Time, l LPA, data []byte) (done sim.Time, err error) {
+	if err := f.checkLPA(l); err != nil {
+		return at, err
+	}
+	ch := f.pickChannel(l)
+	at, err = f.ensureFree(at, ch)
+	if err != nil {
+		return at, err
+	}
+	ppa, err := f.allocate(ch)
+	if err != nil {
+		return at, err
+	}
+	done, err = f.dev.Program(at, ppa, data)
+	if err != nil {
+		return at, err
+	}
+	old := f.table[l]
+	if old.valid {
+		if err := f.dev.Invalidate(old.ppa); err != nil {
+			return done, err
+		}
+		f.reverse[old.ppa] = invalidLPA
+	}
+	f.table[l] = entry{ppa: ppa, id: old.id, valid: true}
+	f.reverse[ppa] = l
+	f.stats.HostWrites++
+	return done, nil
+}
+
+// pickChannel stripes logical pages across channels for parallelism.
+func (f *FTL) pickChannel(l LPA) int { return int(uint32(l) % uint32(f.geo.Channels)) }
+
+// allocate hands out the next free page in ch, round-robining across the
+// channel's dies so consecutive writes stripe over die-level parallelism.
+// Within a die, allocation prefers the least-worn free block once wear
+// spread exceeds WearDelta.
+func (f *FTL) allocate(ch int) (flash.PPA, error) {
+	cs := &f.chans[ch]
+	n := len(cs.dies)
+	for tries := 0; tries < n; tries++ {
+		ds := &cs.dies[cs.rr%n]
+		cs.rr++
+		if !ds.hasActive || ds.nextPage >= f.geo.PagesPerBlock {
+			if len(ds.freeBlocks) == 0 {
+				continue // die exhausted; try the next one
+			}
+			idx := f.pickFreeBlock(ds)
+			ds.activeBlock = ds.freeBlocks[idx]
+			ds.freeBlocks = append(ds.freeBlocks[:idx], ds.freeBlocks[idx+1:]...)
+			ds.nextPage = 0
+			ds.hasActive = true
+		}
+		ppa := f.geo.FirstPage(ds.activeBlock) + flash.PPA(ds.nextPage)
+		ds.nextPage++
+		return ppa, nil
+	}
+	return flash.InvalidPPA, ErrDeviceFull
+}
+
+// pickFreeBlock implements the wear-leveling allocation policy: normally
+// FIFO, but when the erase-count spread across the die's free pool
+// exceeds WearDelta, pick the least-worn block so cold blocks absorb new
+// writes.
+func (f *FTL) pickFreeBlock(ds *dieState) int {
+	minIdx, minE, maxE := 0, int(^uint(0)>>1), 0
+	for i, b := range ds.freeBlocks {
+		e := f.dev.EraseCount(b)
+		if e < minE {
+			minE, minIdx = e, i
+		}
+		if e > maxE {
+			maxE = e
+		}
+	}
+	if maxE-minE > f.cfg.WearDelta {
+		return minIdx
+	}
+	return 0
+}
+
+// ensureFree runs garbage collection on ch until its free pool is above
+// the low-water mark or no further space can be reclaimed.
+func (f *FTL) ensureFree(at sim.Time, ch int) (sim.Time, error) {
+	for f.chans[ch].freeTotal() < f.cfg.GCFreeBlockLow {
+		done, reclaimed, err := f.collectChannel(at, ch)
+		if err != nil {
+			return at, err
+		}
+		if !reclaimed {
+			if f.chans[ch].freeTotal() == 0 {
+				return at, ErrDeviceFull
+			}
+			break
+		}
+		at = done
+	}
+	return at, nil
+}
+
+// collectChannel performs one greedy GC pass on ch: pick the non-free,
+// non-active block with the fewest valid pages, relocate them, erase it.
+func (f *FTL) collectChannel(at sim.Time, ch int) (done sim.Time, reclaimed bool, err error) {
+	victim, ok := f.pickVictim(ch)
+	if !ok {
+		return at, false, nil
+	}
+	f.stats.GCRuns++
+	// Relocate live pages.
+	first := f.geo.FirstPage(victim)
+	for i := 0; i < f.geo.PagesPerBlock; i++ {
+		src := first + flash.PPA(i)
+		if f.dev.State(src) != flash.PageValid {
+			continue
+		}
+		l := f.reverse[src]
+		if l == invalidLPA {
+			return at, false, fmt.Errorf("ftl: valid page %d with no reverse mapping", src)
+		}
+		readDone, data, err := f.dev.Read(at, src)
+		if err != nil {
+			return at, false, err
+		}
+		dst, err := f.allocate(ch)
+		if err != nil {
+			return at, false, err
+		}
+		progDone, err := f.dev.Program(readDone, dst, data)
+		if err != nil {
+			return at, false, err
+		}
+		if err := f.dev.Invalidate(src); err != nil {
+			return at, false, err
+		}
+		f.reverse[src] = invalidLPA
+		f.reverse[dst] = l
+		f.table[l].ppa = dst
+		f.stats.GCWrites++
+		at = progDone
+	}
+	done, err = f.dev.Erase(at, victim)
+	if err != nil {
+		return at, false, err
+	}
+	f.stats.Erases++
+	die := f.dieOf(victim)
+	ds := &f.chans[ch].dies[die]
+	ds.freeBlocks = append(ds.freeBlocks, victim)
+	return done, true, nil
+}
+
+// dieOf returns the channel-local die index of a block.
+func (f *FTL) dieOf(b flash.BlockID) int {
+	return f.geo.DieIndex(f.geo.FirstPage(b)) % (f.geo.ChipsPerChannel * f.geo.DiesPerChip)
+}
+
+// pickVictim selects the channel's fullest-of-invalid block: the non-free,
+// non-active block with the fewest valid pages, requiring at least one
+// invalid page so the erase reclaims space. Ties break toward the
+// least-erased block, which rotates erases evenly across the channel
+// instead of hammering the lowest-numbered fully-invalid block.
+func (f *FTL) pickVictim(ch int) (flash.BlockID, bool) {
+	cs := &f.chans[ch]
+	skip := make(map[flash.BlockID]bool)
+	for i := range cs.dies {
+		ds := &cs.dies[i]
+		for _, b := range ds.freeBlocks {
+			skip[b] = true
+		}
+		if ds.hasActive {
+			skip[ds.activeBlock] = true
+		}
+	}
+	best := flash.BlockID(-1)
+	bestValid := f.geo.PagesPerBlock + 1
+	bestErase := int(^uint(0) >> 1)
+	for b := flash.BlockID(0); int64(b) < f.geo.TotalBlocks(); b++ {
+		if f.geo.ChannelOf(f.geo.FirstPage(b)) != ch {
+			continue
+		}
+		if skip[b] {
+			continue
+		}
+		valid := f.dev.ValidPages(b)
+		if valid >= f.geo.PagesPerBlock { // nothing reclaimable
+			continue
+		}
+		erase := f.dev.EraseCount(b)
+		if valid < bestValid || (valid == bestValid && erase < bestErase) {
+			best, bestValid, bestErase = b, valid, erase
+		}
+	}
+	return best, best >= 0
+}
+
+// FreeBlocks returns the number of free blocks pooled on channel ch.
+func (f *FTL) FreeBlocks(ch int) int { return f.chans[ch].freeTotal() }
+
+// MaxEraseSpread returns max-min block erase counts, a wear-leveling
+// quality metric.
+func (f *FTL) MaxEraseSpread() int {
+	minE, maxE := int(^uint(0)>>1), 0
+	for b := flash.BlockID(0); int64(b) < f.geo.TotalBlocks(); b++ {
+		e := f.dev.EraseCount(b)
+		if e < minE {
+			minE = e
+		}
+		if e > maxE {
+			maxE = e
+		}
+	}
+	return maxE - minE
+}

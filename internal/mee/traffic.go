@@ -1,0 +1,318 @@
+package mee
+
+import (
+	"iceclave/internal/cache"
+	"iceclave/internal/sim"
+)
+
+// Mode selects the DRAM protection scheme for the traffic model, matching
+// the three bars of Figure 8.
+type Mode int
+
+// Protection modes.
+const (
+	// ModeNone disables memory encryption and verification (the
+	// "Non-Encryption" baseline, also what plain ISC runs).
+	ModeNone Mode = iota
+	// ModeSplit64 applies the state-of-the-art split-counter scheme
+	// (SC-64) to every page.
+	ModeSplit64
+	// ModeHybrid is IceClave's scheme: major-only counters for read-only
+	// pages, split counters for writable pages (paper §4.4).
+	ModeHybrid
+)
+
+// String names the mode as the paper does.
+func (m Mode) String() string {
+	switch m {
+	case ModeNone:
+		return "Non-Encryption"
+	case ModeSplit64:
+		return "SC-64"
+	default:
+		return "IceClave"
+	}
+}
+
+// Metadata address-space bases. Counter blocks, line MACs, and tree nodes
+// live in disjoint regions of a virtual metadata space so they contend for
+// the counter cache realistically.
+const (
+	ctrBase  = uint64(1) << 40
+	macBase  = uint64(1) << 41
+	treeBase = uint64(1) << 42
+)
+
+// roPagesPerCounterLine is the Figure 7(a) packing: a 64-byte counter line
+// holds eight 64-bit major counters, each covering one read-only 4 KB page.
+const roPagesPerCounterLine = 8
+
+// macsPerLine is the packing of 8-byte line MACs into a 64-byte line.
+const macsPerLine = 8
+
+// treeFanout is the arity of the Bonsai Merkle Tree over counter lines.
+const treeFanout = 8
+
+// TrafficConfig parameterizes the traffic model.
+type TrafficConfig struct {
+	Mode              Mode
+	CounterCacheBytes uint64       // default 128 KB (paper §5)
+	DRAMLatency       sim.Duration // cost charged per extra metadata access
+	EncryptLatency    sim.Duration // pipeline latency per protected write (Table 5: 102.6 ns)
+	VerifyLatency     sim.Duration // pipeline latency per protected read (Table 5: 151.2 ns)
+	// SampleWeight declares that each Access call stands for this many
+	// real accesses (trace sampling). Data counts and minor-counter
+	// advancement scale by it; metadata miss events do not, because a
+	// sampled-but-sparser stream still misses each metadata line once.
+	SampleWeight int
+}
+
+// DefaultTrafficConfig returns the paper's parameters for the given mode.
+func DefaultTrafficConfig(mode Mode) TrafficConfig {
+	return TrafficConfig{
+		Mode:              mode,
+		CounterCacheBytes: 128 << 10,
+		DRAMLatency:       30 * sim.Nanosecond,
+		EncryptLatency:    103 * sim.Nanosecond, // Table 5: 102.6 ns, rounded to the ns tick
+		VerifyLatency:     151 * sim.Nanosecond, // Table 5: 151.2 ns
+	}
+}
+
+// TrafficStats separates regular DRAM traffic from the extra accesses
+// caused by encryption counters and by integrity metadata — the two
+// columns of Table 6.
+type TrafficStats struct {
+	DataReads  int64
+	DataWrites int64
+
+	EncExtraReads  int64 // counter-block fetches
+	EncExtraWrites int64 // counter writebacks + re-encryption traffic
+	VerExtraReads  int64 // MAC and tree-node fetches
+	VerExtraWrites int64 // MAC and tree-node writebacks
+
+	Reencryptions int64 // minor-counter overflow events
+}
+
+// DataAccesses returns the regular traffic volume.
+func (s TrafficStats) DataAccesses() int64 { return s.DataReads + s.DataWrites }
+
+// EncryptionOverhead returns extra encryption traffic as a fraction of
+// regular traffic (Table 6 "Encryption" column).
+func (s TrafficStats) EncryptionOverhead() float64 {
+	if s.DataAccesses() == 0 {
+		return 0
+	}
+	return float64(s.EncExtraReads+s.EncExtraWrites) / float64(s.DataAccesses())
+}
+
+// VerificationOverhead returns extra integrity traffic as a fraction of
+// regular traffic (Table 6 "Integrity Verification" column).
+func (s TrafficStats) VerificationOverhead() float64 {
+	if s.DataAccesses() == 0 {
+		return 0
+	}
+	return float64(s.VerExtraReads+s.VerExtraWrites) / float64(s.DataAccesses())
+}
+
+// TrafficModel is the statistical counter-cache simulation driven by the
+// timing experiments. Feed it the stream of DRAM accesses an in-storage
+// program makes; it simulates the 128 KB counter cache over counter
+// blocks, line MACs, and tree nodes, and reports the extra traffic and
+// latency the protection scheme costs.
+type TrafficModel struct {
+	cfg      TrafficConfig
+	meta     *cache.Cache     // shared metadata cache (counters, MACs, tree nodes)
+	writable map[uint64]bool  // page index -> writable (default read-only)
+	minors   map[uint64]uint8 // data line index -> write count within major epoch
+	stats    TrafficStats
+}
+
+// NewTrafficModel builds a model from cfg, applying defaults for zero
+// fields.
+func NewTrafficModel(cfg TrafficConfig) *TrafficModel {
+	def := DefaultTrafficConfig(cfg.Mode)
+	if cfg.CounterCacheBytes == 0 {
+		cfg.CounterCacheBytes = def.CounterCacheBytes
+	}
+	if cfg.DRAMLatency == 0 {
+		cfg.DRAMLatency = def.DRAMLatency
+	}
+	if cfg.EncryptLatency == 0 {
+		cfg.EncryptLatency = def.EncryptLatency
+	}
+	if cfg.VerifyLatency == 0 {
+		cfg.VerifyLatency = def.VerifyLatency
+	}
+	if cfg.SampleWeight < 1 {
+		cfg.SampleWeight = 1
+	}
+	return &TrafficModel{
+		cfg:      cfg,
+		meta:     cache.New("counter-cache", cfg.CounterCacheBytes, LineSize, 8),
+		writable: make(map[uint64]bool),
+		minors:   make(map[uint64]uint8),
+	}
+}
+
+// Mode returns the protection scheme in effect.
+func (t *TrafficModel) Mode() Mode { return t.cfg.Mode }
+
+// Stats returns a copy of the traffic counters.
+func (t *TrafficModel) Stats() TrafficStats { return t.stats }
+
+// CounterCacheStats exposes the metadata cache's hit statistics.
+func (t *TrafficModel) CounterCacheStats() cache.Stats { return t.meta.Stats() }
+
+// SetPageWritable marks a page writable (true) or read-only (false). The
+// paper's runtime marks input regions read-only and intermediate-data
+// regions writable; transitions mid-run are allowed (§4.4 dynamic
+// permission changes).
+func (t *TrafficModel) SetPageWritable(page uint64, w bool) {
+	if w {
+		t.writable[page] = true
+	} else {
+		delete(t.writable, page)
+	}
+}
+
+// pageWritable reports whether a page currently takes the split-counter
+// path. Under SC-64 every page does.
+func (t *TrafficModel) pageWritable(page uint64) bool {
+	if t.cfg.Mode == ModeSplit64 {
+		return true
+	}
+	return t.writable[page]
+}
+
+// touchMeta accesses one metadata line through the counter cache and
+// charges the extra traffic to enc (true) or ver (false) accounting.
+func (t *TrafficModel) touchMeta(addr uint64, write, enc bool) (extra sim.Duration) {
+	hit, ev, evicted := t.meta.Access(addr, write)
+	if !hit {
+		if enc {
+			t.stats.EncExtraReads++
+		} else {
+			t.stats.VerExtraReads++
+		}
+		extra += t.cfg.DRAMLatency
+	}
+	if evicted && ev.Dirty {
+		// Dirty metadata writeback: attribute by the evicted line's space.
+		if ev.Addr >= macBase {
+			t.stats.VerExtraWrites++
+		} else {
+			t.stats.EncExtraWrites++
+		}
+		extra += t.cfg.DRAMLatency
+	}
+	return extra
+}
+
+// counterLine returns the metadata address of the counter block covering
+// page under the current scheme.
+func (t *TrafficModel) counterLine(page uint64) uint64 {
+	if t.cfg.Mode == ModeHybrid && !t.pageWritable(page) {
+		// Major-only: 8 read-only pages share one counter line.
+		return ctrBase + page/roPagesPerCounterLine*LineSize
+	}
+	// Split counters: one 64-byte counter line per 4 KB page.
+	return ctrBase + page*LineSize
+}
+
+// treeWalk touches the BMT path above a counter line, stopping early on a
+// cache hit the way a real verifier stops at a verified ancestor.
+func (t *TrafficModel) treeWalk(ctrAddr uint64, write bool) (extra sim.Duration) {
+	idx := (ctrAddr - ctrBase) / LineSize
+	for level := 0; idx > 0 && level < 8; level++ {
+		idx /= treeFanout
+		nodeAddr := treeBase + uint64(level)<<36 + idx*LineSize
+		hit, ev, evicted := t.meta.Access(nodeAddr, write)
+		if evicted && ev.Dirty {
+			t.stats.VerExtraWrites++
+			extra += t.cfg.DRAMLatency
+		}
+		if hit && !write {
+			break // verified ancestor found
+		}
+		if !hit {
+			t.stats.VerExtraReads++
+			extra += t.cfg.DRAMLatency
+		}
+	}
+	return extra
+}
+
+// Access records one 64-byte data access by the protected program and
+// returns the extra latency the protection scheme adds to it. addr is the
+// data address; write selects the encrypt (write-back) or verify (fill)
+// path.
+func (t *TrafficModel) Access(addr uint64, write bool) (extra sim.Duration) {
+	w := uint8(t.cfg.SampleWeight)
+	if write {
+		t.stats.DataWrites += int64(w)
+	} else {
+		t.stats.DataReads += int64(w)
+	}
+	if t.cfg.Mode == ModeNone {
+		return 0
+	}
+	page := addr / PageSize
+	line := addr / LineSize
+	wrPage := t.pageWritable(page)
+
+	// Counter fetch (encryption metadata).
+	ctrAddr := t.counterLine(page)
+	extra += t.touchMeta(ctrAddr, write, true)
+
+	// Integrity tree walk over the counter space.
+	extra += t.treeWalk(ctrAddr, write)
+
+	// Line MACs: writable pages carry one 8-byte MAC per line (packed 8
+	// per metadata line). Read-only pages under the hybrid scheme fold
+	// verification into the counter tree at page granularity (Figure 7a),
+	// so they need no per-line MAC fetch.
+	if wrPage {
+		macAddr := macBase + line/macsPerLine*LineSize
+		extra += t.touchMeta(macAddr, write, false)
+	}
+
+	// Minor-counter overflow on writes: the 6-bit counter wraps after 63
+	// bumps, forcing a page re-encryption (read+write every line).
+	if write && wrPage {
+		m := int(t.minors[line]) + int(w)
+		for m >= MinorLimit-1 {
+			m -= MinorLimit - 1
+			t.stats.Reencryptions++
+			t.stats.EncExtraReads += LinesPerPage
+			t.stats.EncExtraWrites += LinesPerPage
+			extra += sim.Duration(2*LinesPerPage) * t.cfg.DRAMLatency
+			// Reset the page's minors.
+			base := page * LinesPerPage
+			for i := uint64(0); i < LinesPerPage; i++ {
+				delete(t.minors, base+i)
+			}
+		}
+		t.minors[line] = uint8(m)
+	}
+
+	// Exposed latency of the crypto units: the AES pad generation and MAC
+	// check pipeline under DRAM access latency and stay hidden on
+	// metadata hits; only accesses that had to fetch metadata expose the
+	// Table 5 per-operation latency.
+	if extra > 0 {
+		if write {
+			extra += t.cfg.EncryptLatency
+		} else {
+			extra += t.cfg.VerifyLatency
+		}
+	}
+	return extra
+}
+
+// Reset clears all model state and statistics.
+func (t *TrafficModel) Reset() {
+	t.meta = cache.New("counter-cache", t.cfg.CounterCacheBytes, LineSize, 8)
+	t.writable = make(map[uint64]bool)
+	t.minors = make(map[uint64]uint8)
+	t.stats = TrafficStats{}
+}

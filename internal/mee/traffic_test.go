@@ -1,0 +1,161 @@
+package mee
+
+import (
+	"testing"
+
+	"iceclave/internal/sim"
+)
+
+func TestModeNoneNoOverhead(t *testing.T) {
+	m := NewTrafficModel(TrafficConfig{Mode: ModeNone})
+	for i := uint64(0); i < 1000; i++ {
+		if extra := m.Access(i*LineSize, i%4 == 0); extra != 0 {
+			t.Fatal("ModeNone charged extra latency")
+		}
+	}
+	s := m.Stats()
+	if s.EncryptionOverhead() != 0 || s.VerificationOverhead() != 0 {
+		t.Fatalf("ModeNone has overhead: %+v", s)
+	}
+	if s.DataAccesses() != 1000 {
+		t.Fatalf("data accesses = %d", s.DataAccesses())
+	}
+}
+
+// scanStream models a sequential read of n bytes of read-only input.
+func scanStream(m *TrafficModel, n uint64) {
+	for addr := uint64(0); addr < n; addr += LineSize {
+		m.Access(addr, false)
+	}
+}
+
+func TestHybridBeatsSplitOnReadOnlyScan(t *testing.T) {
+	// The Figure 8 mechanism: for read-intensive workloads the hybrid
+	// scheme packs 8x more counters per cache line and skips per-line MAC
+	// fetches on read-only pages, so its extra traffic must be well below
+	// SC-64's.
+	const bytes = 64 << 20
+	hy := NewTrafficModel(TrafficConfig{Mode: ModeHybrid})
+	sc := NewTrafficModel(TrafficConfig{Mode: ModeSplit64})
+	scanStream(hy, bytes)
+	scanStream(sc, bytes)
+	h, s := hy.Stats(), sc.Stats()
+	if h.EncryptionOverhead() >= s.EncryptionOverhead() {
+		t.Fatalf("hybrid enc overhead %v not below SC-64 %v",
+			h.EncryptionOverhead(), s.EncryptionOverhead())
+	}
+	if h.VerificationOverhead() >= s.VerificationOverhead() {
+		t.Fatalf("hybrid ver overhead %v not below SC-64 %v",
+			h.VerificationOverhead(), s.VerificationOverhead())
+	}
+}
+
+func TestReadOnlyScanOverheadSmall(t *testing.T) {
+	// Sequential read-only scans in hybrid mode should stay in the
+	// low-single-digit percent range, the order of Table 6's TPC-H rows.
+	m := NewTrafficModel(TrafficConfig{Mode: ModeHybrid})
+	scanStream(m, 64<<20)
+	s := m.Stats()
+	if ov := s.EncryptionOverhead(); ov > 0.05 {
+		t.Fatalf("read-only scan encryption overhead = %v, want < 5%%", ov)
+	}
+	if ov := s.VerificationOverhead(); ov > 0.05 {
+		t.Fatalf("read-only scan verification overhead = %v, want < 5%%", ov)
+	}
+}
+
+func TestWriteHeavyCostsMore(t *testing.T) {
+	// Write-intensive streams (Wordcount-like) must show much higher
+	// overhead than read-only scans — the Table 6 spread.
+	ro := NewTrafficModel(TrafficConfig{Mode: ModeHybrid})
+	scanStream(ro, 8<<20)
+	wr := NewTrafficModel(TrafficConfig{Mode: ModeHybrid})
+	rng := sim.NewRNG(3)
+	const pages = 512
+	for p := uint64(0); p < pages; p++ {
+		wr.SetPageWritable(p, true)
+	}
+	for i := 0; i < (8<<20)/LineSize; i++ {
+		addr := uint64(rng.Int63n(pages * PageSize))
+		wr.Access(addr, rng.Bool(0.5))
+	}
+	roS, wrS := ro.Stats(), wr.Stats()
+	if wrS.EncryptionOverhead() <= 2*roS.EncryptionOverhead() {
+		t.Fatalf("write-heavy enc overhead %v not >> read-only %v",
+			wrS.EncryptionOverhead(), roS.EncryptionOverhead())
+	}
+}
+
+func TestMinorOverflowTriggersReencryption(t *testing.T) {
+	m := NewTrafficModel(TrafficConfig{Mode: ModeHybrid})
+	m.SetPageWritable(0, true)
+	for i := 0; i < MinorLimit+8; i++ {
+		m.Access(0, true) // hammer one line
+	}
+	if m.Stats().Reencryptions == 0 {
+		t.Fatal("minor-counter overflow never re-encrypted")
+	}
+}
+
+func TestExtraLatencyCharged(t *testing.T) {
+	m := NewTrafficModel(TrafficConfig{Mode: ModeHybrid})
+	extra := m.Access(0, false) // cold: counter miss + tree walk
+	if extra < m.cfg.VerifyLatency {
+		t.Fatalf("cold read extra = %v, below verify latency", extra)
+	}
+	extra2 := m.Access(64, false) // warm: same counter line
+	if extra2 >= extra {
+		t.Fatalf("warm read extra %v not below cold %v", extra2, extra)
+	}
+}
+
+func TestSC64TreatsAllPagesWritable(t *testing.T) {
+	m := NewTrafficModel(TrafficConfig{Mode: ModeSplit64})
+	// Never marked writable, but SC-64 still uses split counters: a
+	// per-page counter line, so two pages need two counter lines.
+	m.Access(0, false)
+	m.Access(PageSize, false)
+	if m.Stats().EncExtraReads < 2 {
+		t.Fatalf("SC-64 shared counter lines across pages: %+v", m.Stats())
+	}
+}
+
+func TestHybridSharesROCounterLines(t *testing.T) {
+	m := NewTrafficModel(TrafficConfig{Mode: ModeHybrid})
+	// 8 read-only pages share one counter line: first access misses, the
+	// other seven hit.
+	for p := uint64(0); p < 8; p++ {
+		m.Access(p*PageSize, false)
+	}
+	if got := m.Stats().EncExtraReads; got != 1 {
+		t.Fatalf("counter fetches for 8 RO pages = %d, want 1", got)
+	}
+}
+
+func TestDynamicPermissionChange(t *testing.T) {
+	m := NewTrafficModel(TrafficConfig{Mode: ModeHybrid})
+	m.Access(0, false) // read-only path
+	m.SetPageWritable(0, true)
+	if extra := m.Access(0, true); extra == 0 {
+		t.Fatal("write to now-writable page charged nothing")
+	}
+	m.SetPageWritable(0, false)
+	m.Access(0, false) // back on the read-only path; must not panic
+}
+
+func TestReset(t *testing.T) {
+	m := NewTrafficModel(TrafficConfig{Mode: ModeHybrid})
+	m.SetPageWritable(0, true)
+	m.Access(0, true)
+	m.Reset()
+	if m.Stats().DataAccesses() != 0 {
+		t.Fatal("stats survived reset")
+	}
+}
+
+func TestOverheadAccessorsEmpty(t *testing.T) {
+	var s TrafficStats
+	if s.EncryptionOverhead() != 0 || s.VerificationOverhead() != 0 {
+		t.Fatal("empty stats report overhead")
+	}
+}

@@ -1,0 +1,57 @@
+package mee
+
+import "testing"
+
+func TestSampleWeightScalesDataCounts(t *testing.T) {
+	m := NewTrafficModel(TrafficConfig{Mode: ModeHybrid, SampleWeight: 8})
+	for i := uint64(0); i < 100; i++ {
+		m.Access(i*LineSize, false)
+	}
+	if got := m.Stats().DataReads; got != 800 {
+		t.Fatalf("weighted data reads = %d, want 800", got)
+	}
+}
+
+func TestSampleWeightPreservesMissCounts(t *testing.T) {
+	// A sampled sequential stream touches the same counter lines as the
+	// full stream, so metadata miss counts must match between weight=1
+	// (full) and weight=8 (every 8th access).
+	full := NewTrafficModel(TrafficConfig{Mode: ModeHybrid, SampleWeight: 1})
+	const lines = 8192
+	for i := uint64(0); i < lines; i++ {
+		full.Access(i*LineSize, false)
+	}
+	sampled := NewTrafficModel(TrafficConfig{Mode: ModeHybrid, SampleWeight: 8})
+	for i := uint64(0); i < lines; i += 8 {
+		sampled.Access(i*LineSize, false)
+	}
+	f, s := full.Stats(), sampled.Stats()
+	if f.EncExtraReads != s.EncExtraReads {
+		t.Fatalf("counter fetches diverge: full=%d sampled=%d", f.EncExtraReads, s.EncExtraReads)
+	}
+	if f.DataReads != s.DataReads {
+		t.Fatalf("weighted data counts diverge: full=%d sampled=%d", f.DataReads, s.DataReads)
+	}
+}
+
+func TestSampleWeightAdvancesMinors(t *testing.T) {
+	// A weight-8 model hammering one line must overflow the 6-bit minor
+	// counter at (approximately) the same real write count as weight-1.
+	full := NewTrafficModel(TrafficConfig{Mode: ModeHybrid, SampleWeight: 1})
+	full.SetPageWritable(0, true)
+	for i := 0; i < 256; i++ {
+		full.Access(0, true)
+	}
+	sampled := NewTrafficModel(TrafficConfig{Mode: ModeHybrid, SampleWeight: 8})
+	sampled.SetPageWritable(0, true)
+	for i := 0; i < 256/8; i++ {
+		sampled.Access(0, true)
+	}
+	f, s := full.Stats().Reencryptions, sampled.Stats().Reencryptions
+	if f == 0 || s == 0 {
+		t.Fatalf("no overflows observed: full=%d sampled=%d", f, s)
+	}
+	if diff := f - s; diff < -1 || diff > 1 {
+		t.Fatalf("re-encryption counts diverge: full=%d sampled=%d", f, s)
+	}
+}

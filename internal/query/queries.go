@@ -1,0 +1,324 @@
+package query
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Program is an executable in-storage workload: it reads the stored
+// dataset through store, meters its work, and returns a deterministic
+// textual result for verification.
+type Program func(store Store, sd *StoredDataset, m *Meter) (string, error)
+
+// Q1 is TPC-H Query 1: pricing summary report. Scan lineitem with a
+// shipdate cutoff, group by (returnflag, linestatus), and compute sums and
+// averages.
+func Q1(store Store, sd *StoredDataset, m *Meter) (string, error) {
+	agg := NewAggregator(m, 4) // sum_qty, sum_base, sum_disc_price, sum_charge
+	sc := &Scanner{Store: store, Ref: sd.Lineitem, Meter: m}
+	cutoff := int64(Day2526 - 90)
+	err := sc.Scan(func(r Row) error {
+		m.AddInstr(InstrPredicate)
+		if r.Int(8) > cutoff { // l_shipdate
+			return nil
+		}
+		qty, price, disc, tax := r.Float(2), r.Float(3), r.Float(4), r.Float(5)
+		m.AddInstr(3 * InstrArith)
+		agg.Update(r.Str(6)+"|"+r.Str(7), qty, price, price*(1-disc), price*(1-disc)*(1+tax))
+		return nil
+	})
+	if err != nil {
+		return "", err
+	}
+	return renderAgg(agg, m), nil
+}
+
+// Q3 is TPC-H Query 3: shipping priority. Join customer (BUILDING
+// segment), orders (before a date), and lineitem (shipped after it), group
+// revenue by order, and return the top orders.
+func Q3(store Store, sd *StoredDataset, m *Meter) (string, error) {
+	const date = 1200 // mid-1995 in dataset days
+	// Build: qualifying customers.
+	custs := NewHashJoin(m)
+	sc := &Scanner{Store: store, Ref: sd.Customer, Meter: m}
+	if err := sc.Scan(func(r Row) error {
+		m.AddInstr(InstrPredicate)
+		if r.Str(1) == "BUILDING" {
+			custs.Build(r.Int(0), r)
+		}
+		return nil
+	}); err != nil {
+		return "", err
+	}
+	// Build: qualifying orders by orderkey, keyed for the lineitem probe.
+	orders := NewHashJoin(m)
+	sc = &Scanner{Store: store, Ref: sd.Orders, Meter: m}
+	if err := sc.Scan(func(r Row) error {
+		m.AddInstr(2 * InstrPredicate)
+		if r.Int(2) >= date { // o_orderdate
+			return nil
+		}
+		if len(custs.Probe(r.Int(1))) == 0 {
+			return nil
+		}
+		orders.Build(r.Int(0), r)
+		return nil
+	}); err != nil {
+		return "", err
+	}
+	// Probe lineitem, aggregate revenue per order.
+	agg := NewAggregator(m, 1)
+	sc = &Scanner{Store: store, Ref: sd.Lineitem, Meter: m}
+	if err := sc.Scan(func(r Row) error {
+		m.AddInstr(InstrPredicate)
+		if r.Int(8) <= date { // l_shipdate
+			return nil
+		}
+		if len(orders.Probe(r.Int(0))) == 0 {
+			return nil
+		}
+		m.AddInstr(2 * InstrArith)
+		agg.Update(fmt.Sprintf("%d", r.Int(0)), r.Float(3)*(1-r.Float(4)))
+		return nil
+	}); err != nil {
+		return "", err
+	}
+	// Top 10 by revenue.
+	type rev struct {
+		key string
+		v   float64
+	}
+	var revs []rev
+	agg.Each(func(key string, g *Agg) { revs = append(revs, rev{key, g.Sums[0]}) })
+	sort.Slice(revs, func(i, j int) bool {
+		if revs[i].v != revs[j].v {
+			return revs[i].v > revs[j].v
+		}
+		return revs[i].key < revs[j].key
+	})
+	if len(revs) > 10 {
+		revs = revs[:10]
+	}
+	var b strings.Builder
+	for _, r := range revs {
+		fmt.Fprintf(&b, "%s:%.2f\n", r.key, r.v)
+		m.RowsEmitted++
+	}
+	return b.String(), nil
+}
+
+// Q12 is TPC-H Query 12: shipping modes and order priority. Join lineitem
+// (shipmode MAIL/SHIP, date sanity conditions) with orders and count
+// high/low priority lines per mode.
+func Q12(store Store, sd *StoredDataset, m *Meter) (string, error) {
+	const year = 1095 // day range [1095, 1460): the "1995" window
+	orders := NewHashJoin(m)
+	sc := &Scanner{Store: store, Ref: sd.Orders, Meter: m}
+	if err := sc.Scan(func(r Row) error {
+		orders.Build(r.Int(0), r)
+		return nil
+	}); err != nil {
+		return "", err
+	}
+	agg := NewAggregator(m, 2) // high_count, low_count
+	sc = &Scanner{Store: store, Ref: sd.Lineitem, Meter: m}
+	if err := sc.Scan(func(r Row) error {
+		m.AddInstr(4 * InstrPredicate)
+		mode := r.Str(11)
+		if mode != "MAIL" && mode != "SHIP" {
+			return nil
+		}
+		commit, receipt, ship := r.Int(9), r.Int(10), r.Int(8)
+		if !(commit < receipt && ship < commit && receipt >= year && receipt < year+365) {
+			return nil
+		}
+		matches := orders.Probe(r.Int(0))
+		if len(matches) == 0 {
+			return nil
+		}
+		prio := matches[0].Str(4)
+		m.AddInstr(2 * InstrPredicate)
+		if prio == "1-URGENT" || prio == "2-HIGH" {
+			agg.Update(mode, 1, 0)
+		} else {
+			agg.Update(mode, 0, 1)
+		}
+		return nil
+	}); err != nil {
+		return "", err
+	}
+	return renderAgg(agg, m), nil
+}
+
+// Q14 is TPC-H Query 14: promotion effect. Join lineitem (one ship month)
+// with part and compute the promo revenue share.
+func Q14(store Store, sd *StoredDataset, m *Meter) (string, error) {
+	const month = 1065 // a 30-day window
+	parts := NewHashJoin(m)
+	sc := &Scanner{Store: store, Ref: sd.Part, Meter: m}
+	if err := sc.Scan(func(r Row) error {
+		parts.Build(r.Int(0), r)
+		return nil
+	}); err != nil {
+		return "", err
+	}
+	var promo, total float64
+	sc = &Scanner{Store: store, Ref: sd.Lineitem, Meter: m}
+	if err := sc.Scan(func(r Row) error {
+		m.AddInstr(2 * InstrPredicate)
+		ship := r.Int(8)
+		if ship < month || ship >= month+30 {
+			return nil
+		}
+		matches := parts.Probe(r.Int(1))
+		if len(matches) == 0 {
+			return nil
+		}
+		rev := r.Float(3) * (1 - r.Float(4))
+		m.AddInstr(3 * InstrArith)
+		total += rev
+		if strings.HasPrefix(matches[0].Str(2), "PROMO") {
+			promo += rev
+		}
+		return nil
+	}); err != nil {
+		return "", err
+	}
+	m.RowsEmitted++
+	if total == 0 {
+		return "promo_revenue:0.00\n", nil
+	}
+	return fmt.Sprintf("promo_revenue:%.2f\n", 100*promo/total), nil
+}
+
+// Q19 is TPC-H Query 19: discounted revenue. Join lineitem with part under
+// a disjunction of brand/container/quantity/size conditions.
+func Q19(store Store, sd *StoredDataset, m *Meter) (string, error) {
+	parts := NewHashJoin(m)
+	sc := &Scanner{Store: store, Ref: sd.Part, Meter: m}
+	if err := sc.Scan(func(r Row) error {
+		parts.Build(r.Int(0), r)
+		return nil
+	}); err != nil {
+		return "", err
+	}
+	var revenue float64
+	sc = &Scanner{Store: store, Ref: sd.Lineitem, Meter: m}
+	if err := sc.Scan(func(r Row) error {
+		m.AddInstr(3 * InstrPredicate)
+		if r.Str(12) != "DELIVER IN PERSON" {
+			return nil
+		}
+		mode := r.Str(11)
+		if mode != "AIR" && mode != "REG AIR" {
+			return nil
+		}
+		matches := parts.Probe(r.Int(1))
+		if len(matches) == 0 {
+			return nil
+		}
+		p := matches[0]
+		qty := r.Float(2)
+		size := p.Int(4)
+		m.AddInstr(9 * InstrPredicate)
+		ok := (p.Str(1) == "Brand#12" && strings.HasPrefix(p.Str(3), "SM") && qty >= 1 && qty <= 11 && size <= 5) ||
+			(p.Str(1) == "Brand#23" && strings.HasPrefix(p.Str(3), "MED") && qty >= 10 && qty <= 20 && size <= 10) ||
+			(p.Str(1) == "Brand#34" && strings.HasPrefix(p.Str(3), "LG") && qty >= 20 && qty <= 30 && size <= 15)
+		if ok {
+			m.AddInstr(2 * InstrArith)
+			revenue += r.Float(3) * (1 - r.Float(4))
+		}
+		return nil
+	}); err != nil {
+		return "", err
+	}
+	m.RowsEmitted++
+	return fmt.Sprintf("revenue:%.2f\n", revenue), nil
+}
+
+// Arithmetic is the synthetic operator workload of Table 4: a math
+// pipeline over every lineitem record.
+func Arithmetic(store Store, sd *StoredDataset, m *Meter) (string, error) {
+	var acc float64
+	var n int64
+	sc := &Scanner{Store: store, Ref: sd.Lineitem, Meter: m}
+	if err := sc.Scan(func(r Row) error {
+		m.AddInstr(6 * InstrArith)
+		acc += r.Float(3)*(1-r.Float(4))*(1+r.Float(5)) - r.Float(2)
+		if n++; n%1024 == 0 {
+			m.WriteBytes(64) // periodic spill of partial results
+		}
+		return nil
+	}); err != nil {
+		return "", err
+	}
+	m.RowsEmitted++
+	return fmt.Sprintf("arith:%.2f\n", acc), nil
+}
+
+// Aggregate is the synthetic aggregation workload: average a column over
+// the full table.
+func Aggregate(store Store, sd *StoredDataset, m *Meter) (string, error) {
+	var sum float64
+	var n int64
+	sc := &Scanner{Store: store, Ref: sd.Lineitem, Meter: m}
+	if err := sc.Scan(func(r Row) error {
+		m.AddInstr(2 * InstrArith)
+		sum += r.Float(3)
+		if n++; n%1024 == 0 {
+			m.WriteBytes(64) // periodic spill of the running aggregate
+		}
+		return nil
+	}); err != nil {
+		return "", err
+	}
+	m.RowsEmitted++
+	if n == 0 {
+		return "avg:0.00\n", nil
+	}
+	return fmt.Sprintf("avg:%.2f\n", sum/float64(n)), nil
+}
+
+// Filter is the synthetic selection workload: count records matching a
+// predicate.
+func Filter(store Store, sd *StoredDataset, m *Meter) (string, error) {
+	var hits int64
+	var n int64
+	sc := &Scanner{Store: store, Ref: sd.Lineitem, Meter: m}
+	if err := sc.Scan(func(r Row) error {
+		m.AddInstr(2 * InstrPredicate)
+		if r.Float(2) > 25 && r.Str(6) == "R" {
+			hits++
+			if n++; n%256 == 0 {
+				m.WriteBytes(64) // emit a block of matching row IDs
+			}
+		}
+		return nil
+	}); err != nil {
+		return "", err
+	}
+	m.RowsEmitted++
+	return fmt.Sprintf("hits:%d\n", hits), nil
+}
+
+// renderAgg formats an aggregator's groups deterministically.
+func renderAgg(agg *Aggregator, m *Meter) string {
+	type kv struct {
+		key string
+		g   *Agg
+	}
+	var all []kv
+	agg.Each(func(key string, g *Agg) { all = append(all, kv{key, g}) })
+	sort.Slice(all, func(i, j int) bool { return all[i].key < all[j].key })
+	var b strings.Builder
+	for _, e := range all {
+		fmt.Fprintf(&b, "%s:n=%d", e.key, e.g.Count)
+		for _, s := range e.g.Sums {
+			fmt.Fprintf(&b, ",%.2f", s)
+		}
+		b.WriteByte('\n')
+		m.RowsEmitted++
+	}
+	return b.String()
+}

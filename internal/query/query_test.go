@@ -1,0 +1,261 @@
+package query
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRowEncodeDecodeRoundTrip(t *testing.T) {
+	s := Schema{{Name: "a", Type: I64}, {Name: "b", Type: F64}, {Name: "c", Type: Str16}}
+	tab := NewTable("t", s)
+	r := NewRow(s)
+	r.SetInt(0, -42)
+	r.SetFloat(1, 3.25)
+	r.SetStr(2, "hello")
+	tab.Append(r)
+	buf := make([]byte, s.RowSize())
+	tab.EncodeRow(0, buf)
+	got := DecodeRow(s, buf)
+	if got.Int(0) != -42 || got.Float(1) != 3.25 || got.Str(2) != "hello" {
+		t.Fatalf("roundtrip: %d %v %q", got.Int(0), got.Float(1), got.Str(2))
+	}
+}
+
+func TestRowEncodeDecodeProperty(t *testing.T) {
+	s := Schema{{Name: "a", Type: I64}, {Name: "b", Type: F64}, {Name: "c", Type: Str16}}
+	f := func(a int64, b float64, c string) bool {
+		if len(c) > 15 {
+			c = c[:15]
+		}
+		if strings.ContainsRune(c, 0) || b != b { // NaN compares unequal
+			return true
+		}
+		tab := NewTable("t", s)
+		r := NewRow(s)
+		r.SetInt(0, a)
+		r.SetFloat(1, b)
+		r.SetStr(2, c)
+		tab.Append(r)
+		buf := make([]byte, s.RowSize())
+		tab.EncodeRow(0, buf)
+		got := DecodeRow(s, buf)
+		return got.Int(0) == a && got.Float(1) == b && got.Str(2) == c
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSchemaHelpers(t *testing.T) {
+	if LineitemSchema.RowSize() != 8*9+16*4 {
+		t.Fatalf("lineitem row size = %d", LineitemSchema.RowSize())
+	}
+	if LineitemSchema.Index("l_shipdate") != 8 {
+		t.Fatalf("l_shipdate index = %d", LineitemSchema.Index("l_shipdate"))
+	}
+	if LineitemSchema.Index("nope") != -1 {
+		t.Fatal("missing column found")
+	}
+}
+
+func TestStoreTableAndScan(t *testing.T) {
+	store := NewMemStore(4096)
+	ds := GenerateTPCH(1000, 1)
+	sd, err := ds.Store(store, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m Meter
+	sc := &Scanner{Store: store, Ref: sd.Lineitem, Meter: &m}
+	n := 0
+	if err := sc.Scan(func(r Row) error { n++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 1000 {
+		t.Fatalf("scanned %d rows, want 1000", n)
+	}
+	if m.PagesRead == 0 || m.Instructions == 0 || m.MemReads == 0 {
+		t.Fatalf("meter not populated: %+v", m)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := GenerateTPCH(500, 7)
+	b := GenerateTPCH(500, 7)
+	for i := 0; i < 500; i += 37 {
+		if a.Lineitem.Int(i, 0) != b.Lineitem.Int(i, 0) ||
+			a.Lineitem.Float(i, 3) != b.Lineitem.Float(i, 3) {
+			t.Fatal("same seed generated different data")
+		}
+	}
+	c := GenerateTPCH(500, 8)
+	same := true
+	for i := 0; i < 500; i++ {
+		if a.Lineitem.Float(i, 3) != c.Lineitem.Float(i, 3) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds generated identical data")
+	}
+}
+
+// runAll executes every TPC-H style program over a small stored dataset.
+func runAll(t *testing.T) (map[string]string, map[string]*Meter) {
+	t.Helper()
+	store := NewMemStore(4096)
+	ds := GenerateTPCH(4000, 42)
+	sd, err := ds.Store(store, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	programs := map[string]Program{
+		"Q1": Q1, "Q3": Q3, "Q12": Q12, "Q14": Q14, "Q19": Q19,
+		"Arithmetic": Arithmetic, "Aggregate": Aggregate, "Filter": Filter,
+	}
+	results := make(map[string]string)
+	meters := make(map[string]*Meter)
+	for name, p := range programs {
+		var m Meter
+		out, err := p(store, sd, &m)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		results[name] = out
+		meters[name] = &m
+	}
+	return results, meters
+}
+
+func TestAllQueriesProduceOutput(t *testing.T) {
+	results, meters := runAll(t)
+	for name, out := range results {
+		if out == "" {
+			t.Errorf("%s produced empty output", name)
+		}
+		if meters[name].PagesRead == 0 {
+			t.Errorf("%s read no pages", name)
+		}
+	}
+	// Q1 aggregates over 6 (returnflag, linestatus) combinations.
+	if n := strings.Count(results["Q1"], "\n"); n != 6 {
+		t.Errorf("Q1 groups = %d, want 6:\n%s", n, results["Q1"])
+	}
+	// Q12 reports MAIL and SHIP rows.
+	if !strings.Contains(results["Q12"], "MAIL") || !strings.Contains(results["Q12"], "SHIP") {
+		t.Errorf("Q12 output missing modes:\n%s", results["Q12"])
+	}
+}
+
+func TestQueriesDeterministic(t *testing.T) {
+	r1, _ := runAll(t)
+	r2, _ := runAll(t)
+	for name := range r1 {
+		if r1[name] != r2[name] {
+			t.Errorf("%s nondeterministic", name)
+		}
+	}
+}
+
+func TestScanWorkloadsAreReadDominated(t *testing.T) {
+	_, meters := runAll(t)
+	// The Table 1 characterization: scan/aggregation workloads have tiny
+	// write ratios; joins write more (hash tables) but stay read-dominated.
+	for _, name := range []string{"Arithmetic", "Aggregate", "Filter", "Q1"} {
+		if wr := meters[name].WriteRatio(); wr > 0.02 {
+			t.Errorf("%s write ratio = %v, want < 0.02", name, wr)
+		}
+	}
+	for _, name := range []string{"Q3", "Q12", "Q14", "Q19"} {
+		if wr := meters[name].WriteRatio(); wr > 0.2 {
+			t.Errorf("%s write ratio = %v, want < 0.2", name, wr)
+		}
+	}
+}
+
+func TestQ1RespectscCutoff(t *testing.T) {
+	// All lineitems generated have shipdate < 2526-90? No — verify by
+	// recomputing: the aggregate count must equal rows passing the filter.
+	store := NewMemStore(4096)
+	ds := GenerateTPCH(2000, 9)
+	sd, _ := ds.Store(store, 0)
+	var m Meter
+	out, err := Q1(store, sd, &m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want int64
+	for i := 0; i < ds.Lineitem.Rows(); i++ {
+		if ds.Lineitem.Int(i, 8) <= Day2526-90 {
+			want++
+		}
+	}
+	var got int64
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		var n int64
+		if _, err := fmtSscanfCount(line, &n); err != nil {
+			t.Fatalf("parse %q: %v", line, err)
+		}
+		got += n
+	}
+	if got != want {
+		t.Fatalf("Q1 counted %d rows, want %d", got, want)
+	}
+}
+
+// fmtSscanfCount extracts the n=<count> field from a rendered agg line.
+func fmtSscanfCount(line string, n *int64) (int, error) {
+	i := strings.Index(line, "n=")
+	if i < 0 {
+		return 0, nil
+	}
+	rest := line[i+2:]
+	if j := strings.IndexByte(rest, ','); j >= 0 {
+		rest = rest[:j]
+	}
+	var v int64
+	for _, c := range rest {
+		if c < '0' || c > '9' {
+			break
+		}
+		v = v*10 + int64(c-'0')
+	}
+	*n = v
+	return 1, nil
+}
+
+func TestRowsPerPagePanicsOnHugeRow(t *testing.T) {
+	huge := Schema{}
+	for i := 0; i < 300; i++ {
+		huge = append(huge, Column{Name: "c", Type: Str16})
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversized row did not panic")
+		}
+	}()
+	RowsPerPage(huge, 4096)
+}
+
+func TestMeterWriteRatio(t *testing.T) {
+	var m Meter
+	if m.WriteRatio() != 0 {
+		t.Fatal("empty meter has write ratio")
+	}
+	m.ReadBytes(64 * 3)
+	m.WriteBytes(64)
+	if m.WriteRatio() != 0.25 {
+		t.Fatalf("write ratio = %v, want 0.25", m.WriteRatio())
+	}
+}
+
+func TestMeterAdd(t *testing.T) {
+	a := Meter{PagesRead: 1, Instructions: 10, MemReads: 5}
+	b := Meter{PagesRead: 2, Instructions: 20, MemWrites: 7}
+	a.Add(b)
+	if a.PagesRead != 3 || a.Instructions != 30 || a.MemReads != 5 || a.MemWrites != 7 {
+		t.Fatalf("merged meter: %+v", a)
+	}
+}

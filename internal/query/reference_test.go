@@ -1,0 +1,138 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// These tests validate the operator pipeline against brute-force
+// re-implementations computed directly over the in-memory tables.
+
+func refDataset(t *testing.T) (*Dataset, *StoredDataset, Store) {
+	t.Helper()
+	store := NewMemStore(4096)
+	ds := GenerateTPCH(3000, 77)
+	sd, err := ds.Store(store, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds, sd, store
+}
+
+func TestQ14AgainstBruteForce(t *testing.T) {
+	ds, sd, store := refDataset(t)
+	var m Meter
+	got, err := Q14(store, sd, &m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Brute force: same month window, promo share.
+	const month = 1065
+	partType := make(map[int64]string)
+	for i := 0; i < ds.Part.Rows(); i++ {
+		partType[ds.Part.Int(i, 0)] = ds.Part.Str(i, 2)
+	}
+	var promo, total float64
+	for i := 0; i < ds.Lineitem.Rows(); i++ {
+		ship := ds.Lineitem.Int(i, 8)
+		if ship < month || ship >= month+30 {
+			continue
+		}
+		typ, ok := partType[ds.Lineitem.Int(i, 1)]
+		if !ok {
+			continue
+		}
+		rev := ds.Lineitem.Float(i, 3) * (1 - ds.Lineitem.Float(i, 4))
+		total += rev
+		if strings.HasPrefix(typ, "PROMO") {
+			promo += rev
+		}
+	}
+	want := "promo_revenue:0.00\n"
+	if total != 0 {
+		want = fmt.Sprintf("promo_revenue:%.2f\n", 100*promo/total)
+	}
+	if got != want {
+		t.Fatalf("Q14 = %q, brute force = %q", got, want)
+	}
+}
+
+func TestQ12AgainstBruteForce(t *testing.T) {
+	ds, sd, store := refDataset(t)
+	var m Meter
+	got, err := Q12(store, sd, &m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const year = 1095
+	prio := make(map[int64]string)
+	for i := 0; i < ds.Orders.Rows(); i++ {
+		prio[ds.Orders.Int(i, 0)] = ds.Orders.Str(i, 4)
+	}
+	counts := map[string][2]int64{} // mode -> {high, low}
+	for i := 0; i < ds.Lineitem.Rows(); i++ {
+		mode := ds.Lineitem.Str(i, 11)
+		if mode != "MAIL" && mode != "SHIP" {
+			continue
+		}
+		commit, receipt, ship := ds.Lineitem.Int(i, 9), ds.Lineitem.Int(i, 10), ds.Lineitem.Int(i, 8)
+		if !(commit < receipt && ship < commit && receipt >= year && receipt < year+365) {
+			continue
+		}
+		p := prio[ds.Lineitem.Int(i, 0)]
+		c := counts[mode]
+		if p == "1-URGENT" || p == "2-HIGH" {
+			c[0]++
+		} else {
+			c[1]++
+		}
+		counts[mode] = c
+	}
+	for _, mode := range []string{"MAIL", "SHIP"} {
+		c, ok := counts[mode]
+		if !ok {
+			continue
+		}
+		needle := fmt.Sprintf("%s:n=%d,%.2f,%.2f", mode, c[0]+c[1], float64(c[0]), float64(c[1]))
+		if !strings.Contains(got, needle) {
+			t.Fatalf("Q12 output missing %q:\n%s", needle, got)
+		}
+	}
+}
+
+func TestFilterAgainstBruteForce(t *testing.T) {
+	ds, sd, store := refDataset(t)
+	var m Meter
+	got, err := Filter(store, sd, &m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hits int64
+	for i := 0; i < ds.Lineitem.Rows(); i++ {
+		if ds.Lineitem.Float(i, 2) > 25 && ds.Lineitem.Str(i, 6) == "R" {
+			hits++
+		}
+	}
+	want := fmt.Sprintf("hits:%d\n", hits)
+	if got != want {
+		t.Fatalf("Filter = %q, brute force = %q", got, want)
+	}
+}
+
+func TestAggregateAgainstBruteForce(t *testing.T) {
+	ds, sd, store := refDataset(t)
+	var m Meter
+	got, err := Aggregate(store, sd, &m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for i := 0; i < ds.Lineitem.Rows(); i++ {
+		sum += ds.Lineitem.Float(i, 3)
+	}
+	want := fmt.Sprintf("avg:%.2f\n", sum/float64(ds.Lineitem.Rows()))
+	if got != want {
+		t.Fatalf("Aggregate = %q, brute force = %q", got, want)
+	}
+}

@@ -1,0 +1,153 @@
+package query
+
+import "fmt"
+
+// Store is the paged storage a query program runs against. In the full
+// system it is backed by the FTL (host path) or a TEE's permission-checked
+// view of flash (in-storage path); tests use MemStore.
+type Store interface {
+	// PageSize returns the page granularity in bytes.
+	PageSize() int
+	// ReadPage returns the content of logical page lpa.
+	ReadPage(lpa uint32) ([]byte, error)
+	// WritePage stores data (at most PageSize bytes) at logical page lpa.
+	WritePage(lpa uint32, data []byte) error
+}
+
+// Meter accumulates the work a program performs, in units the timing layer
+// converts to simulated time. Memory accesses are 64-byte lines.
+type Meter struct {
+	PagesRead    int64
+	PagesWritten int64
+	Instructions int64
+	MemReads     int64
+	MemWrites    int64
+	RowsScanned  int64
+	RowsEmitted  int64
+	// Intermediate is the bytes of live intermediate state the program
+	// allocates (hash tables, aggregation buckets, output buffers) — the
+	// writable working set the MEE protects.
+	Intermediate int64
+}
+
+// AddInstr records n instructions.
+func (m *Meter) AddInstr(n int64) { m.Instructions += n }
+
+// ReadBytes records memory-read traffic of n bytes.
+func (m *Meter) ReadBytes(n int64) { m.MemReads += (n + 63) / 64 }
+
+// WriteBytes records memory-write traffic of n bytes.
+func (m *Meter) WriteBytes(n int64) { m.MemWrites += (n + 63) / 64 }
+
+// WriteRatio returns memory writes over total memory accesses — the
+// Table 1 characterization metric.
+func (m *Meter) WriteRatio() float64 {
+	total := m.MemReads + m.MemWrites
+	if total == 0 {
+		return 0
+	}
+	return float64(m.MemWrites) / float64(total)
+}
+
+// Allocate records n bytes of new intermediate state.
+func (m *Meter) Allocate(n int64) { m.Intermediate += n }
+
+// Add merges another meter's counts into m.
+func (m *Meter) Add(o Meter) {
+	m.PagesRead += o.PagesRead
+	m.PagesWritten += o.PagesWritten
+	m.Instructions += o.Instructions
+	m.MemReads += o.MemReads
+	m.MemWrites += o.MemWrites
+	m.RowsScanned += o.RowsScanned
+	m.RowsEmitted += o.RowsEmitted
+	m.Intermediate += o.Intermediate
+}
+
+// MemStore is an in-memory Store for tests and the host execution path.
+type MemStore struct {
+	pageSize int
+	pages    map[uint32][]byte
+}
+
+// NewMemStore returns a MemStore with the given page size.
+func NewMemStore(pageSize int) *MemStore {
+	return &MemStore{pageSize: pageSize, pages: make(map[uint32][]byte)}
+}
+
+// PageSize implements Store.
+func (s *MemStore) PageSize() int { return s.pageSize }
+
+// ReadPage implements Store.
+func (s *MemStore) ReadPage(lpa uint32) ([]byte, error) {
+	p, ok := s.pages[lpa]
+	if !ok {
+		return nil, fmt.Errorf("query: page %d not found", lpa)
+	}
+	return p, nil
+}
+
+// WritePage implements Store.
+func (s *MemStore) WritePage(lpa uint32, data []byte) error {
+	if len(data) > s.pageSize {
+		return fmt.Errorf("query: page write of %d bytes exceeds page size %d", len(data), s.pageSize)
+	}
+	s.pages[lpa] = append([]byte(nil), data...)
+	return nil
+}
+
+// Pages returns the number of stored pages.
+func (s *MemStore) Pages() int { return len(s.pages) }
+
+// StoreTable serializes t into store starting at page base, returning the
+// number of pages written.
+func StoreTable(store Store, t *Table, base uint32) (pages int, err error) {
+	ps := store.PageSize()
+	rpp := RowsPerPage(t.Schema, ps)
+	rowSize := t.Schema.RowSize()
+	buf := make([]byte, ps)
+	page, inPage := 0, 0
+	for i := 0; i < t.Rows(); i++ {
+		t.EncodeRow(i, buf[inPage*rowSize:])
+		inPage++
+		if inPage == rpp {
+			if err := store.WritePage(base+uint32(page), buf); err != nil {
+				return page, err
+			}
+			page++
+			inPage = 0
+			for j := range buf {
+				buf[j] = 0
+			}
+		}
+	}
+	if inPage > 0 {
+		if err := store.WritePage(base+uint32(page), buf); err != nil {
+			return page, err
+		}
+		page++
+	}
+	return page, nil
+}
+
+// TableRef locates a stored table: its schema, base page, and row count.
+type TableRef struct {
+	Schema Schema
+	Base   uint32
+	NRows  int
+}
+
+// PageSpan returns the page range [Base, Base+n) the table occupies.
+func (r TableRef) PageSpan(pageSize int) (base uint32, n int) {
+	return r.Base, PageCount(r.Schema, r.NRows, pageSize)
+}
+
+// LPAs enumerates the logical pages of the table, for SetIDBits calls.
+func (r TableRef) LPAs(pageSize int) []uint32 {
+	base, n := r.PageSpan(pageSize)
+	out := make([]uint32, n)
+	for i := range out {
+		out[i] = base + uint32(i)
+	}
+	return out
+}

@@ -1,0 +1,178 @@
+package query
+
+import "iceclave/internal/sim"
+
+// The TPC-H subset schema: the columns the five evaluated queries (Q1, Q3,
+// Q12, Q14, Q19) touch. Dates are days since 1992-01-01; the classic
+// cutoff date 1998-12-01 is day 2526.
+var (
+	// LineitemSchema covers Q1/Q3/Q12/Q14/Q19.
+	LineitemSchema = Schema{
+		{Name: "l_orderkey", Type: I64},
+		{Name: "l_partkey", Type: I64},
+		{Name: "l_quantity", Type: F64},
+		{Name: "l_extendedprice", Type: F64},
+		{Name: "l_discount", Type: F64},
+		{Name: "l_tax", Type: F64},
+		{Name: "l_returnflag", Type: Str16},
+		{Name: "l_linestatus", Type: Str16},
+		{Name: "l_shipdate", Type: I64},
+		{Name: "l_commitdate", Type: I64},
+		{Name: "l_receiptdate", Type: I64},
+		{Name: "l_shipmode", Type: Str16},
+		{Name: "l_shipinstruct", Type: Str16},
+	}
+	// OrdersSchema covers Q3/Q12.
+	OrdersSchema = Schema{
+		{Name: "o_orderkey", Type: I64},
+		{Name: "o_custkey", Type: I64},
+		{Name: "o_orderdate", Type: I64},
+		{Name: "o_shippriority", Type: I64},
+		{Name: "o_orderpriority", Type: Str16},
+	}
+	// CustomerSchema covers Q3.
+	CustomerSchema = Schema{
+		{Name: "c_custkey", Type: I64},
+		{Name: "c_mktsegment", Type: Str16},
+	}
+	// PartSchema covers Q14/Q19.
+	PartSchema = Schema{
+		{Name: "p_partkey", Type: I64},
+		{Name: "p_brand", Type: Str16},
+		{Name: "p_type", Type: Str16},
+		{Name: "p_container", Type: Str16},
+		{Name: "p_size", Type: I64},
+	}
+)
+
+// Day2526 is 1998-12-01, the Q1 cutoff anchor.
+const Day2526 = 2526
+
+var (
+	shipmodes    = []string{"MAIL", "SHIP", "AIR", "RAIL", "TRUCK", "FOB", "REG AIR"}
+	returnflags  = []string{"R", "N", "A"}
+	linestatuses = []string{"O", "F"}
+	segments     = []string{"BUILDING", "AUTOMOBILE", "MACHINERY", "HOUSEHOLD", "FURNITURE"}
+	brands       = []string{"Brand#12", "Brand#23", "Brand#34", "Brand#45", "Brand#55"}
+	types        = []string{"PROMO BURNISHED", "PROMO PLATED", "STANDARD BRUSHED", "ECONOMY POLISHED", "MEDIUM ANODIZED"}
+	containers   = []string{"SM CASE", "SM BOX", "MED BAG", "MED BOX", "LG CASE", "LG BOX", "SM PACK", "MED PKG", "LG PACK"}
+	instructs    = []string{"DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"}
+	priorities   = []string{"1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"}
+)
+
+// Dataset is a generated TPC-H subset instance.
+type Dataset struct {
+	Lineitem *Table
+	Orders   *Table
+	Customer *Table
+	Part     *Table
+}
+
+// GenerateTPCH builds a deterministic scaled dataset with the given number
+// of lineitem rows. Orders are lineitems/4, customers orders/10, parts
+// lineitems/8, mirroring TPC-H's row-count ratios.
+func GenerateTPCH(lineitems int, seed uint64) *Dataset {
+	rng := sim.NewRNG(seed)
+	norders := lineitems/4 + 1
+	ncust := norders/10 + 1
+	nparts := lineitems/8 + 1
+
+	ds := &Dataset{
+		Lineitem: NewTable("lineitem", LineitemSchema),
+		Orders:   NewTable("orders", OrdersSchema),
+		Customer: NewTable("customer", CustomerSchema),
+		Part:     NewTable("part", PartSchema),
+	}
+
+	for i := 0; i < ncust; i++ {
+		r := NewRow(CustomerSchema)
+		r.SetInt(0, int64(i))
+		r.SetStr(1, segments[rng.Intn(len(segments))])
+		ds.Customer.Append(r)
+	}
+	for i := 0; i < norders; i++ {
+		r := NewRow(OrdersSchema)
+		r.SetInt(0, int64(i))
+		r.SetInt(1, rng.Int63n(int64(ncust)))
+		r.SetInt(2, rng.Int63n(2400)) // order dates through mid-1998
+		r.SetInt(3, 0)
+		r.SetStr(4, priorities[rng.Intn(len(priorities))])
+		ds.Orders.Append(r)
+	}
+	for i := 0; i < nparts; i++ {
+		r := NewRow(PartSchema)
+		r.SetInt(0, int64(i))
+		r.SetStr(1, brands[rng.Intn(len(brands))])
+		r.SetStr(2, types[rng.Intn(len(types))])
+		r.SetStr(3, containers[rng.Intn(len(containers))])
+		r.SetInt(4, 1+rng.Int63n(50))
+		ds.Part.Append(r)
+	}
+	for i := 0; i < lineitems; i++ {
+		r := NewRow(LineitemSchema)
+		order := rng.Int63n(int64(norders))
+		ship := ds.Orders.Int(int(order), 2) + 1 + rng.Int63n(120)
+		r.SetInt(0, order)
+		r.SetInt(1, rng.Int63n(int64(nparts)))
+		r.SetFloat(2, float64(1+rng.Intn(50)))
+		r.SetFloat(3, 900+rng.Float64()*100000)
+		r.SetFloat(4, float64(rng.Intn(11))/100)
+		r.SetFloat(5, float64(rng.Intn(9))/100)
+		r.SetStr(6, returnflags[rng.Intn(len(returnflags))])
+		r.SetStr(7, linestatuses[rng.Intn(len(linestatuses))])
+		r.SetInt(8, ship)
+		r.SetInt(9, ship+int64(rng.Intn(30))-15)
+		r.SetInt(10, ship+1+rng.Int63n(30))
+		r.SetStr(11, shipmodes[rng.Intn(len(shipmodes))])
+		r.SetStr(12, instructs[rng.Intn(len(instructs))])
+		ds.Lineitem.Append(r)
+	}
+	return ds
+}
+
+// StoredDataset is a Dataset serialized onto a Store, with the page
+// layout needed to address each table.
+type StoredDataset struct {
+	Lineitem TableRef
+	Orders   TableRef
+	Customer TableRef
+	Part     TableRef
+}
+
+// Store serializes ds onto store, packing the tables contiguously from
+// page base, and returns their locations.
+func (ds *Dataset) Store(store Store, base uint32) (*StoredDataset, error) {
+	sd := &StoredDataset{}
+	next := base
+	place := func(t *Table, ref *TableRef) error {
+		n, err := StoreTable(store, t, next)
+		if err != nil {
+			return err
+		}
+		*ref = TableRef{Schema: t.Schema, Base: next, NRows: t.Rows()}
+		next += uint32(n)
+		return nil
+	}
+	if err := place(ds.Lineitem, &sd.Lineitem); err != nil {
+		return nil, err
+	}
+	if err := place(ds.Orders, &sd.Orders); err != nil {
+		return nil, err
+	}
+	if err := place(ds.Customer, &sd.Customer); err != nil {
+		return nil, err
+	}
+	if err := place(ds.Part, &sd.Part); err != nil {
+		return nil, err
+	}
+	return sd, nil
+}
+
+// AllLPAs returns every logical page of the dataset, for SetIDBits.
+func (sd *StoredDataset) AllLPAs(pageSize int) []uint32 {
+	var out []uint32
+	for _, ref := range []TableRef{sd.Lineitem, sd.Orders, sd.Customer, sd.Part} {
+		out = append(out, ref.LPAs(pageSize)...)
+	}
+	return out
+}

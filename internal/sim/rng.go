@@ -1,0 +1,73 @@
+package sim
+
+// RNG is a small deterministic pseudo-random number generator
+// (xorshift64*). Simulations must not depend on the global math/rand state:
+// every component that needs randomness owns an RNG seeded from the run
+// configuration so results are reproducible bit-for-bit.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed. A zero seed is remapped to a
+// fixed non-zero constant because xorshift has an all-zero fixed point.
+func NewRNG(seed uint64) *RNG {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &RNG{state: seed}
+}
+
+// Uint64 returns the next 64 random bits.
+func (r *RNG) Uint64() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// Uint32 returns the next 32 random bits.
+func (r *RNG) Uint32() uint32 { return uint32(r.Uint64() >> 32) }
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Int63n returns a uniform value in [0, n). It panics if n <= 0.
+func (r *RNG) Int63n(n int64) int64 {
+	if n <= 0 {
+		panic("sim: Int63n with non-positive n")
+	}
+	return int64(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p.
+func (r *RNG) Bool(p float64) bool { return r.Float64() < p }
+
+// Zipf returns values in [0, n) following an approximate Zipf-like skew:
+// with probability skew the value falls in the hot first hotFrac of the
+// range, otherwise it is uniform. This captures the locality that matters
+// to cache models without the cost of a full Zipf sampler.
+func (r *RNG) Zipf(n int64, skew, hotFrac float64) int64 {
+	if n <= 0 {
+		panic("sim: Zipf with non-positive n")
+	}
+	hot := int64(float64(n) * hotFrac)
+	if hot < 1 {
+		hot = 1
+	}
+	if r.Bool(skew) {
+		return r.Int63n(hot)
+	}
+	return r.Int63n(n)
+}

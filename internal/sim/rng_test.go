@@ -1,0 +1,100 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+}
+
+func TestRNGSeedsDiffer(t *testing.T) {
+	a, b := NewRNG(1), NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds collided %d/100 times", same)
+	}
+}
+
+func TestRNGZeroSeed(t *testing.T) {
+	r := NewRNG(0)
+	if r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Fatal("zero seed stuck at zero")
+	}
+}
+
+func TestRNGIntnRange(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 10000; i++ {
+		if v := r.Intn(17); v < 0 || v >= 17 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(9)
+	for i := 0; i < 10000; i++ {
+		if v := r.Float64(); v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}
+
+func TestRNGFloat64Mean(t *testing.T) {
+	r := NewRNG(11)
+	var sum float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestRNGZipfSkew(t *testing.T) {
+	r := NewRNG(13)
+	const n, hotFrac, skew = 1000, 0.1, 0.9
+	hot := 0
+	const trials = 100000
+	for i := 0; i < trials; i++ {
+		if r.Zipf(n, skew, hotFrac) < int64(float64(n)*hotFrac) {
+			hot++
+		}
+	}
+	// Hot fraction should be roughly skew + (1-skew)*hotFrac = 0.91.
+	got := float64(hot) / trials
+	if got < 0.88 || got > 0.94 {
+		t.Fatalf("hot hit fraction = %v, want ~0.91", got)
+	}
+}
+
+func TestRNGPanics(t *testing.T) {
+	r := NewRNG(1)
+	for name, fn := range map[string]func(){
+		"Intn":   func() { r.Intn(0) },
+		"Int63n": func() { r.Int63n(-1) },
+		"Zipf":   func() { r.Zipf(0, 0.5, 0.1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s with invalid n did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

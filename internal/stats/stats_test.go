@@ -1,0 +1,47 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{ID: "Table X", Title: "demo", Header: []string{"name", "value"}}
+	tb.AddRow("alpha", 1.5)
+	tb.AddRow("beta-longer", 42)
+	tb.AddNote("scaled by %d", 7)
+	out := tb.String()
+	for _, want := range []string{"Table X: demo", "alpha", "beta-longer", "1.500", "42", "note: scaled by 7"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tb := &Table{Header: []string{"a", "b"}}
+	tb.AddRow("x", 1)
+	got := tb.CSV()
+	if got != "a,b\nx,1\n" {
+		t.Fatalf("csv = %q", got)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if Pct(0.076) != "7.60%" {
+		t.Fatalf("Pct = %q", Pct(0.076))
+	}
+	if Ratio(2.31) != "2.31x" {
+		t.Fatalf("Ratio = %q", Ratio(2.31))
+	}
+}
+
+func TestAlignment(t *testing.T) {
+	tb := &Table{ID: "T", Title: "t", Header: []string{"col"}}
+	tb.AddRow("short")
+	tb.AddRow("a-much-longer-cell")
+	lines := strings.Split(tb.String(), "\n")
+	if len(lines) < 4 {
+		t.Fatal("too few lines")
+	}
+}

@@ -1,0 +1,426 @@
+// Package tee implements the IceClave runtime (paper §4.5–4.6): the
+// lifecycle of in-storage trusted execution environments (CreateTEE,
+// TerminateTEE, ThrowOutTEE), mapping-table access control through the FTL
+// ID bits (SetIDBits / ReadMappingEntry), the three-region TrustZone memory
+// layout, the cached mapping table in the protected region, and the
+// encrypted flash-to-DRAM data path through the stream cipher engine.
+//
+// This is the functional layer: permissions are really enforced, pages are
+// really encrypted on the simulated internal bus, and violations really
+// abort the offending TEE. Timing experiments use the same cost constants
+// through the core package's replay engine.
+package tee
+
+import (
+	"errors"
+	"fmt"
+
+	"iceclave/internal/flash"
+	"iceclave/internal/ftl"
+	"iceclave/internal/mee"
+	"iceclave/internal/sim"
+	"iceclave/internal/trivium"
+	"iceclave/internal/trustzone"
+)
+
+// State is a TEE lifecycle state.
+type State uint8
+
+// TEE lifecycle states.
+const (
+	StateCreated State = iota
+	StateRunning
+	StateAborted
+	StateTerminated
+)
+
+// String names the state.
+func (s State) String() string {
+	switch s {
+	case StateCreated:
+		return "created"
+	case StateRunning:
+		return "running"
+	case StateAborted:
+		return "aborted"
+	default:
+		return "terminated"
+	}
+}
+
+// Costs are the Table 5 overhead constants, measured by the paper on the
+// OpenSSD Cosmos+ FPGA prototype and adopted here as model parameters.
+type Costs struct {
+	Create      sim.Duration // TEE creation: 95 µs
+	Delete      sim.Duration // TEE deletion: 58 µs
+	WorldSwitch sim.Duration // secure<->normal switch: 3.8 µs
+	Encrypt     sim.Duration // per memory encryption op: 102.6 ns
+	Verify      sim.Duration // per memory verification op: 151.2 ns
+}
+
+// DefaultCosts returns the Table 5 constants (rounded to the ns tick).
+func DefaultCosts() Costs {
+	return Costs{
+		Create:      95 * sim.Microsecond,
+		Delete:      58 * sim.Microsecond,
+		WorldSwitch: 3800 * sim.Nanosecond,
+		Encrypt:     103 * sim.Nanosecond,
+		Verify:      151 * sim.Nanosecond,
+	}
+}
+
+// Config describes a TEE creation request (the CreateTEE API of Table 2).
+type Config struct {
+	// Binary is the offloaded program image; §4.5 reports 28–528 KB
+	// images and fails creation when the image exceeds available memory.
+	Binary []byte
+	// LPAs are the logical pages the program may access; CreateTEE sets
+	// their mapping-table ID bits.
+	LPAs []ftl.LPA
+	// HeapBytes is the preallocated contiguous region (default 16 MB).
+	HeapBytes uint64
+}
+
+// DefaultHeapBytes is the §4.5 preallocation: 16 MB.
+const DefaultHeapBytes = 16 << 20
+
+// ErrNoFreeID is returned when all 15 TEE IDs are live.
+var ErrNoFreeID = errors.New("tee: no free TEE ID")
+
+// ErrTooLarge is returned when the binary does not fit available memory.
+var ErrTooLarge = errors.New("tee: program image exceeds available SSD DRAM")
+
+// ErrAborted is returned for operations on a thrown-out TEE.
+var ErrAborted = errors.New("tee: TEE aborted")
+
+// TEE is one in-storage trusted execution environment.
+type TEE struct {
+	eid      ftl.TEEID
+	state    State
+	lpas     []ftl.LPA
+	heapBase uint64
+	heapSize uint64
+	binary   int // bytes
+	result   []byte
+	abortMsg string
+}
+
+// EID returns the TEE's 4-bit identity.
+func (t *TEE) EID() ftl.TEEID { return t.eid }
+
+// State returns the lifecycle state.
+func (t *TEE) State() State { return t.state }
+
+// HeapBase returns the base address of the preallocated region.
+func (t *TEE) HeapBase() uint64 { return t.heapBase }
+
+// HeapSize returns the preallocated region size.
+func (t *TEE) HeapSize() uint64 { return t.heapSize }
+
+// Result returns the output copied out at termination.
+func (t *TEE) Result() []byte { return t.result }
+
+// AbortReason returns the ThrowOutTEE message, if any.
+func (t *TEE) AbortReason() string { return t.abortMsg }
+
+// Stats counts runtime activity.
+type Stats struct {
+	Created    int64
+	Terminated int64
+	Aborted    int64
+	CMTHits    int64
+	CMTMisses  int64
+	BusPages   int64 // pages that crossed the internal bus encrypted
+}
+
+// Runtime is the IceClave runtime: it lives in the secure world and
+// manages TEEs, the protected-region mapping cache, and the cipher engine.
+type Runtime struct {
+	ftl     *ftl.FTL
+	cipher  *trivium.Engine
+	mem     *mee.Engine
+	space   *trustzone.AddressSpace
+	monitor *trustzone.Monitor
+	cmt     *ftl.MappingCache
+	costs   Costs
+
+	now      sim.Time
+	inUse    [16]bool
+	tees     map[ftl.TEEID]*TEE
+	nextHeap uint64
+	dramTop  uint64
+	stats    Stats
+
+	lastBusPage []byte // ciphertext most recently observed on the bus
+}
+
+// Layout constants for the three-region physical memory map (Figure 4).
+const (
+	secureBase    = uint64(0)
+	secureSize    = uint64(64 << 20)
+	protectedBase = secureBase + secureSize
+	protectedSize = uint64(64 << 20)
+	normalBase    = protectedBase + protectedSize
+)
+
+// Options configures runtime construction.
+type Options struct {
+	Costs     Costs
+	CipherKey []byte // 10-byte Trivium key; a fixed default is used if nil
+	DRAMBytes uint64 // controller DRAM capacity (default 4 GB)
+	CMTBytes  uint64 // cached-mapping-table capacity (default 32 MB)
+}
+
+// NewRuntime builds a runtime over an FTL. The memory map places the
+// runtime and FTL in the secure region, the mapping table cache in the
+// protected region, and TEE heaps in the normal region.
+func NewRuntime(f *ftl.FTL, opts Options) (*Runtime, error) {
+	if opts.Costs == (Costs{}) {
+		opts.Costs = DefaultCosts()
+	}
+	if opts.CipherKey == nil {
+		opts.CipherKey = []byte("iceclave-k")
+	}
+	if opts.DRAMBytes == 0 {
+		opts.DRAMBytes = 4 << 30
+	}
+	if opts.CMTBytes == 0 {
+		opts.CMTBytes = 32 << 20
+	}
+	space := &trustzone.AddressSpace{}
+	regions := []trustzone.Region{
+		{Name: "runtime+ftl", Base: secureBase, Size: secureSize, Kind: trustzone.RegionSecure},
+		{Name: "mapping-table", Base: protectedBase, Size: protectedSize, Kind: trustzone.RegionProtected},
+		{Name: "tee-heaps", Base: normalBase, Size: opts.DRAMBytes - normalBase, Kind: trustzone.RegionNormal},
+	}
+	for _, r := range regions {
+		if err := space.AddRegion(r); err != nil {
+			return nil, err
+		}
+	}
+	var aesKey [16]byte
+	var macKey [32]byte
+	copy(aesKey[:], "iceclave-mee-aes")
+	copy(macKey[:], "iceclave-mee-mac")
+	rt := &Runtime{
+		ftl:      f,
+		cipher:   trivium.NewEngine(opts.CipherKey, 0x1CEC1A7E0001),
+		mem:      mee.NewEngine(aesKey, macKey),
+		space:    space,
+		monitor:  trustzone.NewMonitor(opts.Costs.WorldSwitch),
+		cmt:      ftl.NewMappingCache(opts.CMTBytes, uint64(f.Device().Geometry().PageSize)),
+		costs:    opts.Costs,
+		tees:     make(map[ftl.TEEID]*TEE),
+		nextHeap: normalBase,
+		dramTop:  opts.DRAMBytes,
+	}
+	// The runtime itself executes in the normal world between service
+	// calls; boot hand-off to the normal world happens here.
+	rt.now = rt.monitor.SwitchTo(rt.now, trustzone.Normal)
+	return rt, nil
+}
+
+// Now returns the runtime's internal clock.
+func (r *Runtime) Now() sim.Time { return r.now }
+
+// Costs returns the configured cost constants.
+func (r *Runtime) Costs() Costs { return r.costs }
+
+// Stats returns a copy of the runtime counters.
+func (r *Runtime) Stats() Stats { return r.stats }
+
+// AddressSpace exposes the region table for permission demonstrations.
+func (r *Runtime) AddressSpace() *trustzone.AddressSpace { return r.space }
+
+// Memory exposes the MEE-protected DRAM engine.
+func (r *Runtime) Memory() *mee.Engine { return r.mem }
+
+// FTL exposes the flash translation layer (secure-world component).
+func (r *Runtime) FTL() *ftl.FTL { return r.ftl }
+
+// CMTStats returns the cached-mapping-table hit statistics; 1-HitRate is
+// the §6.3 translation miss rate (0.17% in the paper).
+func (r *Runtime) CMTStats() (hits, misses int64) { return r.stats.CMTHits, r.stats.CMTMisses }
+
+// LastBusTransfer returns the ciphertext of the most recent page observed
+// on the internal bus — the view a bus-snooping adversary gets.
+func (r *Runtime) LastBusTransfer() []byte { return r.lastBusPage }
+
+// allocID hands out the lowest free 4-bit ID, skipping IDNone (0).
+func (r *Runtime) allocID() (ftl.TEEID, error) {
+	for id := ftl.TEEID(1); id <= ftl.MaxTEEID; id++ {
+		if !r.inUse[id] {
+			r.inUse[id] = true
+			return id, nil
+		}
+	}
+	return 0, ErrNoFreeID
+}
+
+// CreateTEE implements the Table 2 API: allocate an identity, set the ID
+// bits of the program's mapping entries, preallocate its heap, and charge
+// the 95 µs creation cost. Creation happens in the secure world.
+func (r *Runtime) CreateTEE(cfg Config) (*TEE, error) {
+	if cfg.HeapBytes == 0 {
+		cfg.HeapBytes = DefaultHeapBytes
+	}
+	if uint64(len(cfg.Binary)) > r.dramTop-r.nextHeap {
+		return nil, fmt.Errorf("%w: %d bytes", ErrTooLarge, len(cfg.Binary))
+	}
+	if r.nextHeap+cfg.HeapBytes > r.dramTop {
+		return nil, fmt.Errorf("%w: no room for %d-byte heap", ErrTooLarge, cfg.HeapBytes)
+	}
+	r.now = r.monitor.SwitchTo(r.now, trustzone.Secure)
+	id, err := r.allocID()
+	if err != nil {
+		r.now = r.monitor.SwitchTo(r.now, trustzone.Normal)
+		return nil, err
+	}
+	// SetIDBits: stamp ownership into the mapping table.
+	for _, l := range cfg.LPAs {
+		if err := r.ftl.SetID(l, id); err != nil {
+			r.inUse[id] = false
+			r.now = r.monitor.SwitchTo(r.now, trustzone.Normal)
+			return nil, fmt.Errorf("tee: SetIDBits(%d): %w", l, err)
+		}
+	}
+	t := &TEE{
+		eid:      id,
+		state:    StateRunning,
+		lpas:     append([]ftl.LPA(nil), cfg.LPAs...),
+		heapBase: r.nextHeap,
+		heapSize: cfg.HeapBytes,
+		binary:   len(cfg.Binary),
+	}
+	r.nextHeap += cfg.HeapBytes
+	r.tees[id] = t
+	r.now += r.costs.Create
+	r.now = r.monitor.SwitchTo(r.now, trustzone.Normal)
+	r.stats.Created++
+	return t, nil
+}
+
+// TerminateTEE ends a TEE normally: results are copied into the metadata
+// region, ID bits cleared for reuse, resources reclaimed, 58 µs charged.
+func (r *Runtime) TerminateTEE(t *TEE, result []byte) error {
+	if t.state != StateRunning && t.state != StateCreated {
+		return fmt.Errorf("tee: terminate in state %v", t.state)
+	}
+	r.now = r.monitor.SwitchTo(r.now, trustzone.Secure)
+	t.result = append([]byte(nil), result...)
+	t.state = StateTerminated
+	r.ftl.ClearIDs(t.eid)
+	r.inUse[t.eid] = false
+	delete(r.tees, t.eid)
+	r.now += r.costs.Delete
+	r.now = r.monitor.SwitchTo(r.now, trustzone.Normal)
+	r.stats.Terminated++
+	return nil
+}
+
+// ThrowOutTEE aborts a TEE after a violation: §4.5 lists access-control
+// violations, corrupted TEE memory or metadata, and program exceptions.
+func (r *Runtime) ThrowOutTEE(t *TEE, reason string) {
+	if t.state == StateAborted || t.state == StateTerminated {
+		return
+	}
+	r.now = r.monitor.SwitchTo(r.now, trustzone.Secure)
+	t.state = StateAborted
+	t.abortMsg = reason
+	r.ftl.ClearIDs(t.eid)
+	r.inUse[t.eid] = false
+	delete(r.tees, t.eid)
+	r.now += r.costs.Delete
+	r.now = r.monitor.SwitchTo(r.now, trustzone.Normal)
+	r.stats.Aborted++
+}
+
+// ReadMappingEntry implements the Table 2 API: translate lpa for TEE t
+// through the protected-region mapping cache. A cache hit resolves in the
+// normal world with a permission check only; a miss pays the world-switch
+// round trip while the FTL loads the mapping page (Figure 9 steps 4–5).
+// A permission violation aborts the TEE.
+func (r *Runtime) ReadMappingEntry(t *TEE, lpa ftl.LPA) (uint64, error) {
+	if t.state != StateRunning {
+		return 0, fmt.Errorf("%w: %s", ErrAborted, t.abortMsg)
+	}
+	ppa, err := r.ftl.TranslateFor(lpa, t.eid)
+	if err != nil {
+		if errors.Is(err, ftl.ErrAccessDenied) {
+			r.ThrowOutTEE(t, fmt.Sprintf("access-control violation on LPA %d", lpa))
+		}
+		return 0, err
+	}
+	if r.cmt.Lookup(lpa) {
+		r.stats.CMTHits++
+	} else {
+		r.stats.CMTMisses++
+		// Secure world loads the mapping page from flash and refreshes
+		// the protected region.
+		r.now = r.monitor.RoundTrip(r.now)
+		r.now += r.ftl.Device().Timing().ReadLatency
+	}
+	return uint64(ppa), nil
+}
+
+// ReadPage reads lpa on behalf of TEE t through the full §4.6 data path:
+// permission-checked translation, flash read, stream-cipher encryption
+// across the internal bus, decryption into the TEE's DRAM. Returns the
+// plaintext the TEE sees.
+func (r *Runtime) ReadPage(t *TEE, lpa ftl.LPA) ([]byte, error) {
+	ppa, err := r.ReadMappingEntry(t, lpa)
+	if err != nil {
+		return nil, err
+	}
+	done, data, err := r.ftl.Device().Read(r.now, flash.PPA(ppa))
+	if err != nil {
+		return nil, err
+	}
+	r.now = done
+	// The flash controller encrypts the page with the PPA-bound IV; only
+	// ciphertext crosses the bus; the DRAM-side engine decrypts.
+	page := make([]byte, r.ftl.Device().Geometry().PageSize)
+	copy(page, data)
+	r.cipher.EncryptPage(uint32(ppa), page)
+	r.lastBusPage = append(r.lastBusPage[:0], page...)
+	r.cipher.DecryptPage(uint32(ppa), page)
+	r.stats.BusPages++
+	return page, nil
+}
+
+// WritePage writes data to lpa on behalf of TEE t. The TEE must own the
+// mapping entry (or the page must be unowned intermediate space the
+// runtime assigns to it first).
+func (r *Runtime) WritePage(t *TEE, lpa ftl.LPA, data []byte) error {
+	if t.state != StateRunning {
+		return fmt.Errorf("%w: %s", ErrAborted, t.abortMsg)
+	}
+	id, err := r.ftl.IDOf(lpa)
+	if err != nil {
+		return err
+	}
+	if id != t.eid && id != ftl.IDNone {
+		r.ThrowOutTEE(t, fmt.Sprintf("write access-control violation on LPA %d", lpa))
+		return fmt.Errorf("%w: LPA %d owned by %d", ftl.ErrAccessDenied, lpa, id)
+	}
+	done, err := r.ftl.Write(r.now, lpa, data)
+	if err != nil {
+		return err
+	}
+	if id == ftl.IDNone {
+		if err := r.ftl.SetID(lpa, t.eid); err != nil {
+			return err
+		}
+		t.lpas = append(t.lpas, lpa)
+	}
+	r.cmt.Update(lpa)
+	r.now = done
+	return nil
+}
+
+// CheckMemoryAccess validates a normal-world access (a TEE or any
+// in-storage program) against the TrustZone region map — the Figure 6
+// permission matrix. Secure-world code does not call this.
+func (r *Runtime) CheckMemoryAccess(addr, size uint64, write bool) error {
+	return r.space.Check(trustzone.Normal, addr, size, write)
+}

@@ -1,0 +1,65 @@
+package trivium
+
+import "encoding/binary"
+
+// Engine models the IceClave stream cipher engine placed in the flash
+// controller (paper Figure 10). It holds the device key in a register that
+// is architecturally invisible to in-storage programs, and derives a fresh
+// 80-bit IV per flash page from a pseudo-random 48-bit base concatenated
+// with the page's 32-bit physical page address (PPA).
+//
+// The same engine and IV decrypt the data on the DRAM side, so only
+// ciphertext ever crosses the internal bus. The hardware produces 64
+// keystream bits per cycle; the cycle cost model lives in the timing layer,
+// this type provides the functional transformation.
+type Engine struct {
+	key    [KeySize]byte
+	ivBase uint64 // 48-bit temporally-unique base, advanced per epoch
+	cipher Cipher
+}
+
+// NewEngine returns an engine keyed with key (10 bytes) and an initial IV
+// base. Only the low 48 bits of ivBase are used.
+func NewEngine(key []byte, ivBase uint64) *Engine {
+	if len(key) != KeySize {
+		panic("trivium: engine key must be 10 bytes")
+	}
+	e := &Engine{ivBase: ivBase & (1<<48 - 1)}
+	copy(e.key[:], key)
+	return e
+}
+
+// IVBase returns the current 48-bit IV base.
+func (e *Engine) IVBase() uint64 { return e.ivBase }
+
+// AdvanceEpoch replaces the IV base, e.g. after a key-rotation epoch. The
+// paper constructs temporal uniqueness from a PRNG; the device feeds a new
+// base in here.
+func (e *Engine) AdvanceEpoch(newBase uint64) { e.ivBase = newBase & (1<<48 - 1) }
+
+// IVFor builds the 80-bit IV for a physical page address: 48 bits of the
+// epoch base followed by the 32-bit PPA. Spatial uniqueness comes from the
+// PPA, temporal uniqueness from the base.
+func (e *Engine) IVFor(ppa uint32) [IVSize]byte {
+	var iv [IVSize]byte
+	iv[0] = byte(e.ivBase >> 40)
+	iv[1] = byte(e.ivBase >> 32)
+	iv[2] = byte(e.ivBase >> 24)
+	iv[3] = byte(e.ivBase >> 16)
+	iv[4] = byte(e.ivBase >> 8)
+	iv[5] = byte(e.ivBase)
+	binary.BigEndian.PutUint32(iv[6:], ppa)
+	return iv
+}
+
+// EncryptPage XORs the page in place with the keystream derived from the
+// device key and the page's PPA-bound IV. Decryption is the same
+// operation, so DecryptPage is an alias kept for readable call sites.
+func (e *Engine) EncryptPage(ppa uint32, page []byte) {
+	iv := e.IVFor(ppa)
+	e.cipher.Reset(e.key[:], iv[:])
+	e.cipher.XORKeyStream(page, page)
+}
+
+// DecryptPage reverses EncryptPage for the same PPA and epoch.
+func (e *Engine) DecryptPage(ppa uint32, page []byte) { e.EncryptPage(ppa, page) }

@@ -1,0 +1,185 @@
+package trustzone
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"iceclave/internal/sim"
+)
+
+func TestPermissionMatrix(t *testing.T) {
+	// The Figure 6 matrix: rows are (region, world, write) -> allowed.
+	cases := []struct {
+		kind  RegionKind
+		world World
+		write bool
+		want  bool
+	}{
+		{RegionSecure, Secure, false, true},
+		{RegionSecure, Secure, true, true},
+		{RegionSecure, Normal, false, false},
+		{RegionSecure, Normal, true, false},
+		{RegionProtected, Secure, false, true},
+		{RegionProtected, Secure, true, true},
+		{RegionProtected, Normal, false, true},
+		{RegionProtected, Normal, true, false},
+		{RegionNormal, Secure, false, true},
+		{RegionNormal, Secure, true, true},
+		{RegionNormal, Normal, false, true},
+		{RegionNormal, Normal, true, true},
+	}
+	for _, c := range cases {
+		if got := AttrFor(c.kind).Allows(c.world, c.write); got != c.want {
+			t.Errorf("Allows(%v, %v, write=%v) = %v, want %v", c.kind, c.world, c.write, got, c.want)
+		}
+	}
+}
+
+func TestAttrEncodingRoundTrip(t *testing.T) {
+	for _, k := range []RegionKind{RegionSecure, RegionProtected, RegionNormal} {
+		if got := AttrFor(k).Kind(); got != k {
+			t.Errorf("attr roundtrip for %v = %v", k, got)
+		}
+	}
+}
+
+func TestAttrBits(t *testing.T) {
+	if a := AttrFor(RegionSecure); a.NS {
+		t.Fatal("secure region has NS set")
+	}
+	if a := AttrFor(RegionProtected); !a.NS || !a.ES {
+		t.Fatal("protected region must be NS=1 ES=1")
+	}
+	if a := AttrFor(RegionNormal); !a.NS || a.ES {
+		t.Fatal("normal region must be NS=1 ES=0")
+	}
+}
+
+func buildSpace(t *testing.T) *AddressSpace {
+	t.Helper()
+	as := &AddressSpace{}
+	regions := []Region{
+		{Name: "secure", Base: 0, Size: 0x1000, Kind: RegionSecure},
+		{Name: "protected", Base: 0x1000, Size: 0x1000, Kind: RegionProtected},
+		{Name: "normal", Base: 0x2000, Size: 0x2000, Kind: RegionNormal},
+	}
+	for _, r := range regions {
+		if err := as.AddRegion(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return as
+}
+
+func TestAddressSpaceChecks(t *testing.T) {
+	as := buildSpace(t)
+	// Normal world cannot touch the secure region.
+	if err := as.Check(Normal, 0x10, 8, false); !errors.Is(err, ErrFault) {
+		t.Fatalf("normal read of secure region: %v", err)
+	}
+	// Normal world can read but not write the protected region.
+	if err := as.Check(Normal, 0x1010, 8, false); err != nil {
+		t.Fatalf("normal read of protected region: %v", err)
+	}
+	if err := as.Check(Normal, 0x1010, 8, true); !errors.Is(err, ErrFault) {
+		t.Fatalf("normal write of protected region: %v", err)
+	}
+	// Secure world can write everywhere.
+	for _, addr := range []uint64{0x10, 0x1010, 0x2010} {
+		if err := as.Check(Secure, addr, 8, true); err != nil {
+			t.Fatalf("secure write at %#x: %v", addr, err)
+		}
+	}
+	// Unmapped access faults.
+	if err := as.Check(Secure, 0x5000, 8, false); !errors.Is(err, ErrFault) {
+		t.Fatalf("unmapped access: %v", err)
+	}
+}
+
+func TestCheckSpanningRegions(t *testing.T) {
+	as := buildSpace(t)
+	// A read spanning protected+normal succeeds from the normal world...
+	if err := as.Check(Normal, 0x1FF0, 0x20, false); err != nil {
+		t.Fatalf("spanning read: %v", err)
+	}
+	// ...but a write spanning them faults on the protected part.
+	if err := as.Check(Normal, 0x1FF0, 0x20, true); !errors.Is(err, ErrFault) {
+		t.Fatalf("spanning write: %v", err)
+	}
+	// A read spanning secure+protected faults from the normal world.
+	if err := as.Check(Normal, 0xFF0, 0x20, false); !errors.Is(err, ErrFault) {
+		t.Fatalf("spanning secure read: %v", err)
+	}
+}
+
+func TestOverlapRejected(t *testing.T) {
+	as := buildSpace(t)
+	err := as.AddRegion(Region{Name: "bad", Base: 0x800, Size: 0x1000, Kind: RegionNormal})
+	if err == nil {
+		t.Fatal("overlapping region accepted")
+	}
+	if err := as.AddRegion(Region{Name: "empty", Base: 0x9000, Size: 0}); err == nil {
+		t.Fatal("zero-size region accepted")
+	}
+}
+
+func TestRegionAt(t *testing.T) {
+	as := buildSpace(t)
+	r, ok := as.RegionAt(0x1800)
+	if !ok || r.Name != "protected" {
+		t.Fatalf("RegionAt(0x1800) = %+v, %v", r, ok)
+	}
+	if _, ok := as.RegionAt(0x4000); ok {
+		t.Fatal("RegionAt of unmapped address succeeded")
+	}
+}
+
+func TestMonitorSwitchAccounting(t *testing.T) {
+	m := NewMonitor(3800 * sim.Nanosecond)
+	if m.World() != Secure {
+		t.Fatal("monitor must boot in the secure world")
+	}
+	at := m.SwitchTo(0, Normal)
+	if at != 3800*sim.Nanosecond {
+		t.Fatalf("switch cost = %v", at)
+	}
+	// Switching to the current world is free.
+	if got := m.SwitchTo(at, Normal); got != at {
+		t.Fatal("no-op switch charged time")
+	}
+	if m.Switches() != 1 {
+		t.Fatalf("switches = %d, want 1", m.Switches())
+	}
+}
+
+func TestMonitorRoundTrip(t *testing.T) {
+	m := NewMonitor(1000)
+	m.SwitchTo(0, Normal)
+	at := m.RoundTrip(10_000)
+	if at != 12_000 {
+		t.Fatalf("round trip completed at %v, want 12000", at)
+	}
+	if m.World() != Normal {
+		t.Fatal("round trip must return to the normal world")
+	}
+	if m.Switches() != 3 {
+		t.Fatalf("switches = %d, want 3", m.Switches())
+	}
+}
+
+func TestSecureWorldDominatesProperty(t *testing.T) {
+	// Property: any access the normal world may perform, the secure world
+	// may also perform.
+	f := func(kindRaw uint8, write bool) bool {
+		kind := RegionKind(kindRaw % 3)
+		a := AttrFor(kind)
+		if a.Allows(Normal, write) && !a.Allows(Secure, write) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
