@@ -1,0 +1,36 @@
+GO ?= go
+
+.PHONY: all build vet test race ci bench fuzz
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# ci is the gate future PRs must keep green: clean build, clean vet, and
+# the full test suite (including the 32-tenant offload stress and the
+# isolation-under-concurrency tests) under the race detector.
+ci: build vet race
+
+# bench regenerates the committed machine-readable performance record:
+# serial vs parallel experiment-suite wall time plus the scheduler
+# offload storm (see cmd/iceclave-bench -bench-json).
+bench:
+	$(GO) run ./cmd/iceclave-bench -bench-json BENCH_results.json -workers 4
+
+# fuzz gives each cipher/MEE fuzz target a short budget beyond the
+# committed regression corpus in testdata/fuzz.
+fuzz:
+	$(GO) test -run='^$$' -fuzz=FuzzKeystreamRoundTrip -fuzztime=20s ./internal/trivium
+	$(GO) test -run='^$$' -fuzz=FuzzEnginePageRoundTrip -fuzztime=20s ./internal/trivium
+	$(GO) test -run='^$$' -fuzz=FuzzEngineWriteReadMAC -fuzztime=20s ./internal/mee
+	$(GO) test -run='^$$' -fuzz=FuzzEngineCounterReplay -fuzztime=20s ./internal/mee

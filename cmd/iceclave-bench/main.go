@@ -1,29 +1,51 @@
 // iceclave-bench regenerates every table and figure of the paper's
 // evaluation section and prints them as text tables (optionally CSV).
 //
+// The harness can run serially (the seed behaviour) or spread each
+// experiment's independent replays across worker goroutines; both modes
+// emit byte-identical tables. With -bench-json it times the two modes,
+// drives a multi-tenant offload storm through the internal/sched worker
+// pool, and writes a machine-readable BENCH_results.json so the
+// performance trajectory is trackable across PRs.
+//
 // Usage:
 //
 //	iceclave-bench [-experiment "Figure 11"] [-csv] [-rows N]
+//	               [-parallel] [-workers N]
+//	               [-bench-json BENCH_results.json] [-tenants N] [-jobs N]
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"strings"
+	"time"
 
+	"iceclave"
 	"iceclave/internal/core"
 	"iceclave/internal/experiments"
+	"iceclave/internal/host"
+	"iceclave/internal/query"
+	"iceclave/internal/sched"
 	"iceclave/internal/stats"
 	"iceclave/internal/workload"
 )
 
 func main() {
 	var (
-		exp  = flag.String("experiment", "", "regenerate only the named experiment (e.g. \"Figure 11\", \"Table 6\")")
-		csv  = flag.Bool("csv", false, "emit CSV instead of aligned tables")
-		rows = flag.Int("rows", 0, "override lineitem row count (dataset scale)")
+		exp      = flag.String("experiment", "", "regenerate only the named experiment (e.g. \"Figure 11\", \"Table 6\")")
+		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		rows     = flag.Int("rows", 0, "override lineitem row count (dataset scale)")
+		parallel = flag.Bool("parallel", false, "spread experiment replays across -workers goroutines")
+		workers  = flag.Int("workers", runtime.NumCPU(), "replay parallelism for -parallel and -bench-json")
+		benchOut = flag.String("bench-json", "", "time serial vs parallel suite plus a scheduler offload storm; write results to this file")
+		tenants  = flag.Int("tenants", 32, "concurrent tenants in the -bench-json scheduler storm")
+		jobs     = flag.Int("jobs", 4, "offloads per tenant in the -bench-json scheduler storm")
 	)
 	flag.Parse()
 
@@ -32,6 +54,16 @@ func main() {
 		sc.LineitemRows = *rows
 	}
 	suite := experiments.NewSuite(sc, core.DefaultConfig())
+	if *parallel {
+		suite.SetWorkers(*workers)
+	}
+
+	if *benchOut != "" {
+		if err := runBench(sc, *workers, *tenants, *jobs, *benchOut); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	var tables []*stats.Table
 	if *exp == "" {
@@ -54,6 +86,177 @@ func main() {
 			fmt.Println(tb.String())
 		}
 	}
+}
+
+// benchResults is the machine-readable performance record.
+type benchResults struct {
+	GeneratedAt  string `json:"generated_at"`
+	NumCPU       int    `json:"num_cpu"`
+	GOMAXPROCS   int    `json:"gomaxprocs"`
+	Workers      int    `json:"workers"`
+	LineitemRows int    `json:"lineitem_rows"`
+
+	// Suite timings: one All() pass over warmed traces, ns/op.
+	SuiteSerialNs   int64   `json:"suite_serial_ns_per_op"`
+	SuiteParallelNs int64   `json:"suite_parallel_ns_per_op"`
+	SuiteSpeedup    float64 `json:"suite_speedup"`
+	OutputIdentical bool    `json:"output_identical"`
+
+	Scheduler schedResults `json:"scheduler"`
+}
+
+// schedResults records the multi-tenant offload storm.
+type schedResults struct {
+	Tenants        int     `json:"tenants"`
+	JobsPerTenant  int     `json:"jobs_per_tenant"`
+	Workers        int     `json:"workers"`
+	Completed      int64   `json:"completed"`
+	Failed         int64   `json:"failed"`
+	WallNs         int64   `json:"wall_ns"`
+	OffloadsPerSec float64 `json:"offloads_per_sec"`
+}
+
+// runBench times the serial and parallel evaluation harness over the same
+// warmed traces, verifies their output is identical, storms the scheduler
+// with concurrent tenants, and writes the JSON record.
+func runBench(sc workload.Scale, workers, tenants, jobs int, outPath string) error {
+	suite := experiments.NewSuite(sc, core.DefaultConfig())
+	// Warm the trace cache so both timed passes measure replay work only.
+	fmt.Fprintf(os.Stderr, "recording workload traces...\n")
+	for _, name := range workload.Names() {
+		if _, err := suite.Trace(name); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(os.Stderr, "timing serial suite...\n")
+	t0 := time.Now()
+	serialTables, err := suite.All()
+	if err != nil {
+		return err
+	}
+	serialNs := time.Since(t0).Nanoseconds()
+
+	fmt.Fprintf(os.Stderr, "timing parallel suite (%d workers)...\n", workers)
+	t1 := time.Now()
+	parallelTables, err := suite.AllParallel(workers)
+	if err != nil {
+		return err
+	}
+	parallelNs := time.Since(t1).Nanoseconds()
+
+	identical := len(serialTables) == len(parallelTables)
+	if identical {
+		for i := range serialTables {
+			if serialTables[i].String() != parallelTables[i].String() {
+				identical = false
+				break
+			}
+		}
+	}
+
+	st, err := runSchedulerStorm(tenants, jobs, workers)
+	if err != nil {
+		return err
+	}
+
+	res := benchResults{
+		GeneratedAt:     time.Now().UTC().Format(time.RFC3339),
+		NumCPU:          runtime.NumCPU(),
+		GOMAXPROCS:      runtime.GOMAXPROCS(0),
+		Workers:         workers,
+		LineitemRows:    sc.LineitemRows,
+		SuiteSerialNs:   serialNs,
+		SuiteParallelNs: parallelNs,
+		SuiteSpeedup:    float64(serialNs) / float64(parallelNs),
+		OutputIdentical: identical,
+		Scheduler:       st,
+	}
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(outPath, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("suite: serial %.2fs, parallel %.2fs (%.2fx, %d workers, identical=%v)\n",
+		float64(serialNs)/1e9, float64(parallelNs)/1e9, res.SuiteSpeedup, workers, identical)
+	fmt.Printf("scheduler: %d tenants x %d offloads in %.2fs (%.1f offloads/s, %d failed)\n",
+		tenants, jobs, float64(st.WallNs)/1e9, st.OffloadsPerSec, st.Failed)
+	fmt.Printf("wrote %s\n", outPath)
+	return nil
+}
+
+// runSchedulerStorm drives tenants*jobs full offload round trips (create
+// TEE, encrypted reads, intermediate write, terminate) through the
+// admission-controlled worker pool.
+func runSchedulerStorm(tenants, jobs, workers int) (schedResults, error) {
+	ssd, err := iceclave.Open(iceclave.Options{Channels: 2, BlocksPerPlane: 8})
+	if err != nil {
+		return schedResults{}, err
+	}
+	const pagesPerTenant = 4
+	lpas := make([][]uint32, tenants)
+	for ti := 0; ti < tenants; ti++ {
+		for p := 0; p < pagesPerTenant; p++ {
+			lpa := uint32(ti*pagesPerTenant + p)
+			if err := ssd.HostWrite(lpa, []byte{byte(ti), byte(p)}); err != nil {
+				return schedResults{}, err
+			}
+			lpas[ti] = append(lpas[ti], lpa)
+		}
+	}
+	interBase := uint32(tenants * pagesPerTenant)
+	if workers > 12 {
+		workers = 12 // stay under the 15 live TEE IDs with headroom
+	}
+	s := sched.New(sched.Config{
+		Workers:           workers,
+		TenantMaxInFlight: 1,
+		MaxInFlight:       12,
+		QueueDepth:        tenants * jobs,
+	})
+	start := time.Now()
+	for ti := 0; ti < tenants; ti++ {
+		ti := ti
+		for j := 0; j < jobs; j++ {
+			j := j
+			_, err := s.Submit(fmt.Sprintf("tenant-%02d", ti), sched.Priority(j%3), func(context.Context) error {
+				own := lpas[ti]
+				inter := interBase + uint32(ti)
+				_, err := ssd.Execute(host.Offload{
+					TaskID: uint32(ti*jobs + j),
+					Binary: make([]byte, 32<<10),
+					LPAs:   append(append([]uint32(nil), own...), inter),
+				}, func(st query.Store, m *query.Meter) ([]byte, error) {
+					for _, lpa := range own {
+						if _, err := st.ReadPage(lpa); err != nil {
+							return nil, err
+						}
+					}
+					return []byte{byte(ti), byte(j)}, st.WritePage(inter, []byte{byte(ti), byte(j)})
+				})
+				return err
+			})
+			if err != nil {
+				return schedResults{}, err
+			}
+		}
+	}
+	if err := s.Close(context.Background()); err != nil {
+		return schedResults{}, err
+	}
+	wall := time.Since(start)
+	st := s.Stats()
+	return schedResults{
+		Tenants:        tenants,
+		JobsPerTenant:  jobs,
+		Workers:        workers,
+		Completed:      st.Completed,
+		Failed:         st.Failed,
+		WallNs:         wall.Nanoseconds(),
+		OffloadsPerSec: float64(st.Completed) / wall.Seconds(),
+	}, nil
 }
 
 func one(s *experiments.Suite, name string) (*stats.Table, error) {

@@ -1,0 +1,240 @@
+package iceclave
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"iceclave/internal/ftl"
+	"iceclave/internal/host"
+	"iceclave/internal/query"
+	"iceclave/internal/sched"
+	"iceclave/internal/tee"
+)
+
+// stressTenantPages is each tenant's disjoint data-page count in the
+// concurrency tests; page i of tenant t holds {byte(t), byte(i)}.
+const stressTenantPages = 4
+
+// seedTenantData writes every tenant's pages through the host path and
+// returns the per-tenant LPA lists.
+func seedTenantData(t testing.TB, ssd *SSD, tenants int) [][]uint32 {
+	t.Helper()
+	lpas := make([][]uint32, tenants)
+	for ti := 0; ti < tenants; ti++ {
+		for p := 0; p < stressTenantPages; p++ {
+			lpa := uint32(ti*stressTenantPages + p)
+			if err := ssd.HostWrite(lpa, []byte{byte(ti), byte(p)}); err != nil {
+				t.Fatal(err)
+			}
+			lpas[ti] = append(lpas[ti], lpa)
+		}
+	}
+	return lpas
+}
+
+// TestConcurrentOffloadStress drives ≥32 tenants through the scheduler,
+// each repeatedly offloading, reading its own pages through the encrypted
+// data path, writing intermediate output, and terminating. The total TEE
+// count deliberately exceeds what the heap area could hold without
+// reclamation, so lifecycle churn is exercised end to end. Run with -race.
+func TestConcurrentOffloadStress(t *testing.T) {
+	const tenants, jobsPerTenant = 32, 8
+	ssd, err := Open(Options{Channels: 2, BlocksPerPlane: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lpas := seedTenantData(t, ssd, tenants)
+	// Disjoint intermediate LPAs, far above the data region.
+	interBase := uint32(tenants * stressTenantPages)
+
+	s := sched.New(sched.Config{
+		Workers:           8,
+		TenantMaxInFlight: 1,
+		MaxInFlight:       12, // stay below the 15 live TEE IDs
+		QueueDepth:        tenants * jobsPerTenant,
+	})
+	var handles []*sched.Handle
+	for ti := 0; ti < tenants; ti++ {
+		ti := ti
+		tenant := fmt.Sprintf("tenant-%02d", ti)
+		for j := 0; j < jobsPerTenant; j++ {
+			j := j
+			h, err := s.Submit(tenant, sched.Priority(j%3), func(context.Context) error {
+				own := append([]uint32(nil), lpas[ti]...)
+				inter := interBase + uint32(ti)
+				res, err := ssd.Execute(host.Offload{
+					TaskID: uint32(ti*jobsPerTenant + j),
+					Binary: make([]byte, 32<<10),
+					LPAs:   append(own, inter),
+				}, func(st query.Store, m *query.Meter) ([]byte, error) {
+					for p, lpa := range own[:2] {
+						data, err := st.ReadPage(lpa)
+						if err != nil {
+							return nil, fmt.Errorf("read %d: %w", lpa, err)
+						}
+						if data[0] != byte(ti) || data[1] != byte(p) {
+							return nil, fmt.Errorf("tenant %d saw foreign data %v on LPA %d", ti, data[:2], lpa)
+						}
+					}
+					payload := []byte{byte(ti), byte(j), 0xA5}
+					if err := st.WritePage(inter, payload); err != nil {
+						return nil, fmt.Errorf("write %d: %w", inter, err)
+					}
+					back, err := st.ReadPage(inter)
+					if err != nil {
+						return nil, err
+					}
+					if !bytes.Equal(back[:3], payload) {
+						return nil, fmt.Errorf("intermediate round trip lost data")
+					}
+					return payload, nil
+				})
+				if err != nil {
+					return err
+				}
+				if len(res) != 3 || res[0] != byte(ti) || res[1] != byte(j) {
+					return fmt.Errorf("result cross-contaminated: %v", res)
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			handles = append(handles, h)
+		}
+	}
+	if err := s.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	for i, h := range handles {
+		if err := h.Wait(); err != nil {
+			t.Fatalf("job %d: %v", i, err)
+		}
+	}
+	st := s.Stats()
+	if st.Completed != tenants*jobsPerTenant || st.Failed != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	rst := ssd.Runtime().Stats()
+	if rst.Created != tenants*jobsPerTenant || rst.Terminated != tenants*jobsPerTenant {
+		t.Fatalf("runtime lifecycle counters = %+v", rst)
+	}
+	if ssd.Runtime().Live() != 0 {
+		t.Fatalf("%d TEEs leaked", ssd.Runtime().Live())
+	}
+	// All heap reclaimed after full churn.
+	if free := ssd.Runtime().HeapFree(); free != (4<<30)-(128<<20) {
+		t.Fatalf("heap not fully reclaimed: %d bytes free", free)
+	}
+	for ti := 0; ti < tenants; ti++ {
+		ts := s.TenantStats(fmt.Sprintf("tenant-%02d", ti))
+		if ts.Completed != jobsPerTenant {
+			t.Fatalf("tenant %d completed %d/%d", ti, ts.Completed, jobsPerTenant)
+		}
+	}
+}
+
+// TestIsolationUnderConcurrency proves the paper's isolation guarantee
+// holds mid-flight: while victim TEEs stream their own data, concurrent
+// attacker TEEs probing foreign mapping entries are denied and thrown
+// out, without perturbing the victims.
+func TestIsolationUnderConcurrency(t *testing.T) {
+	const victims, attackers = 6, 6
+	ssd, err := Open(Options{Channels: 2, BlocksPerPlane: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lpas := seedTenantData(t, ssd, victims+attackers)
+
+	victimTasks := make([]*Task, victims)
+	for i := 0; i < victims; i++ {
+		victimTasks[i], err = ssd.OffloadCode(host.Offload{
+			TaskID: uint32(i), Binary: []byte{1}, LPAs: lpas[i],
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	started := make(chan struct{})
+	var startOnce sync.Once
+	var wg sync.WaitGroup
+	errCh := make(chan error, victims+attackers)
+
+	// Victims stream their own pages the whole time.
+	for i := 0; i < victims; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for round := 0; round < 30; round++ {
+				startOnce.Do(func() { close(started) })
+				for p, lpa := range lpas[i] {
+					data, err := victimTasks[i].Store().ReadPage(lpa)
+					if err != nil {
+						errCh <- fmt.Errorf("victim %d read %d: %w", i, lpa, err)
+						return
+					}
+					if data[0] != byte(i) || data[1] != byte(p) {
+						errCh <- fmt.Errorf("victim %d read wrong bytes %v", i, data[:2])
+						return
+					}
+				}
+			}
+		}(i)
+	}
+	// Attackers probe victims' LPAs mid-flight.
+	for i := 0; i < attackers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-started
+			ai := victims + i
+			task, err := ssd.OffloadCode(host.Offload{
+				TaskID: uint32(ai), Binary: []byte{1}, LPAs: lpas[ai],
+			})
+			if err != nil {
+				errCh <- fmt.Errorf("attacker %d offload: %w", i, err)
+				return
+			}
+			target := lpas[i%victims][0] // some victim's page
+			if _, err := task.Store().ReadPage(target); !errors.Is(err, ftl.ErrAccessDenied) {
+				errCh <- fmt.Errorf("attacker %d cross-TEE read returned %v, want access denied", i, err)
+				return
+			}
+			if st := task.TEE().State(); st != tee.StateAborted {
+				errCh <- fmt.Errorf("attacker %d state %v after violation, want aborted", i, st)
+				return
+			}
+			// The aborted TEE is dead even for its own pages.
+			if _, err := task.Store().ReadPage(lpas[ai][0]); !errors.Is(err, tee.ErrAborted) {
+				errCh <- fmt.Errorf("attacker %d still served after abort: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+	if got := ssd.Runtime().Stats().Aborted; got != attackers {
+		t.Fatalf("aborted = %d, want %d", got, attackers)
+	}
+	// Victims remain healthy and readable after the attack wave.
+	for i, task := range victimTasks {
+		if st := task.TEE().State(); st != tee.StateRunning {
+			t.Fatalf("victim %d state %v", i, st)
+		}
+		if _, err := task.Store().ReadPage(lpas[i][0]); err != nil {
+			t.Fatalf("victim %d read after attacks: %v", i, err)
+		}
+		if err := task.Finish(nil); err != nil {
+			t.Fatalf("victim %d finish: %v", i, err)
+		}
+	}
+}

@@ -1,69 +1,146 @@
-// Multitenant: collocates several in-storage TEEs on one SSD — the
-// Figure 17/18 scenario. Functionally, each tenant gets its own TEE with
-// disjoint ID bits; on the timing model, tenants contend for channels,
-// dies, cores, and the mapping cache, and the example reports the
-// per-tenant slowdown versus running alone.
+// Multitenant: collocates many in-storage TEEs on one SSD — the
+// Figure 17/18 scenario scaled up to a production-shaped tenant fleet.
+//
+// Part 1 (functional) drives 24 tenants through the internal/sched
+// admission-controlled worker pool: each tenant repeatedly offloads a
+// program that scans its own pages through the encrypted data path and
+// writes intermediate output, all concurrently, while one malicious
+// tenant probes a neighbour's pages and gets its TEE thrown out
+// mid-flight. Per-tenant metering comes back from the scheduler.
+//
+// Part 2 (timing) replays the paper's collocation mixes on the
+// discrete-event model and reports the per-tenant slowdown versus
+// running alone.
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log"
+	"sort"
 
 	"iceclave"
 	"iceclave/internal/core"
+	"iceclave/internal/ftl"
 	"iceclave/internal/host"
 	"iceclave/internal/query"
+	"iceclave/internal/sched"
 	"iceclave/internal/workload"
 )
 
 func main() {
-	// Functional: three tenants, isolated datasets, concurrent TEEs.
+	const (
+		tenants        = 24
+		jobsPerTenant  = 3
+		pagesPerTenant = 8
+	)
 	ssd, err := iceclave.Open(iceclave.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}
-	const pagesPerTenant = 256
-	type tenant struct {
-		task *iceclave.Task
-		lpas []uint32
-	}
-	var tenants []tenant
-	for i := 0; i < 3; i++ {
-		base := uint32(i * pagesPerTenant)
-		var lpas []uint32
-		for p := uint32(0); p < pagesPerTenant; p++ {
-			lpa := base + p
-			if err := ssd.HostWrite(lpa, []byte{byte(i), byte(p)}); err != nil {
+	// Seed each tenant's disjoint dataset through the host path.
+	lpas := make([][]uint32, tenants)
+	for ti := 0; ti < tenants; ti++ {
+		for p := 0; p < pagesPerTenant; p++ {
+			lpa := uint32(ti*pagesPerTenant + p)
+			if err := ssd.HostWrite(lpa, []byte{byte(ti), byte(p)}); err != nil {
 				log.Fatal(err)
 			}
-			lpas = append(lpas, lpa)
-		}
-		task, err := ssd.OffloadCode(host.Offload{
-			TaskID: uint32(i), Binary: make([]byte, 32<<10), LPAs: lpas,
-		})
-		if err != nil {
-			log.Fatal(err)
-		}
-		tenants = append(tenants, tenant{task, lpas})
-	}
-	fmt.Printf("created %d concurrent TEEs with IDs", len(tenants))
-	for _, tn := range tenants {
-		fmt.Printf(" %d", tn.task.TEE().EID())
-	}
-	fmt.Println()
-	// Each tenant reads its own data; none can read a neighbour's.
-	for i, tn := range tenants {
-		if _, err := tn.task.Store().ReadPage(tn.lpas[0]); err != nil {
-			log.Fatalf("tenant %d blocked from own data: %v", i, err)
+			lpas[ti] = append(lpas[ti], lpa)
 		}
 	}
-	other := tenants[1].lpas[0]
-	if _, err := tenants[0].task.Store().ReadPage(other); err == nil {
-		log.Fatal("tenant 0 read tenant 1's data")
+	interBase := uint32(tenants * pagesPerTenant)
+
+	pool := sched.New(sched.Config{
+		Workers:           8,
+		TenantMaxInFlight: 1,  // one live TEE per tenant
+		MaxInFlight:       12, // below the 15 live TEE IDs of §4.3
+		QueueDepth:        tenants * jobsPerTenant,
+	})
+	fmt.Printf("== %d tenants x %d offloads through the scheduler (%d workers) ==\n",
+		tenants, jobsPerTenant, pool.Config().Workers)
+	var handles []*sched.Handle
+	for ti := 0; ti < tenants; ti++ {
+		ti := ti
+		for j := 0; j < jobsPerTenant; j++ {
+			j := j
+			h, err := pool.Submit(fmt.Sprintf("tenant-%02d", ti), sched.PriorityNormal, func(context.Context) error {
+				own := lpas[ti]
+				inter := interBase + uint32(ti)
+				_, err := ssd.Execute(host.Offload{
+					TaskID: uint32(ti*jobsPerTenant + j),
+					Binary: make([]byte, 32<<10),
+					LPAs:   append(append([]uint32(nil), own...), inter),
+				}, func(st query.Store, m *query.Meter) ([]byte, error) {
+					for p, lpa := range own {
+						data, err := st.ReadPage(lpa)
+						if err != nil {
+							return nil, err
+						}
+						if data[0] != byte(ti) || data[1] != byte(p) {
+							return nil, fmt.Errorf("tenant %d read foreign bytes", ti)
+						}
+					}
+					return []byte{byte(ti)}, st.WritePage(inter, []byte{byte(ti), byte(j)})
+				})
+				return err
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			handles = append(handles, h)
+		}
+	}
+	if err := pool.Close(context.Background()); err != nil {
+		log.Fatal(err)
+	}
+	for _, h := range handles {
+		if err := h.Wait(); err != nil {
+			log.Fatalf("tenant job failed: %v", err)
+		}
+	}
+	names := make([]string, 0, tenants)
+	for name := range pool.Tenants() {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Printf("%-12s %9s %9s %11s\n", "tenant", "completed", "failed", "queue-wait")
+	for _, name := range names[:4] {
+		ts := pool.TenantStats(name)
+		fmt.Printf("%-12s %9d %9d %11v\n", name, ts.Completed, ts.Failed, ts.QueueWait.Round(1000))
+	}
+	fmt.Printf("... (%d more tenants, all %d offloads completed, %d TEEs live after drain)\n",
+		tenants-4, pool.Stats().Completed, ssd.Runtime().Live())
+
+	// A malicious tenant probes a live neighbour's mapping entries
+	// mid-flight: the victim TEE below is running and owns its pages when
+	// the attacker reads them — access denied, attacker thrown out, the
+	// victim keeps serving.
+	victim, err := ssd.OffloadCode(host.Offload{
+		TaskID: 998, Binary: []byte{1}, LPAs: lpas[0],
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	attacker, err := ssd.OffloadCode(host.Offload{
+		TaskID: 999, Binary: []byte{1}, LPAs: []uint32{interBase + tenants},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := attacker.Store().ReadPage(lpas[0][0]); errors.Is(err, ftl.ErrAccessDenied) {
+		fmt.Printf("cross-tenant read denied and attacker thrown out: state=%v\n", attacker.TEE().State())
 	} else {
-		fmt.Printf("cross-tenant read denied: tenant 0 -> LPA %d\n", other)
+		log.Fatalf("attacker read tenant 0's data: %v", err)
 	}
-	_ = query.Meter{}
+	if _, err := victim.Store().ReadPage(lpas[0][0]); err != nil {
+		log.Fatalf("victim perturbed by attack: %v", err)
+	}
+	fmt.Printf("victim unaffected: state=%v\n", victim.TEE().State())
+	if err := victim.Finish(nil); err != nil {
+		log.Fatal(err)
+	}
 
 	// Timing: collocate TPC-C with scan workloads and measure degradation.
 	fmt.Println("\n== timing: collocation slowdown (IceClave mode) ==")

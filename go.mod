@@ -1,0 +1,3 @@
+module iceclave
+
+go 1.24

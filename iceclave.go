@@ -14,6 +14,14 @@
 //   - The evaluation harness (internal/experiments, surfaced through the
 //     cmd/iceclave-bench tool and the root benchmarks), which regenerates
 //     every table and figure of the paper's evaluation.
+//
+// The SSD is safe for concurrent use: many tenants can OffloadCode,
+// execute, and Finish from their own goroutines, and isolation holds
+// mid-flight — a cross-TEE access still fails and aborts the offender
+// while its neighbours keep running. internal/sched provides the
+// admission-controlled worker pool (per-tenant in-flight caps, priority
+// bands, graceful drain) that production multi-tenant deployments put in
+// front of Execute.
 package iceclave
 
 import (
@@ -154,6 +162,33 @@ func (s teeStore) ReadPage(lpa uint32) ([]byte, error) {
 func (s teeStore) WritePage(lpa uint32, data []byte) error {
 	s.t.meter.PagesWritten++
 	return s.t.ssd.runtime.WritePage(s.t.tee, ftl.LPA(lpa), data)
+}
+
+// Program is an offloaded in-storage program body: it computes over the
+// task's permission-checked store, accounts its work in the meter, and
+// returns the bytes handed back to the host through GetResult.
+type Program func(st query.Store, m *query.Meter) ([]byte, error)
+
+// Execute runs the full Figure 9 offload round trip as one call:
+// OffloadCode, program execution inside the TEE, TerminateTEE. A program
+// error throws the TEE out (the §4.5 exception path) and is returned to
+// the caller. Execute is the unit of work a sched.Scheduler dispatches
+// when the SSD serves many tenants concurrently; it is safe to call from
+// many goroutines at once.
+func (s *SSD) Execute(o host.Offload, prog Program) ([]byte, error) {
+	task, err := s.OffloadCode(o)
+	if err != nil {
+		return nil, err
+	}
+	out, err := prog(task.Store(), &task.meter)
+	if err != nil {
+		s.runtime.ThrowOutTEE(task.tee, err.Error())
+		return nil, err
+	}
+	if err := task.Finish(out); err != nil {
+		return nil, err
+	}
+	return task.TEE().Result(), nil
 }
 
 // StoreDataset serializes a generated TPC-H dataset onto the SSD through

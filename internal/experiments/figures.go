@@ -21,27 +21,28 @@ func (s *Suite) Figure5() (*stats.Table, error) {
 		Title:  "Mapping table in protected region vs secure world (normalized to IceClave)",
 		Header: []string{"Workload", "IceClave", "Map-in-secure-world", "Win"},
 	}
-	var sum float64
-	var n int
-	err := forEach(func(name string) error {
+	rows, err := s.forEachRow(func(name string) (rowOut, error) {
 		base, err := s.run(name, core.ModeIceClave, nil)
 		if err != nil {
-			return err
+			return rowOut{}, err
 		}
 		sec, err := s.run(name, core.ModeIceClave, func(c *core.Config) { c.SecureWorldMapping = true })
 		if err != nil {
-			return err
+			return rowOut{}, err
 		}
 		norm := float64(base.Total) / float64(sec.Total)
-		sum += float64(sec.Total)/float64(base.Total) - 1
-		n++
-		t.AddRow(name, "1.000", fmt.Sprintf("%.3f", norm), stats.Pct(float64(sec.Total-base.Total)/float64(sec.Total)))
-		return nil
+		return rowOut{
+			row: []any{name, "1.000", fmt.Sprintf("%.3f", norm),
+				stats.Pct(float64(sec.Total-base.Total) / float64(sec.Total))},
+			aux: []float64{float64(sec.Total)/float64(base.Total) - 1},
+		}, nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	t.AddNote("average improvement from the protected region: %s (paper: 21.6%%)", stats.Pct(sum/float64(n)))
+	addRows(t, rows)
+	t.AddNote("average improvement from the protected region: %s (paper: 21.6%%)",
+		stats.Pct(sumAux(rows, 0)/float64(len(rows))))
 	return t, nil
 }
 
@@ -54,32 +55,32 @@ func (s *Suite) Figure8() (*stats.Table, error) {
 		Title:  "Memory protection schemes (performance normalized to Non-Encryption)",
 		Header: []string{"Workload", "Non-Encryption", "SC-64", "IceClave"},
 	}
-	var gain float64
-	var n int
-	err := forEach(func(name string) error {
+	rows, err := s.forEachRow(func(name string) (rowOut, error) {
 		none, err := s.run(name, core.ModeIceClave, func(c *core.Config) { c.MEEMode = mee.ModeNone })
 		if err != nil {
-			return err
+			return rowOut{}, err
 		}
 		sc, err := s.run(name, core.ModeIceClave, func(c *core.Config) { c.MEEMode = mee.ModeSplit64 })
 		if err != nil {
-			return err
+			return rowOut{}, err
 		}
 		hy, err := s.run(name, core.ModeIceClave, func(c *core.Config) { c.MEEMode = mee.ModeHybrid })
 		if err != nil {
-			return err
+			return rowOut{}, err
 		}
-		t.AddRow(name, "1.000",
-			fmt.Sprintf("%.3f", float64(none.Total)/float64(sc.Total)),
-			fmt.Sprintf("%.3f", float64(none.Total)/float64(hy.Total)))
-		gain += float64(sc.Total)/float64(hy.Total) - 1
-		n++
-		return nil
+		return rowOut{
+			row: []any{name, "1.000",
+				fmt.Sprintf("%.3f", float64(none.Total)/float64(sc.Total)),
+				fmt.Sprintf("%.3f", float64(none.Total)/float64(hy.Total))},
+			aux: []float64{float64(sc.Total)/float64(hy.Total) - 1},
+		}, nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	t.AddNote("hybrid counters improve on SC-64 by %s on average (paper: 43%% on memory-bound phases)", stats.Pct(gain/float64(n)))
+	addRows(t, rows)
+	t.AddNote("hybrid counters improve on SC-64 by %s on average (paper: 43%% on memory-bound phases)",
+		stats.Pct(sumAux(rows, 0)/float64(len(rows))))
 	return t, nil
 }
 
@@ -92,44 +93,45 @@ func (s *Suite) Figure11() (*stats.Table, error) {
 		Header: []string{"Workload", "Host", "Host+SGX", "ISC", "IceClave",
 			"IC-load", "IC-compute", "IC-memsec", "IC-tee"},
 	}
-	var spHost, spSGX, ovISC float64
-	var n int
-	err := forEach(func(name string) error {
+	rows, err := s.forEachRow(func(name string) (rowOut, error) {
 		host, err := s.run(name, core.ModeHost, nil)
 		if err != nil {
-			return err
+			return rowOut{}, err
 		}
 		sgx, err := s.run(name, core.ModeHostSGX, nil)
 		if err != nil {
-			return err
+			return rowOut{}, err
 		}
 		isc, err := s.run(name, core.ModeISC, nil)
 		if err != nil {
-			return err
+			return rowOut{}, err
 		}
 		ice, err := s.run(name, core.ModeIceClave, nil)
 		if err != nil {
-			return err
+			return rowOut{}, err
 		}
 		norm := func(r core.Result) string {
 			return fmt.Sprintf("%.3f", float64(r.Total)/float64(host.Total))
 		}
 		ms := func(d sim.Duration) string { return fmt.Sprintf("%.2f", float64(d)/1e6) }
-		t.AddRow(name, "1.000", norm(sgx), norm(isc), norm(ice),
-			ms(ice.LoadTime), ms(ice.ComputeTime), ms(ice.SecurityTime), ms(ice.TEETime))
-		spHost += ice.SpeedupOver(host)
-		spSGX += ice.SpeedupOver(sgx)
-		ovISC += float64(ice.Total-isc.Total) / float64(isc.Total)
-		n++
-		return nil
+		return rowOut{
+			row: []any{name, "1.000", norm(sgx), norm(isc), norm(ice),
+				ms(ice.LoadTime), ms(ice.ComputeTime), ms(ice.SecurityTime), ms(ice.TEETime)},
+			aux: []float64{
+				ice.SpeedupOver(host),
+				ice.SpeedupOver(sgx),
+				float64(ice.Total-isc.Total) / float64(isc.Total),
+			},
+		}, nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	fn := float64(n)
-	t.AddNote("IceClave vs Host: %.2fx avg speedup (paper: 2.31x)", spHost/fn)
-	t.AddNote("IceClave vs Host+SGX: %.2fx avg speedup (paper: 2.38x)", spSGX/fn)
-	t.AddNote("IceClave overhead vs ISC: %s avg (paper: 7.6%%)", stats.Pct(ovISC/fn))
+	addRows(t, rows)
+	fn := float64(len(rows))
+	t.AddNote("IceClave vs Host: %.2fx avg speedup (paper: 2.31x)", sumAux(rows, 0)/fn)
+	t.AddNote("IceClave vs Host+SGX: %.2fx avg speedup (paper: 2.38x)", sumAux(rows, 1)/fn)
+	t.AddNote("IceClave overhead vs ISC: %s avg (paper: 7.6%%)", stats.Pct(sumAux(rows, 2)/fn))
 	return t, nil
 }
 
@@ -141,16 +143,17 @@ func (s *Suite) channelSweep(id, title string, baseline core.Mode, invert bool) 
 		header = append(header, fmt.Sprintf("%d ch", ch))
 	}
 	t := &stats.Table{ID: id, Title: title, Header: header}
-	err := forEach(func(name string) error {
+	rows, err := s.forEachRow(func(name string) (rowOut, error) {
 		row := []any{name}
 		for _, ch := range channels {
+			ch := ch
 			base, err := s.run(name, baseline, func(c *core.Config) { c.Channels = ch })
 			if err != nil {
-				return err
+				return rowOut{}, err
 			}
 			ice, err := s.run(name, core.ModeIceClave, func(c *core.Config) { c.Channels = ch })
 			if err != nil {
-				return err
+				return rowOut{}, err
 			}
 			v := ice.SpeedupOver(base)
 			if invert {
@@ -160,12 +163,12 @@ func (s *Suite) channelSweep(id, title string, baseline core.Mode, invert bool) 
 				row = append(row, stats.Ratio(v))
 			}
 		}
-		t.AddRow(row...)
-		return nil
+		return rowOut{row: row}, nil
 	})
 	if err != nil {
 		return nil, err
 	}
+	addRows(t, rows)
 	return t, nil
 }
 
@@ -191,26 +194,27 @@ func (s *Suite) Figure14() (*stats.Table, error) {
 		header = append(header, fmt.Sprintf("%dus", l))
 	}
 	t := &stats.Table{ID: "Figure 14", Title: "IceClave speedup vs Host across flash read latencies", Header: header}
-	err := forEach(func(name string) error {
+	rows, err := s.forEachRow(func(name string) (rowOut, error) {
 		row := []any{name}
 		for _, l := range lats {
+			l := l
 			mut := func(c *core.Config) { c.FlashTiming.ReadLatency = sim.Duration(l) * sim.Microsecond }
 			host, err := s.run(name, core.ModeHost, mut)
 			if err != nil {
-				return err
+				return rowOut{}, err
 			}
 			ice, err := s.run(name, core.ModeIceClave, mut)
 			if err != nil {
-				return err
+				return rowOut{}, err
 			}
 			row = append(row, stats.Ratio(ice.SpeedupOver(host)))
 		}
-		t.AddRow(row...)
-		return nil
+		return rowOut{row: row}, nil
 	})
 	if err != nil {
 		return nil, err
 	}
+	addRows(t, rows)
 	return t, nil
 }
 
@@ -223,26 +227,26 @@ func (s *Suite) Figure15() (*stats.Table, error) {
 		header = append(header, c.Name)
 	}
 	t := &stats.Table{ID: "Figure 15", Title: "IceClave speedup vs Host across in-storage processors", Header: header}
-	err := forEach(func(name string) error {
+	rows, err := s.forEachRow(func(name string) (rowOut, error) {
 		host, err := s.run(name, core.ModeHost, nil)
 		if err != nil {
-			return err
+			return rowOut{}, err
 		}
 		row := []any{name}
 		for _, c := range cores {
 			c := c
 			ice, err := s.run(name, core.ModeIceClave, func(cf *core.Config) { cf.StorageCore = c })
 			if err != nil {
-				return err
+				return rowOut{}, err
 			}
 			row = append(row, stats.Ratio(ice.SpeedupOver(host)))
 		}
-		t.AddRow(row...)
-		return nil
+		return rowOut{row: row}, nil
 	})
 	if err != nil {
 		return nil, err
 	}
+	addRows(t, rows)
 	return t, nil
 }
 
@@ -255,54 +259,58 @@ func (s *Suite) Figure16() (*stats.Table, error) {
 		Title:  "Impact of SSD DRAM capacity (normalized to ISC with large DRAM)",
 		Header: []string{"Workload", "ISC 4GB-eq", "IceClave 4GB-eq", "ISC 2GB-eq", "IceClave 2GB-eq"},
 	}
-	err := forEach(func(name string) error {
+	rows, err := s.forEachRow(func(name string) (rowOut, error) {
 		tr, err := s.Trace(name)
 		if err != nil {
-			return err
+			return rowOut{}, err
 		}
 		dataset := uint64(tr.SetupPages) * 4096
 		big := func(c *core.Config) { c.DRAMBytes = dataset*3/2 + (8 << 20) }
 		small := func(c *core.Config) { c.DRAMBytes = dataset*3/4 + (8 << 20) }
 		iscBig, err := s.run(name, core.ModeISC, big)
 		if err != nil {
-			return err
+			return rowOut{}, err
 		}
 		iceBig, err := s.run(name, core.ModeIceClave, big)
 		if err != nil {
-			return err
+			return rowOut{}, err
 		}
 		iscSmall, err := s.run(name, core.ModeISC, small)
 		if err != nil {
-			return err
+			return rowOut{}, err
 		}
 		iceSmall, err := s.run(name, core.ModeIceClave, small)
 		if err != nil {
-			return err
+			return rowOut{}, err
 		}
 		norm := func(r core.Result) string {
 			return fmt.Sprintf("%.3f", float64(iscBig.Total)/float64(r.Total))
 		}
-		t.AddRow(name, "1.000", norm(iceBig), norm(iscSmall), norm(iceSmall))
-		return nil
+		return rowOut{row: []any{name, "1.000", norm(iceBig), norm(iscSmall), norm(iceSmall)}}, nil
 	})
 	if err != nil {
 		return nil, err
 	}
+	addRows(t, rows)
 	t.AddNote("DRAM scaled with the dataset (1.5x / 0.75x) to preserve the capacity relation of 4GB/2GB vs 32GB data")
 	return t, nil
 }
 
 // multiTenant replays a mix concurrently and reports the mean normalized
-// performance (solo time / collocated time) across instances.
+// performance (solo time / collocated time) across instances. The mixes
+// themselves are independent replays, so they spread across the suite's
+// workers.
 func (s *Suite) multiTenant(id, title string, mixes [][]string) (*stats.Table, error) {
 	t := &stats.Table{ID: id, Title: title, Header: []string{"Mix", "Normalized perf"}}
-	for _, mix := range mixes {
+	rows := make([]rowOut, len(mixes))
+	err := s.mapIndexed(len(mixes), func(i int) error {
+		mix := mixes[i]
 		var traces []*workload.Trace
 		var totalPages int64
 		for _, name := range mix {
 			tr, err := s.Trace(name)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			traces = append(traces, tr)
 			totalPages += int64(tr.SetupPages) + tr.Meter.PagesWritten + 1024
@@ -312,23 +320,28 @@ func (s *Suite) multiTenant(id, title string, mixes [][]string) (*stats.Table, e
 		cfg := s.Config
 		cfg.MinFlashPages = totalPages
 		solo := make([]core.Result, len(mix))
-		for i, tr := range traces {
+		for j, tr := range traces {
 			r, err := core.Run(tr, core.ModeIceClave, cfg)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			solo[i] = r
+			solo[j] = r
 		}
 		colo, err := core.RunMulti(traces, core.ModeIceClave, cfg)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		var sum float64
-		for i := range colo {
-			sum += float64(solo[i].Total) / float64(colo[i].Total)
+		for j := range colo {
+			sum += float64(solo[j].Total) / float64(colo[j].Total)
 		}
-		t.AddRow(mixLabel(mix), fmt.Sprintf("%.3f", sum/float64(len(colo))))
+		rows[i] = rowOut{row: []any{mixLabel(mix), fmt.Sprintf("%.3f", sum/float64(len(colo)))}}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	addRows(t, rows)
 	return t, nil
 }
 

@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"testing"
+
+	"iceclave/internal/core"
+	"iceclave/internal/workload"
+)
+
+// TestParallelMatchesSerial renders every table through the serial path
+// and the 4-worker parallel path and requires byte-identical output —
+// the acceptance bar for parallelizing the harness.
+func TestParallelMatchesSerial(t *testing.T) {
+	sc := workload.TinyScale()
+	serial, err := NewSuite(sc, core.DefaultConfig()).All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := NewSuite(sc, core.DefaultConfig()).AllParallel(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != len(parallel) {
+		t.Fatalf("table counts differ: %d vs %d", len(serial), len(parallel))
+	}
+	for i := range serial {
+		if serial[i].ID != parallel[i].ID {
+			t.Fatalf("table %d: ID %q vs %q", i, serial[i].ID, parallel[i].ID)
+		}
+		if got, want := parallel[i].String(), serial[i].String(); got != want {
+			t.Errorf("%s: parallel output diverges from serial:\n--- serial ---\n%s\n--- parallel ---\n%s",
+				serial[i].ID, want, got)
+		}
+	}
+}
+
+// TestTraceSingleflight checks concurrent Trace calls record one trace.
+func TestTraceSingleflight(t *testing.T) {
+	s := NewSuite(workload.TinyScale(), core.DefaultConfig()).SetWorkers(8)
+	ptrs := make([]*workload.Trace, 16)
+	err := s.mapIndexed(len(ptrs), func(i int) error {
+		tr, err := s.Trace("Filter")
+		ptrs[i] = tr
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(ptrs); i++ {
+		if ptrs[i] != ptrs[0] {
+			t.Fatal("concurrent Trace calls produced distinct recordings")
+		}
+	}
+}

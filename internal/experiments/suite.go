@@ -2,10 +2,18 @@
 // evaluation (§6). Each exported method of Suite produces one result as a
 // stats.Table; the per-experiment index in DESIGN.md maps paper artifacts
 // to these methods and to the benchmark targets in the repository root.
+//
+// The suite runs serially by default; SetWorkers(n) spreads the
+// independent (workload, mode, config) replays of each experiment across
+// n goroutines. Output is deterministic either way: rows are assembled in
+// workload order and note aggregates are summed in that same order, so a
+// parallel run emits byte-identical tables to a serial one.
 package experiments
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"iceclave/internal/core"
 	"iceclave/internal/stats"
@@ -18,13 +26,23 @@ type Suite struct {
 	Scale  workload.Scale
 	Config core.Config
 
-	traces map[string]*workload.Trace
+	workers int
+	mu      sync.Mutex
+	traces  map[string]*traceEntry
 }
 
-// NewSuite returns a suite at the given scale with the given base device
-// configuration.
+// traceEntry makes trace recording once-per-workload even when several
+// experiment goroutines ask for the same trace concurrently.
+type traceEntry struct {
+	once sync.Once
+	tr   *workload.Trace
+	err  error
+}
+
+// NewSuite returns a serial suite at the given scale with the given base
+// device configuration.
 func NewSuite(sc workload.Scale, cfg core.Config) *Suite {
-	return &Suite{Scale: sc, Config: cfg, traces: make(map[string]*workload.Trace)}
+	return &Suite{Scale: sc, Config: cfg, workers: 1, traces: make(map[string]*traceEntry)}
 }
 
 // DefaultSuite uses the experiment scale and Table 3 configuration.
@@ -32,21 +50,38 @@ func DefaultSuite() *Suite {
 	return NewSuite(workload.SmallScale(), core.DefaultConfig())
 }
 
+// SetWorkers sets the replay parallelism (minimum 1, the serial path) and
+// returns the suite for chaining.
+func (s *Suite) SetWorkers(n int) *Suite {
+	if n < 1 {
+		n = 1
+	}
+	s.workers = n
+	return s
+}
+
+// Workers returns the configured replay parallelism.
+func (s *Suite) Workers() int { return s.workers }
+
 // Trace records (or returns the cached) trace for the named workload.
+// Concurrent callers of the same name share one recording.
 func (s *Suite) Trace(name string) (*workload.Trace, error) {
-	if tr, ok := s.traces[name]; ok {
-		return tr, nil
+	s.mu.Lock()
+	e, ok := s.traces[name]
+	if !ok {
+		e = &traceEntry{}
+		s.traces[name] = e
 	}
-	w, err := workload.ByName(name)
-	if err != nil {
-		return nil, err
-	}
-	tr, err := workload.Record(w, s.Scale, 4096)
-	if err != nil {
-		return nil, err
-	}
-	s.traces[name] = tr
-	return tr, nil
+	s.mu.Unlock()
+	e.once.Do(func() {
+		w, err := workload.ByName(name)
+		if err != nil {
+			e.err = err
+			return
+		}
+		e.tr, e.err = workload.Record(w, s.Scale, 4096)
+	})
+	return e.tr, e.err
 }
 
 // run replays a workload under a mode with an optional config mutation.
@@ -62,23 +97,109 @@ func (s *Suite) run(name string, mode core.Mode, mut func(*core.Config)) (core.R
 	return core.Run(tr, mode, cfg)
 }
 
-// forEach runs fn over the standard workload list, collecting errors.
-func forEach(fn func(name string) error) error {
-	for _, name := range workload.Names() {
-		if err := fn(name); err != nil {
-			return fmt.Errorf("%s: %w", name, err)
-		}
+// mapIndexed runs fn(0..n-1) across up to s.workers goroutines; with one
+// worker it runs inline in index order, exactly the serial path. After a
+// failure, workers stop claiming further indices; the lowest-indexed
+// error among the replays that actually ran is returned (which replays
+// those are can vary with scheduling — only success output is guaranteed
+// identical to the serial path).
+func (s *Suite) mapIndexed(n int, fn func(i int) error) error {
+	w := s.workers
+	if w > n {
+		w = n
 	}
-	return nil
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next   atomic.Int64
+		failed atomic.Bool
+		wg     sync.WaitGroup
+		mu     sync.Mutex
+		outErr error
+		errIdx = n
+	)
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= n || failed.Load() {
+					return
+				}
+				if err := fn(i); err != nil {
+					failed.Store(true) // stop claiming further indices
+					mu.Lock()
+					if i < errIdx {
+						outErr, errIdx = err, i
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return outErr
 }
 
-// All regenerates every table and figure, in paper order.
-func (s *Suite) All() ([]*stats.Table, error) {
-	type gen struct {
+// rowOut is one workload's table row plus the aggregate terms the
+// experiment folds into its notes (summed in workload order afterwards,
+// keeping floating-point results identical across parallelism levels).
+type rowOut struct {
+	row []any
+	aux []float64
+}
+
+// forEachRow computes one row per standard workload — in parallel across
+// the suite's workers — and returns them in workload order.
+func (s *Suite) forEachRow(fn func(name string) (rowOut, error)) ([]rowOut, error) {
+	names := workload.Names()
+	outs := make([]rowOut, len(names))
+	err := s.mapIndexed(len(names), func(i int) error {
+		ro, err := fn(names[i])
+		if err != nil {
+			return fmt.Errorf("%s: %w", names[i], err)
+		}
+		outs[i] = ro
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return outs, nil
+}
+
+// sumAux folds column k of the aux vectors in row order.
+func sumAux(rows []rowOut, k int) float64 {
+	var sum float64
+	for _, r := range rows {
+		sum += r.aux[k]
+	}
+	return sum
+}
+
+// addRows appends every collected row to t in order.
+func addRows(t *stats.Table, rows []rowOut) {
+	for _, r := range rows {
+		t.AddRow(r.row...)
+	}
+}
+
+// generators lists every paper artifact in order.
+func (s *Suite) generators() []struct {
+	name string
+	fn   func() (*stats.Table, error)
+} {
+	return []struct {
 		name string
 		fn   func() (*stats.Table, error)
-	}
-	gens := []gen{
+	}{
 		{"Table 1", s.Table1},
 		{"Table 3", func() (*stats.Table, error) { return s.Table3(), nil }},
 		{"Figure 5", s.Figure5},
@@ -94,8 +215,15 @@ func (s *Suite) All() ([]*stats.Table, error) {
 		{"Figure 17", s.Figure17},
 		{"Figure 18", s.Figure18},
 	}
+}
+
+// All regenerates every table and figure, in paper order. Each
+// experiment's independent replays run across the suite's workers; the
+// experiments themselves run in sequence so nested parallelism stays
+// bounded by SetWorkers.
+func (s *Suite) All() ([]*stats.Table, error) {
 	var out []*stats.Table
-	for _, g := range gens {
+	for _, g := range s.generators() {
 		t, err := g.fn()
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", g.name, err)
@@ -103,4 +231,13 @@ func (s *Suite) All() ([]*stats.Table, error) {
 		out = append(out, t)
 	}
 	return out, nil
+}
+
+// AllParallel is All with the suite temporarily set to n workers — the
+// parallel evaluation harness entry point used by cmd/iceclave-bench.
+func (s *Suite) AllParallel(n int) ([]*stats.Table, error) {
+	old := s.workers
+	s.SetWorkers(n)
+	defer s.SetWorkers(old)
+	return s.All()
 }

@@ -20,17 +20,25 @@ func (s *Suite) Table1() (*stats.Table, error) {
 		Title:  "In-storage workload characterization (memory write ratio)",
 		Header: []string{"Workload", "Measured", "Paper", "Read-dominated"},
 	}
-	for _, w := range workload.Standard() {
+	ws := workload.Standard()
+	rows := make([]rowOut, len(ws))
+	err := s.mapIndexed(len(ws), func(i int) error {
+		w := ws[i]
 		tr, err := s.Trace(w.Name)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		measured := tr.Meter.WriteRatio()
-		t.AddRow(w.Name,
+		rows[i] = rowOut{row: []any{w.Name,
 			fmt.Sprintf("%.2e", measured),
 			fmt.Sprintf("%.2e", w.PaperWriteRatio),
-			fmt.Sprint(measured < 0.5))
+			fmt.Sprint(measured < 0.5)}}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	addRows(t, rows)
 	t.AddNote("measured on the scaled dataset (%d lineitem rows); paper uses 32 GB datasets", s.Scale.LineitemRows)
 	return t, nil
 }
@@ -125,21 +133,21 @@ func (s *Suite) Table6() (*stats.Table, error) {
 		"TPC-C":      {"39.09%", "31.72%"},
 		"Wordcount":  {"67.45%", "43.81%"},
 	}
-	err := forEach(func(name string) error {
+	rows, err := s.forEachRow(func(name string) (rowOut, error) {
 		r, err := s.run(name, core.ModeIceClave, nil)
 		if err != nil {
-			return err
+			return rowOut{}, err
 		}
 		p := paper[name]
-		t.AddRow(name,
+		return rowOut{row: []any{name,
 			stats.Pct(r.MEE.EncryptionOverhead()),
 			stats.Pct(r.MEE.VerificationOverhead()),
-			p[0], p[1])
-		return nil
+			p[0], p[1]}}, nil
 	})
 	if err != nil {
 		return nil, err
 	}
+	addRows(t, rows)
 	t.AddNote("traffic sampled 1/%d and scaled; see EXPERIMENTS.md for the address-synthesis approximation", s.Config.MEESampling)
 	return t, nil
 }

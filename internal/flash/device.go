@@ -2,6 +2,7 @@ package flash
 
 import (
 	"fmt"
+	"sync"
 
 	"iceclave/internal/sim"
 )
@@ -52,9 +53,12 @@ type Stats struct {
 // All operations take an arrival time and return a completion time, so
 // callers compose the device into larger discrete-event simulations.
 //
-// Device is not safe for concurrent use; the simulator is single-threaded
-// by design (see package sim).
+// Device is safe for concurrent use: one mutex serializes page-state,
+// payload, and reservation updates, so N in-storage TEEs can issue
+// commands from their own goroutines. Virtual-time ordering under
+// concurrency follows lock-acquisition order.
 type Device struct {
+	mu     sync.Mutex
 	geo    Geometry
 	timing Timing
 
@@ -107,14 +111,26 @@ func (d *Device) Geometry() Geometry { return d.geo }
 func (d *Device) Timing() Timing { return d.timing }
 
 // Stats returns a copy of the activity counters.
-func (d *Device) Stats() Stats { return d.stats }
+func (d *Device) Stats() Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stats
+}
 
 // State returns the lifecycle state of page p.
-func (d *Device) State(p PPA) PageState { return d.state[p] }
+func (d *Device) State(p PPA) PageState {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.state[p]
+}
 
 // EraseCount returns how many times p's block has been erased (the wear
 // figure used by wear leveling).
-func (d *Device) EraseCount(b BlockID) int { return int(d.eraseCount[b]) }
+func (d *Device) EraseCount(b BlockID) int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return int(d.eraseCount[b])
+}
 
 func (d *Device) checkPPA(p PPA) error {
 	if int64(p) >= d.geo.TotalPages() {
@@ -137,6 +153,8 @@ func (d *Device) Read(at sim.Time, p PPA) (done sim.Time, data []byte, err error
 	if err := d.checkPPA(p); err != nil {
 		return at, nil, err
 	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if d.state[p] == PageFree {
 		return at, nil, fmt.Errorf("flash: read of free page %d", p)
 	}
@@ -155,6 +173,8 @@ func (d *Device) Program(at sim.Time, p PPA, data []byte) (done sim.Time, err er
 	if err := d.checkPPA(p); err != nil {
 		return at, err
 	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if d.state[p] != PageFree {
 		return at, fmt.Errorf("flash: program of non-free page %d (state %d)", p, d.state[p])
 	}
@@ -178,6 +198,8 @@ func (d *Device) Invalidate(p PPA) error {
 	if err := d.checkPPA(p); err != nil {
 		return err
 	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if d.state[p] != PageValid {
 		return fmt.Errorf("flash: invalidate of non-valid page %d (state %d)", p, d.state[p])
 	}
@@ -193,6 +215,8 @@ func (d *Device) Erase(at sim.Time, b BlockID) (done sim.Time, err error) {
 	if int64(b) >= d.geo.TotalBlocks() {
 		return at, fmt.Errorf("flash: block %d out of range", b)
 	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	first := d.geo.FirstPage(b)
 	for i := 0; i < d.geo.PagesPerBlock; i++ {
 		p := first + PPA(i)
@@ -213,6 +237,8 @@ func (d *Device) Erase(at sim.Time, b BlockID) (done sim.Time, err error) {
 
 // ValidPages returns the number of valid pages in block b.
 func (d *Device) ValidPages(b BlockID) int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	first := d.geo.FirstPage(b)
 	n := 0
 	for i := 0; i < d.geo.PagesPerBlock; i++ {
@@ -225,7 +251,11 @@ func (d *Device) ValidPages(b BlockID) int {
 
 // ChannelBusy returns the accumulated busy time of channel ch, for
 // bandwidth-utilization reporting.
-func (d *Device) ChannelBusy(ch int) sim.Duration { return d.channels[ch].Busy() }
+func (d *Device) ChannelBusy(ch int) sim.Duration {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.channels[ch].Busy()
+}
 
 // InternalBandwidth returns the aggregate internal bandwidth in bytes/sec
 // (channels x per-channel bandwidth) — the quantity Figure 12 sweeps.
@@ -236,6 +266,8 @@ func (d *Device) InternalBandwidth() float64 {
 // ResetTiming clears the timing reservations and stats while keeping page
 // contents, letting one populated device serve several timing experiments.
 func (d *Device) ResetTiming() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	for _, s := range d.dies {
 		s.Reset()
 	}

@@ -9,6 +9,7 @@ package ftl
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"iceclave/internal/flash"
 	"iceclave/internal/sim"
@@ -116,8 +117,14 @@ func (cs *channelState) freeTotal() int {
 
 // FTL is the flash translation layer. It owns the device's block
 // allocation, the logical-to-physical mapping table, and the TEE ID bits.
-// Like the rest of the simulator it is single-threaded.
+//
+// FTL is safe for concurrent use: one mutex guards the mapping table, ID
+// bits, and allocator state, so concurrent TEEs and the host path can
+// translate and write without torn entries, and a translation can never
+// observe a page mid-relocation by GC. Finer sharding (per-channel locks)
+// is a recorded follow-on in ROADMAP.md.
 type FTL struct {
+	mu  sync.Mutex
 	dev *flash.Device
 	geo flash.Geometry
 	cfg Config
@@ -175,7 +182,11 @@ func (f *FTL) LogicalBytes() int64 { return f.logicalPages * int64(f.geo.PageSiz
 func (f *FTL) Device() *flash.Device { return f.dev }
 
 // Stats returns a copy of the activity counters.
-func (f *FTL) Stats() Stats { return f.stats }
+func (f *FTL) Stats() Stats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.stats
+}
 
 func (f *FTL) checkLPA(l LPA) error {
 	if int64(l) >= f.logicalPages {
@@ -184,9 +195,8 @@ func (f *FTL) checkLPA(l LPA) error {
 	return nil
 }
 
-// Translate returns the physical page backing l. It does not check ID
-// bits; use TranslateFor on the TEE path.
-func (f *FTL) Translate(l LPA) (flash.PPA, error) {
+// translate resolves l with f.mu held.
+func (f *FTL) translate(l LPA) (flash.PPA, error) {
 	if err := f.checkLPA(l); err != nil {
 		return flash.InvalidPPA, err
 	}
@@ -198,10 +208,16 @@ func (f *FTL) Translate(l LPA) (flash.PPA, error) {
 	return e.ppa, nil
 }
 
-// TranslateFor is the permission-checked translation used by in-storage
-// TEEs reading the shared mapping table: the entry's ID bits must match the
-// caller's TEE ID (paper §4.3).
-func (f *FTL) TranslateFor(l LPA, id TEEID) (flash.PPA, error) {
+// Translate returns the physical page backing l. It does not check ID
+// bits; use TranslateFor on the TEE path.
+func (f *FTL) Translate(l LPA) (flash.PPA, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.translate(l)
+}
+
+// translateFor resolves l with the §4.3 ID-bit check, f.mu held.
+func (f *FTL) translateFor(l LPA, id TEEID) (flash.PPA, error) {
 	if err := f.checkLPA(l); err != nil {
 		return flash.InvalidPPA, err
 	}
@@ -216,11 +232,22 @@ func (f *FTL) TranslateFor(l LPA, id TEEID) (flash.PPA, error) {
 	return e.ppa, nil
 }
 
+// TranslateFor is the permission-checked translation used by in-storage
+// TEEs reading the shared mapping table: the entry's ID bits must match the
+// caller's TEE ID (paper §4.3).
+func (f *FTL) TranslateFor(l LPA, id TEEID) (flash.PPA, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.translateFor(l, id)
+}
+
 // IDOf returns the TEE ID bits of l's entry.
 func (f *FTL) IDOf(l LPA) (TEEID, error) {
 	if err := f.checkLPA(l); err != nil {
 		return IDNone, err
 	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	return f.table[l].id, nil
 }
 
@@ -233,6 +260,8 @@ func (f *FTL) SetID(l LPA, id TEEID) error {
 	if id > MaxTEEID {
 		return fmt.Errorf("ftl: TEE ID %d exceeds 4 bits", id)
 	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	f.table[l].id = id
 	return nil
 }
@@ -240,6 +269,8 @@ func (f *FTL) SetID(l LPA, id TEEID) error {
 // ClearIDs resets the ID bits of every entry owned by id back to IDNone,
 // used when a TEE terminates and its ID is recycled.
 func (f *FTL) ClearIDs(id TEEID) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	for i := range f.table {
 		if f.table[i].id == id {
 			f.table[i].id = IDNone
@@ -248,12 +279,41 @@ func (f *FTL) ClearIDs(id TEEID) {
 }
 
 // Read translates and reads l, returning the completion time and payload.
+// Translation and the device read happen under one critical section so a
+// concurrent GC pass cannot relocate the page between the two.
 func (f *FTL) Read(at sim.Time, l LPA) (done sim.Time, data []byte, err error) {
-	ppa, err := f.Translate(l)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	ppa, err := f.translate(l)
 	if err != nil {
 		return at, nil, err
 	}
 	return f.dev.Read(at, ppa)
+}
+
+// ReadFor is the TEE data-path read: the permission-checked translation of
+// TranslateFor fused with the device read in one critical section, so the
+// returned payload and PPA (which binds the stream-cipher IV) are
+// consistent even while other tenants write and trigger GC relocation.
+// The ownership re-check does not count as a translation — the runtime
+// already charged one through ReadMappingEntry; this is the same lookup
+// revalidated at use time.
+func (f *FTL) ReadFor(at sim.Time, l LPA, id TEEID) (done sim.Time, ppa flash.PPA, data []byte, err error) {
+	if err := f.checkLPA(l); err != nil {
+		return at, flash.InvalidPPA, nil, err
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	e := f.table[l]
+	if !e.valid {
+		return at, flash.InvalidPPA, nil, ErrUnmapped
+	}
+	if e.id != id {
+		return at, flash.InvalidPPA, nil,
+			fmt.Errorf("%w: LPA %d owned by ID %d, caller ID %d", ErrAccessDenied, l, e.id, id)
+	}
+	done, data, err = f.dev.Read(at, e.ppa)
+	return done, e.ppa, data, err
 }
 
 // Write performs an out-of-place write of l: it allocates a fresh page
@@ -261,6 +321,39 @@ func (f *FTL) Read(at sim.Time, l LPA) (done sim.Time, data []byte, err error) {
 // programs it, invalidates the old page, and updates the mapping. The ID
 // bits of the entry are preserved across rewrites.
 func (f *FTL) Write(at sim.Time, l LPA, data []byte) (done sim.Time, err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.write(at, l, data)
+}
+
+// WriteFor is the TEE data-path write: the §4.3 ownership check, the
+// out-of-place write, and the ID stamping of a newly adopted page happen
+// in one critical section, so two TEEs racing on an unowned LPA cannot
+// both claim it. owner reports the entry's pre-write owner; adopted
+// reports whether the entry was unowned and has been stamped with id.
+func (f *FTL) WriteFor(at sim.Time, l LPA, data []byte, id TEEID) (done sim.Time, owner TEEID, adopted bool, err error) {
+	if err := f.checkLPA(l); err != nil {
+		return at, IDNone, false, err
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	owner = f.table[l].id
+	if owner != id && owner != IDNone {
+		return at, owner, false, fmt.Errorf("%w: LPA %d owned by %d", ErrAccessDenied, l, owner)
+	}
+	done, err = f.write(at, l, data)
+	if err != nil {
+		return done, owner, false, err
+	}
+	if owner == IDNone {
+		f.table[l].id = id
+		adopted = true
+	}
+	return done, owner, adopted, nil
+}
+
+// write is the Write body, f.mu held.
+func (f *FTL) write(at sim.Time, l LPA, data []byte) (done sim.Time, err error) {
 	if err := f.checkLPA(l); err != nil {
 		return at, err
 	}
@@ -456,7 +549,11 @@ func (f *FTL) pickVictim(ch int) (flash.BlockID, bool) {
 }
 
 // FreeBlocks returns the number of free blocks pooled on channel ch.
-func (f *FTL) FreeBlocks(ch int) int { return f.chans[ch].freeTotal() }
+func (f *FTL) FreeBlocks(ch int) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.chans[ch].freeTotal()
+}
 
 // MaxEraseSpread returns max-min block erase counts, a wear-leveling
 // quality metric.

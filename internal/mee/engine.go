@@ -20,6 +20,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 )
 
 // LineSize is the protected-memory granularity: one 64-byte cache line.
@@ -73,7 +74,12 @@ type pageState struct {
 // legitimate counter change. Replaying DRAM-side state rolls back the
 // counters but cannot touch the verified digests, so reads detect it. The
 // log-depth traffic of a real 8-ary BMT walk is charged by TrafficModel.
+//
+// Engine is safe for concurrent use: one mutex serializes all page-state
+// and root-accumulator updates, so concurrent TEE heaps sharing one MEE
+// cannot tear a counter/MAC/root triple.
 type Engine struct {
+	mu     sync.Mutex
 	aesKey [16]byte
 	macKey [32]byte
 	pages  map[uint64]*pageState // DRAM-side state
@@ -186,7 +192,11 @@ func (e *Engine) verifyCounters(p uint64, ps *pageState) error {
 
 // Roots returns the two tree root registers (read-only tree, writable
 // tree) for inspection by tests and attestation flows.
-func (e *Engine) Roots() (ro, rw [32]byte) { return e.roRoot, e.rwRoot }
+func (e *Engine) Roots() (ro, rw [32]byte) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.roRoot, e.rwRoot
+}
 
 func (e *Engine) page(p uint64) *pageState {
 	ps, ok := e.pages[p]
@@ -210,6 +220,13 @@ func checkLine(line int) error {
 // re-encryption path (major bump, minors reset), exactly the split-counter
 // behaviour whose cost the hybrid scheme avoids for read-only pages.
 func (e *Engine) Write(p uint64, line int, data []byte) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.write(p, line, data)
+}
+
+// write is the Write body, e.mu held.
+func (e *Engine) write(p uint64, line int, data []byte) error {
 	if err := checkLine(line); err != nil {
 		return err
 	}
@@ -295,6 +312,13 @@ func (e *Engine) readLine(p uint64, ps *pageState, line int) ([]byte, error) {
 // defeats replay of an old ciphertext/MAC/counter triple), then MAC check,
 // then decryption.
 func (e *Engine) Read(p uint64, line int) ([]byte, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.read(p, line)
+}
+
+// read is the Read body, e.mu held.
+func (e *Engine) read(p uint64, line int) ([]byte, error) {
 	if err := checkLine(line); err != nil {
 		return nil, err
 	}
@@ -315,6 +339,8 @@ func (e *Engine) Read(p uint64, line int) ([]byte, error) {
 // re-encrypt resident lines under the new counter so later reads use the
 // right pad.
 func (e *Engine) SetReadOnly(p uint64, ro bool) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	ps := e.page(p)
 	if ps.readonly == ro {
 		return nil
@@ -354,8 +380,10 @@ func (e *Engine) WritePage(p uint64, data []byte) error {
 	if len(data) != PageSize {
 		return fmt.Errorf("mee: page write of %d bytes", len(data))
 	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	for line := 0; line < LinesPerPage; line++ {
-		if err := e.Write(p, line, data[line*LineSize:(line+1)*LineSize]); err != nil {
+		if err := e.write(p, line, data[line*LineSize:(line+1)*LineSize]); err != nil {
 			return err
 		}
 	}
@@ -364,9 +392,11 @@ func (e *Engine) WritePage(p uint64, data []byte) error {
 
 // ReadPage reads a whole page; every line must verify.
 func (e *Engine) ReadPage(p uint64) ([]byte, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	out := make([]byte, PageSize)
 	for line := 0; line < LinesPerPage; line++ {
-		data, err := e.Read(p, line)
+		data, err := e.read(p, line)
 		if err != nil {
 			return nil, err
 		}
@@ -377,6 +407,8 @@ func (e *Engine) ReadPage(p uint64) ([]byte, error) {
 
 // Major returns the major counter of page p (0 if untouched).
 func (e *Engine) Major(p uint64) uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	if ps, ok := e.pages[p]; ok {
 		return ps.ctr.major
 	}
@@ -385,6 +417,8 @@ func (e *Engine) Major(p uint64) uint64 {
 
 // IsReadOnly reports the protection state of page p.
 func (e *Engine) IsReadOnly(p uint64) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	if ps, ok := e.pages[p]; ok {
 		return ps.readonly
 	}
@@ -396,6 +430,8 @@ func (e *Engine) IsReadOnly(p uint64) bool {
 // TamperCiphertext flips a bit of the stored ciphertext, modelling a
 // physical write to DRAM. A subsequent Read must fail.
 func (e *Engine) TamperCiphertext(p uint64, line int) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	ps, ok := e.pages[p]
 	if !ok || ps.lines[line] == nil {
 		return fmt.Errorf("mee: nothing to tamper at page %d line %d", p, line)
@@ -406,6 +442,8 @@ func (e *Engine) TamperCiphertext(p uint64, line int) error {
 
 // TamperCounter corrupts the DRAM-side counter copy of a page.
 func (e *Engine) TamperCounter(p uint64) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	ps, ok := e.pages[p]
 	if !ok {
 		return fmt.Errorf("mee: nothing to tamper at page %d", p)
@@ -427,6 +465,8 @@ type Snapshot struct {
 
 // Snapshot records the current DRAM-side state of a line.
 func (e *Engine) Snapshot(p uint64, line int) (Snapshot, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	ps, ok := e.pages[p]
 	if !ok || ps.lines[line] == nil {
 		return Snapshot{}, fmt.Errorf("mee: nothing to snapshot at page %d line %d", p, line)
@@ -446,6 +486,8 @@ func (e *Engine) Snapshot(p uint64, line int) (Snapshot, error) {
 // MAC-only schemes. The verified counter tree (rooted on-chip) must catch
 // it.
 func (e *Engine) Replay(s Snapshot) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	ps, ok := e.pages[s.page]
 	if !ok {
 		return fmt.Errorf("mee: replay of unmapped page %d", s.page)

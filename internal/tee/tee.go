@@ -9,13 +9,21 @@
 // really encrypted on the simulated internal bus, and violations really
 // abort the offending TEE. Timing experiments use the same cost constants
 // through the core package's replay engine.
+//
+// Runtime is safe for concurrent use: N TEEs can read, write, and
+// terminate from their own goroutines. The runtime mutex guards the
+// lifecycle tables, the protected-region mapping cache, the world monitor,
+// and the virtual clock (which advances monotonically under concurrency);
+// the flash data path and the stream cipher run outside it so concurrent
+// page reads overlap. Isolation still holds mid-flight: ownership is
+// re-checked inside the FTL's critical section on every data access.
 package tee
 
 import (
 	"errors"
 	"fmt"
+	"sync"
 
-	"iceclave/internal/flash"
 	"iceclave/internal/ftl"
 	"iceclave/internal/mee"
 	"iceclave/internal/sim"
@@ -93,23 +101,37 @@ var ErrTooLarge = errors.New("tee: program image exceeds available SSD DRAM")
 // ErrAborted is returned for operations on a thrown-out TEE.
 var ErrAborted = errors.New("tee: TEE aborted")
 
-// TEE is one in-storage trusted execution environment.
+// TEE is one in-storage trusted execution environment. Its lifecycle state
+// may be observed from any goroutine while the owning tenant drives it.
 type TEE struct {
 	eid      ftl.TEEID
-	state    State
-	lpas     []ftl.LPA
 	heapBase uint64
 	heapSize uint64
 	binary   int // bytes
+
+	mu       sync.Mutex
+	state    State
+	lpas     []ftl.LPA
 	result   []byte
 	abortMsg string
+	// ops counts in-flight data-path operations (ReadPage/WritePage).
+	// The runtime recycles the TEE's 4-bit ID only when the TEE has left
+	// the running state AND ops is zero; otherwise an operation holding
+	// the old eid could alias a successor TEE that was handed the same
+	// ID — see reclaim.
+	ops       int
+	reclaimed bool
 }
 
 // EID returns the TEE's 4-bit identity.
 func (t *TEE) EID() ftl.TEEID { return t.eid }
 
 // State returns the lifecycle state.
-func (t *TEE) State() State { return t.state }
+func (t *TEE) State() State {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.state
+}
 
 // HeapBase returns the base address of the preallocated region.
 func (t *TEE) HeapBase() uint64 { return t.heapBase }
@@ -118,10 +140,95 @@ func (t *TEE) HeapBase() uint64 { return t.heapBase }
 func (t *TEE) HeapSize() uint64 { return t.heapSize }
 
 // Result returns the output copied out at termination.
-func (t *TEE) Result() []byte { return t.result }
+func (t *TEE) Result() []byte {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.result
+}
 
 // AbortReason returns the ThrowOutTEE message, if any.
-func (t *TEE) AbortReason() string { return t.abortMsg }
+func (t *TEE) AbortReason() string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.abortMsg
+}
+
+// running reports the state and abort message in one consistent read.
+func (t *TEE) running() (bool, string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.state == StateRunning, t.abortMsg
+}
+
+// abort transitions to StateAborted; it reports false if the TEE already
+// left the running/created states (idempotent throw-out).
+func (t *TEE) abort(reason string) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.state == StateAborted || t.state == StateTerminated {
+		return false
+	}
+	t.state = StateAborted
+	t.abortMsg = reason
+	return true
+}
+
+// terminate transitions to StateTerminated with the result attached; it
+// errors if the TEE is not in a terminable state.
+func (t *TEE) terminate(result []byte) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.state != StateRunning && t.state != StateCreated {
+		return fmt.Errorf("tee: terminate in state %v", t.state)
+	}
+	t.result = append([]byte(nil), result...)
+	t.state = StateTerminated
+	return nil
+}
+
+// addLPA records an adopted intermediate page.
+func (t *TEE) addLPA(l ftl.LPA) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.lpas = append(t.lpas, l)
+}
+
+// beginOp admits a data-path operation while the TEE is running.
+func (t *TEE) beginOp() (bool, string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.state != StateRunning {
+		return false, t.abortMsg
+	}
+	t.ops++
+	return true, ""
+}
+
+// opDone retires a data-path operation; it reports true when this was
+// the last in-flight operation of an already dead TEE, i.e. the caller
+// must now perform the deferred reclaim.
+func (t *TEE) opDone() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.ops--
+	if t.ops == 0 && t.state != StateRunning && !t.reclaimed {
+		t.reclaimed = true
+		return true
+	}
+	return false
+}
+
+// readyToReclaim claims the (single) reclaim of a dead TEE if no
+// operation is in flight. Called after the state left StateRunning.
+func (t *TEE) readyToReclaim() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.ops == 0 && !t.reclaimed {
+		t.reclaimed = true
+		return true
+	}
+	return false
+}
 
 // Stats counts runtime activity.
 type Stats struct {
@@ -132,6 +239,9 @@ type Stats struct {
 	CMTMisses  int64
 	BusPages   int64 // pages that crossed the internal bus encrypted
 }
+
+// span is one free region of the TEE-heap area of controller DRAM.
+type span struct{ base, size uint64 }
 
 // Runtime is the IceClave runtime: it lives in the secure world and
 // manages TEEs, the protected-region mapping cache, and the cipher engine.
@@ -144,11 +254,12 @@ type Runtime struct {
 	cmt     *ftl.MappingCache
 	costs   Costs
 
+	mu       sync.Mutex
 	now      sim.Time
 	inUse    [16]bool
 	tees     map[ftl.TEEID]*TEE
-	nextHeap uint64
-	dramTop  uint64
+	freeHeap []span // free regions sorted by base, coalesced
+	heapFree uint64 // total free bytes across freeHeap
 	stats    Stats
 
 	lastBusPage []byte // ciphertext most recently observed on the bus
@@ -211,8 +322,8 @@ func NewRuntime(f *ftl.FTL, opts Options) (*Runtime, error) {
 		cmt:      ftl.NewMappingCache(opts.CMTBytes, uint64(f.Device().Geometry().PageSize)),
 		costs:    opts.Costs,
 		tees:     make(map[ftl.TEEID]*TEE),
-		nextHeap: normalBase,
-		dramTop:  opts.DRAMBytes,
+		freeHeap: []span{{base: normalBase, size: opts.DRAMBytes - normalBase}},
+		heapFree: opts.DRAMBytes - normalBase,
 	}
 	// The runtime itself executes in the normal world between service
 	// calls; boot hand-off to the normal world happens here.
@@ -221,13 +332,21 @@ func NewRuntime(f *ftl.FTL, opts Options) (*Runtime, error) {
 }
 
 // Now returns the runtime's internal clock.
-func (r *Runtime) Now() sim.Time { return r.now }
+func (r *Runtime) Now() sim.Time {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.now
+}
 
 // Costs returns the configured cost constants.
 func (r *Runtime) Costs() Costs { return r.costs }
 
 // Stats returns a copy of the runtime counters.
-func (r *Runtime) Stats() Stats { return r.stats }
+func (r *Runtime) Stats() Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stats
+}
 
 // AddressSpace exposes the region table for permission demonstrations.
 func (r *Runtime) AddressSpace() *trustzone.AddressSpace { return r.space }
@@ -240,13 +359,37 @@ func (r *Runtime) FTL() *ftl.FTL { return r.ftl }
 
 // CMTStats returns the cached-mapping-table hit statistics; 1-HitRate is
 // the §6.3 translation miss rate (0.17% in the paper).
-func (r *Runtime) CMTStats() (hits, misses int64) { return r.stats.CMTHits, r.stats.CMTMisses }
+func (r *Runtime) CMTStats() (hits, misses int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stats.CMTHits, r.stats.CMTMisses
+}
 
 // LastBusTransfer returns the ciphertext of the most recent page observed
 // on the internal bus — the view a bus-snooping adversary gets.
-func (r *Runtime) LastBusTransfer() []byte { return r.lastBusPage }
+func (r *Runtime) LastBusTransfer() []byte {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]byte(nil), r.lastBusPage...)
+}
+
+// HeapFree returns the unallocated bytes of the TEE-heap region — the
+// capacity reclaimed as TEEs terminate.
+func (r *Runtime) HeapFree() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.heapFree
+}
+
+// Live returns how many TEEs currently hold an ID.
+func (r *Runtime) Live() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.tees)
+}
 
 // allocID hands out the lowest free 4-bit ID, skipping IDNone (0).
+// Caller holds r.mu.
 func (r *Runtime) allocID() (ftl.TEEID, error) {
 	for id := ftl.TEEID(1); id <= ftl.MaxTEEID; id++ {
 		if !r.inUse[id] {
@@ -257,6 +400,50 @@ func (r *Runtime) allocID() (ftl.TEEID, error) {
 	return 0, ErrNoFreeID
 }
 
+// allocHeap carves size bytes out of the first free region that fits
+// (first fit). Caller holds r.mu.
+func (r *Runtime) allocHeap(size uint64) (uint64, bool) {
+	for i := range r.freeHeap {
+		if r.freeHeap[i].size >= size {
+			base := r.freeHeap[i].base
+			r.freeHeap[i].base += size
+			r.freeHeap[i].size -= size
+			if r.freeHeap[i].size == 0 {
+				r.freeHeap = append(r.freeHeap[:i], r.freeHeap[i+1:]...)
+			}
+			r.heapFree -= size
+			return base, true
+		}
+	}
+	return 0, false
+}
+
+// releaseHeap returns [base, base+size) to the free list, coalescing with
+// adjacent regions so long-running multi-tenant churn does not fragment
+// the heap area. Caller holds r.mu.
+func (r *Runtime) releaseHeap(base, size uint64) {
+	if size == 0 {
+		return
+	}
+	i := 0
+	for i < len(r.freeHeap) && r.freeHeap[i].base < base {
+		i++
+	}
+	r.freeHeap = append(r.freeHeap, span{})
+	copy(r.freeHeap[i+1:], r.freeHeap[i:])
+	r.freeHeap[i] = span{base: base, size: size}
+	// Coalesce with successor, then predecessor.
+	if i+1 < len(r.freeHeap) && r.freeHeap[i].base+r.freeHeap[i].size == r.freeHeap[i+1].base {
+		r.freeHeap[i].size += r.freeHeap[i+1].size
+		r.freeHeap = append(r.freeHeap[:i+1], r.freeHeap[i+2:]...)
+	}
+	if i > 0 && r.freeHeap[i-1].base+r.freeHeap[i-1].size == r.freeHeap[i].base {
+		r.freeHeap[i-1].size += r.freeHeap[i].size
+		r.freeHeap = append(r.freeHeap[:i], r.freeHeap[i+1:]...)
+	}
+	r.heapFree += size
+}
+
 // CreateTEE implements the Table 2 API: allocate an identity, set the ID
 // bits of the program's mapping entries, preallocate its heap, and charge
 // the 95 µs creation cost. Creation happens in the secure world.
@@ -264,11 +451,10 @@ func (r *Runtime) CreateTEE(cfg Config) (*TEE, error) {
 	if cfg.HeapBytes == 0 {
 		cfg.HeapBytes = DefaultHeapBytes
 	}
-	if uint64(len(cfg.Binary)) > r.dramTop-r.nextHeap {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if uint64(len(cfg.Binary)) > r.heapFree {
 		return nil, fmt.Errorf("%w: %d bytes", ErrTooLarge, len(cfg.Binary))
-	}
-	if r.nextHeap+cfg.HeapBytes > r.dramTop {
-		return nil, fmt.Errorf("%w: no room for %d-byte heap", ErrTooLarge, cfg.HeapBytes)
 	}
 	r.now = r.monitor.SwitchTo(r.now, trustzone.Secure)
 	id, err := r.allocID()
@@ -276,10 +462,18 @@ func (r *Runtime) CreateTEE(cfg Config) (*TEE, error) {
 		r.now = r.monitor.SwitchTo(r.now, trustzone.Normal)
 		return nil, err
 	}
+	heapBase, ok := r.allocHeap(cfg.HeapBytes)
+	if !ok {
+		r.inUse[id] = false
+		r.now = r.monitor.SwitchTo(r.now, trustzone.Normal)
+		return nil, fmt.Errorf("%w: no room for %d-byte heap", ErrTooLarge, cfg.HeapBytes)
+	}
 	// SetIDBits: stamp ownership into the mapping table.
 	for _, l := range cfg.LPAs {
 		if err := r.ftl.SetID(l, id); err != nil {
+			r.ftl.ClearIDs(id)
 			r.inUse[id] = false
+			r.releaseHeap(heapBase, cfg.HeapBytes)
 			r.now = r.monitor.SwitchTo(r.now, trustzone.Normal)
 			return nil, fmt.Errorf("tee: SetIDBits(%d): %w", l, err)
 		}
@@ -288,11 +482,10 @@ func (r *Runtime) CreateTEE(cfg Config) (*TEE, error) {
 		eid:      id,
 		state:    StateRunning,
 		lpas:     append([]ftl.LPA(nil), cfg.LPAs...),
-		heapBase: r.nextHeap,
+		heapBase: heapBase,
 		heapSize: cfg.HeapBytes,
 		binary:   len(cfg.Binary),
 	}
-	r.nextHeap += cfg.HeapBytes
 	r.tees[id] = t
 	r.now += r.costs.Create
 	r.now = r.monitor.SwitchTo(r.now, trustzone.Normal)
@@ -302,37 +495,64 @@ func (r *Runtime) CreateTEE(cfg Config) (*TEE, error) {
 
 // TerminateTEE ends a TEE normally: results are copied into the metadata
 // region, ID bits cleared for reuse, resources reclaimed, 58 µs charged.
+// If data-path operations are still in flight on other goroutines, the
+// ID/heap reclaim is deferred until the last one retires, so the freed
+// 4-bit ID can never alias a successor TEE mid-operation.
 func (r *Runtime) TerminateTEE(t *TEE, result []byte) error {
-	if t.state != StateRunning && t.state != StateCreated {
-		return fmt.Errorf("tee: terminate in state %v", t.state)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := t.terminate(result); err != nil {
+		return err
 	}
-	r.now = r.monitor.SwitchTo(r.now, trustzone.Secure)
-	t.result = append([]byte(nil), result...)
-	t.state = StateTerminated
-	r.ftl.ClearIDs(t.eid)
-	r.inUse[t.eid] = false
-	delete(r.tees, t.eid)
-	r.now += r.costs.Delete
-	r.now = r.monitor.SwitchTo(r.now, trustzone.Normal)
 	r.stats.Terminated++
+	if t.readyToReclaim() {
+		r.reclaim(t)
+	}
 	return nil
 }
 
 // ThrowOutTEE aborts a TEE after a violation: §4.5 lists access-control
 // violations, corrupted TEE memory or metadata, and program exceptions.
 func (r *Runtime) ThrowOutTEE(t *TEE, reason string) {
-	if t.state == StateAborted || t.state == StateTerminated {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.throwOut(t, reason)
+}
+
+// throwOut is ThrowOutTEE with r.mu held. When the violating operation
+// itself is still in flight (the common case: a denied ReadPage), the
+// reclaim happens at that operation's retirement, not here.
+func (r *Runtime) throwOut(t *TEE, reason string) {
+	if !t.abort(reason) {
 		return
 	}
+	r.stats.Aborted++
+	if t.readyToReclaim() {
+		r.reclaim(t)
+	}
+}
+
+// reclaim recycles a dead TEE's resources — ID bits, the 4-bit identity,
+// the heap region — and charges the Table 5 deletion cost. Caller holds
+// r.mu and has won the readyToReclaim/opDone claim.
+func (r *Runtime) reclaim(t *TEE) {
 	r.now = r.monitor.SwitchTo(r.now, trustzone.Secure)
-	t.state = StateAborted
-	t.abortMsg = reason
 	r.ftl.ClearIDs(t.eid)
 	r.inUse[t.eid] = false
 	delete(r.tees, t.eid)
+	r.releaseHeap(t.heapBase, t.heapSize)
 	r.now += r.costs.Delete
 	r.now = r.monitor.SwitchTo(r.now, trustzone.Normal)
-	r.stats.Aborted++
+}
+
+// endOp retires a data-path operation, performing the deferred reclaim
+// if the TEE died while the operation was in flight.
+func (r *Runtime) endOp(t *TEE) {
+	if t.opDone() {
+		r.mu.Lock()
+		r.reclaim(t)
+		r.mu.Unlock()
+	}
 }
 
 // ReadMappingEntry implements the Table 2 API: translate lpa for TEE t
@@ -341,13 +561,15 @@ func (r *Runtime) ThrowOutTEE(t *TEE, reason string) {
 // round trip while the FTL loads the mapping page (Figure 9 steps 4–5).
 // A permission violation aborts the TEE.
 func (r *Runtime) ReadMappingEntry(t *TEE, lpa ftl.LPA) (uint64, error) {
-	if t.state != StateRunning {
-		return 0, fmt.Errorf("%w: %s", ErrAborted, t.abortMsg)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if ok, msg := t.running(); !ok {
+		return 0, fmt.Errorf("%w: %s", ErrAborted, msg)
 	}
 	ppa, err := r.ftl.TranslateFor(lpa, t.eid)
 	if err != nil {
 		if errors.Is(err, ftl.ErrAccessDenied) {
-			r.ThrowOutTEE(t, fmt.Sprintf("access-control violation on LPA %d", lpa))
+			r.throwOut(t, fmt.Sprintf("access-control violation on LPA %d", lpa))
 		}
 		return 0, err
 	}
@@ -367,54 +589,76 @@ func (r *Runtime) ReadMappingEntry(t *TEE, lpa ftl.LPA) (uint64, error) {
 // permission-checked translation, flash read, stream-cipher encryption
 // across the internal bus, decryption into the TEE's DRAM. Returns the
 // plaintext the TEE sees.
+//
+// The flash access and the cipher work run outside the runtime lock, so
+// concurrent TEEs overlap their data paths; ownership is re-validated
+// inside the FTL critical section, which also pins the PPA the cipher IV
+// binds to.
 func (r *Runtime) ReadPage(t *TEE, lpa ftl.LPA) ([]byte, error) {
-	ppa, err := r.ReadMappingEntry(t, lpa)
-	if err != nil {
+	if ok, msg := t.beginOp(); !ok {
+		return nil, fmt.Errorf("%w: %s", ErrAborted, msg)
+	}
+	defer r.endOp(t)
+	if _, err := r.ReadMappingEntry(t, lpa); err != nil {
 		return nil, err
 	}
-	done, data, err := r.ftl.Device().Read(r.now, flash.PPA(ppa))
+	r.mu.Lock()
+	at := r.now
+	r.mu.Unlock()
+	done, ppa, data, err := r.ftl.ReadFor(at, lpa, t.eid)
 	if err != nil {
+		if errors.Is(err, ftl.ErrAccessDenied) {
+			// Ownership changed between translation and read (e.g. the
+			// entry was reassigned mid-flight): still a violation.
+			r.ThrowOutTEE(t, fmt.Sprintf("access-control violation on LPA %d", lpa))
+		}
 		return nil, err
 	}
-	r.now = done
 	// The flash controller encrypts the page with the PPA-bound IV; only
 	// ciphertext crosses the bus; the DRAM-side engine decrypts.
 	page := make([]byte, r.ftl.Device().Geometry().PageSize)
 	copy(page, data)
 	r.cipher.EncryptPage(uint32(ppa), page)
-	r.lastBusPage = append(r.lastBusPage[:0], page...)
+	ct := append([]byte(nil), page...)
 	r.cipher.DecryptPage(uint32(ppa), page)
+	r.mu.Lock()
+	if done > r.now {
+		r.now = done
+	}
+	r.lastBusPage = ct
 	r.stats.BusPages++
+	r.mu.Unlock()
 	return page, nil
 }
 
 // WritePage writes data to lpa on behalf of TEE t. The TEE must own the
 // mapping entry (or the page must be unowned intermediate space the
-// runtime assigns to it first).
+// runtime assigns to it first). The ownership check, the out-of-place
+// write, and the adoption stamp are atomic inside the FTL.
 func (r *Runtime) WritePage(t *TEE, lpa ftl.LPA, data []byte) error {
-	if t.state != StateRunning {
-		return fmt.Errorf("%w: %s", ErrAborted, t.abortMsg)
+	if ok, msg := t.beginOp(); !ok {
+		return fmt.Errorf("%w: %s", ErrAborted, msg)
 	}
-	id, err := r.ftl.IDOf(lpa)
+	defer r.endOp(t)
+	r.mu.Lock()
+	at := r.now
+	r.mu.Unlock()
+	done, _, adopted, err := r.ftl.WriteFor(at, lpa, data, t.eid)
 	if err != nil {
-		return err
-	}
-	if id != t.eid && id != ftl.IDNone {
-		r.ThrowOutTEE(t, fmt.Sprintf("write access-control violation on LPA %d", lpa))
-		return fmt.Errorf("%w: LPA %d owned by %d", ftl.ErrAccessDenied, lpa, id)
-	}
-	done, err := r.ftl.Write(r.now, lpa, data)
-	if err != nil {
-		return err
-	}
-	if id == ftl.IDNone {
-		if err := r.ftl.SetID(lpa, t.eid); err != nil {
-			return err
+		if errors.Is(err, ftl.ErrAccessDenied) {
+			r.ThrowOutTEE(t, fmt.Sprintf("write access-control violation on LPA %d", lpa))
 		}
-		t.lpas = append(t.lpas, lpa)
+		return err
 	}
+	if adopted {
+		t.addLPA(lpa)
+	}
+	r.mu.Lock()
 	r.cmt.Update(lpa)
-	r.now = done
+	if done > r.now {
+		r.now = done
+	}
+	r.mu.Unlock()
 	return nil
 }
 

@@ -1,6 +1,9 @@
 package trivium
 
-import "encoding/binary"
+import (
+	"encoding/binary"
+	"sync/atomic"
+)
 
 // Engine models the IceClave stream cipher engine placed in the flash
 // controller (paper Figure 10). It holds the device key in a register that
@@ -12,10 +15,14 @@ import "encoding/binary"
 // ciphertext ever crosses the internal bus. The hardware produces 64
 // keystream bits per cycle; the cycle cost model lives in the timing layer,
 // this type provides the functional transformation.
+//
+// Engine is safe for concurrent use: the key is immutable, the IV base is
+// atomic, and each page operation keys its own cipher state — mirroring
+// the hardware, where per-channel cipher units run in parallel off one
+// key register.
 type Engine struct {
 	key    [KeySize]byte
-	ivBase uint64 // 48-bit temporally-unique base, advanced per epoch
-	cipher Cipher
+	ivBase atomic.Uint64 // 48-bit temporally-unique base, advanced per epoch
 }
 
 // NewEngine returns an engine keyed with key (10 bytes) and an initial IV
@@ -24,30 +31,32 @@ func NewEngine(key []byte, ivBase uint64) *Engine {
 	if len(key) != KeySize {
 		panic("trivium: engine key must be 10 bytes")
 	}
-	e := &Engine{ivBase: ivBase & (1<<48 - 1)}
+	e := &Engine{}
+	e.ivBase.Store(ivBase & (1<<48 - 1))
 	copy(e.key[:], key)
 	return e
 }
 
 // IVBase returns the current 48-bit IV base.
-func (e *Engine) IVBase() uint64 { return e.ivBase }
+func (e *Engine) IVBase() uint64 { return e.ivBase.Load() }
 
 // AdvanceEpoch replaces the IV base, e.g. after a key-rotation epoch. The
 // paper constructs temporal uniqueness from a PRNG; the device feeds a new
 // base in here.
-func (e *Engine) AdvanceEpoch(newBase uint64) { e.ivBase = newBase & (1<<48 - 1) }
+func (e *Engine) AdvanceEpoch(newBase uint64) { e.ivBase.Store(newBase & (1<<48 - 1)) }
 
 // IVFor builds the 80-bit IV for a physical page address: 48 bits of the
 // epoch base followed by the 32-bit PPA. Spatial uniqueness comes from the
 // PPA, temporal uniqueness from the base.
 func (e *Engine) IVFor(ppa uint32) [IVSize]byte {
+	base := e.ivBase.Load()
 	var iv [IVSize]byte
-	iv[0] = byte(e.ivBase >> 40)
-	iv[1] = byte(e.ivBase >> 32)
-	iv[2] = byte(e.ivBase >> 24)
-	iv[3] = byte(e.ivBase >> 16)
-	iv[4] = byte(e.ivBase >> 8)
-	iv[5] = byte(e.ivBase)
+	iv[0] = byte(base >> 40)
+	iv[1] = byte(base >> 32)
+	iv[2] = byte(base >> 24)
+	iv[3] = byte(base >> 16)
+	iv[4] = byte(base >> 8)
+	iv[5] = byte(base)
 	binary.BigEndian.PutUint32(iv[6:], ppa)
 	return iv
 }
@@ -57,8 +66,9 @@ func (e *Engine) IVFor(ppa uint32) [IVSize]byte {
 // operation, so DecryptPage is an alias kept for readable call sites.
 func (e *Engine) EncryptPage(ppa uint32, page []byte) {
 	iv := e.IVFor(ppa)
-	e.cipher.Reset(e.key[:], iv[:])
-	e.cipher.XORKeyStream(page, page)
+	var c Cipher
+	c.Reset(e.key[:], iv[:])
+	c.XORKeyStream(page, page)
 }
 
 // DecryptPage reverses EncryptPage for the same PPA and epoch.

@@ -1,0 +1,22 @@
+package iceclave
+
+import (
+	"os/exec"
+	"testing"
+)
+
+// TestGoVetClean is the CI smoke test that the whole module — library,
+// commands, and examples — stays go vet clean.
+func TestGoVetClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping go vet in -short mode")
+	}
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go binary not available")
+	}
+	out, err := exec.Command(goBin, "vet", "./...").CombinedOutput()
+	if err != nil {
+		t.Fatalf("go vet ./... failed: %v\n%s", err, out)
+	}
+}
