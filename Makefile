@@ -1,11 +1,21 @@
 GO ?= go
 
-.PHONY: all build vet test race ci bench fuzz
+# bench-compare runs this many benchmark repetitions (benchstat wants >= 5
+# for significance when comparing against a saved baseline).
+BENCH_COUNT ?= 1
+
+.PHONY: all build fmt-check vet test race ci bench bench-compare micro fuzz
 
 all: build
 
 build:
 	$(GO) build ./...
+
+# fmt-check fails (and lists the offenders) when any tracked Go file is
+# not gofmt-clean, so formatting drift cannot land through CI.
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 vet:
 	$(GO) vet ./...
@@ -16,19 +26,51 @@ test:
 race:
 	$(GO) test -race ./...
 
-# ci is the gate future PRs must keep green: clean build, clean vet, and
-# the full test suite (including the 32-tenant offload stress and the
-# isolation-under-concurrency tests) under the race detector.
-ci: build vet race
+# ci is the gate future PRs must keep green: gofmt-clean tree, clean
+# build, clean vet, and the full test suite (including the 32-tenant
+# offload stress, the FTL stripe-contention tests, and the Trivium
+# differential suite) under the race detector.
+ci: fmt-check build vet race
 
 # bench regenerates the committed machine-readable performance record:
-# serial vs parallel experiment-suite wall time plus the scheduler
-# offload storm (see cmd/iceclave-bench -bench-json).
+# serial vs parallel experiment-suite wall time, the scheduler offload
+# storm, and the Trivium/FTL microbenchmarks (see cmd/iceclave-bench and
+# docs/BENCHMARKS.md for methodology and the 1-CPU caveat).
 bench:
 	$(GO) run ./cmd/iceclave-bench -bench-json BENCH_results.json -workers 4
 
+# micro runs only the cipher and lock-sharding microbenchmarks (seconds,
+# not minutes) and prints a human summary.
+micro:
+	$(GO) run ./cmd/iceclave-bench -micro
+
+# bench-compare checks the word-parallel Trivium claim instead of
+# asserting it: it runs BenchmarkKeystream (bit-serial oracle vs word64
+# production engine, same key schedule + 4 KB page unit of work) and fails
+# unless the measured speedup is >= 10x. With benchstat installed and a
+# saved baseline (cp bench_new.txt bench_old.txt before a change), it also
+# prints an old-vs-new statistical comparison. See docs/BENCHMARKS.md.
+bench-compare:
+	$(GO) test -run '^$$' -bench BenchmarkKeystream -benchmem -count $(BENCH_COUNT) \
+		./internal/trivium | tee bench_new.txt
+	@awk '/BenchmarkKeystream\/bitserial/ {bit+=$$3; nbit++} \
+	      /BenchmarkKeystream\/word64/    {word+=$$3; nword++} \
+	      END { \
+	        if (!nbit || !nword) { print "bench-compare: missing benchmark output"; exit 1 } \
+	        ratio = (bit/nbit) / (word/nword); \
+	        printf "trivium word64 speedup over bit-serial: %.1fx\n", ratio; \
+	        if (ratio < 10) { print "FAIL: speedup below the 10x floor"; exit 1 } \
+	      }' bench_new.txt
+	@if command -v benchstat >/dev/null 2>&1 && [ -f bench_old.txt ]; then \
+		benchstat bench_old.txt bench_new.txt; \
+	else \
+		echo "(install benchstat and save bench_old.txt for old-vs-new deltas)"; \
+	fi
+
 # fuzz gives each cipher/MEE fuzz target a short budget beyond the
-# committed regression corpus in testdata/fuzz.
+# committed regression corpus in testdata/fuzz. The Trivium targets now
+# differentially check the word-parallel engine against the bit-serial
+# reference on every input.
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzKeystreamRoundTrip -fuzztime=20s ./internal/trivium
 	$(GO) test -run='^$$' -fuzz=FuzzEnginePageRoundTrip -fuzztime=20s ./internal/trivium

@@ -8,10 +8,13 @@
 // pool, and writes a machine-readable BENCH_results.json so the
 // performance trajectory is trackable across PRs.
 //
+// With -micro it runs just the Trivium cipher and FTL lock-sharding
+// microbenchmarks (methodology in docs/BENCHMARKS.md).
+//
 // Usage:
 //
 //	iceclave-bench [-experiment "Figure 11"] [-csv] [-rows N]
-//	               [-parallel] [-workers N]
+//	               [-parallel] [-workers N] [-micro]
 //	               [-bench-json BENCH_results.json] [-tenants N] [-jobs N]
 package main
 
@@ -46,8 +49,16 @@ func main() {
 		benchOut = flag.String("bench-json", "", "time serial vs parallel suite plus a scheduler offload storm; write results to this file")
 		tenants  = flag.Int("tenants", 32, "concurrent tenants in the -bench-json scheduler storm")
 		jobs     = flag.Int("jobs", 4, "offloads per tenant in the -bench-json scheduler storm")
+		micro    = flag.Bool("micro", false, "run only the Trivium/FTL microbenchmarks and print a summary")
 	)
 	flag.Parse()
+
+	if *micro {
+		if _, _, err := runMicro(); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	sc := workload.SmallScale()
 	if *rows > 0 {
@@ -88,9 +99,12 @@ func main() {
 	}
 }
 
-// benchResults is the machine-readable performance record.
+// benchResults is the machine-readable performance record. Methodology —
+// what each section measures, and why suite/FTL speedups sit near 1x on a
+// 1-CPU container — is documented in docs/BENCHMARKS.md.
 type benchResults struct {
 	GeneratedAt  string `json:"generated_at"`
+	Methodology  string `json:"methodology"`
 	NumCPU       int    `json:"num_cpu"`
 	GOMAXPROCS   int    `json:"gomaxprocs"`
 	Workers      int    `json:"workers"`
@@ -102,7 +116,9 @@ type benchResults struct {
 	SuiteSpeedup    float64 `json:"suite_speedup"`
 	OutputIdentical bool    `json:"output_identical"`
 
-	Scheduler schedResults `json:"scheduler"`
+	Scheduler schedResults   `json:"scheduler"`
+	Trivium   triviumResults `json:"trivium_keystream"`
+	FTL       ftlResults     `json:"ftl_sharded_locks"`
 }
 
 // schedResults records the multi-tenant offload storm.
@@ -159,8 +175,14 @@ func runBench(sc workload.Scale, workers, tenants, jobs int, outPath string) err
 		return err
 	}
 
+	tr, fr, err := runMicro()
+	if err != nil {
+		return err
+	}
+
 	res := benchResults{
 		GeneratedAt:     time.Now().UTC().Format(time.RFC3339),
+		Methodology:     "docs/BENCHMARKS.md",
 		NumCPU:          runtime.NumCPU(),
 		GOMAXPROCS:      runtime.GOMAXPROCS(0),
 		Workers:         workers,
@@ -170,6 +192,8 @@ func runBench(sc workload.Scale, workers, tenants, jobs int, outPath string) err
 		SuiteSpeedup:    float64(serialNs) / float64(parallelNs),
 		OutputIdentical: identical,
 		Scheduler:       st,
+		Trivium:         tr,
+		FTL:             fr,
 	}
 	data, err := json.MarshalIndent(res, "", "  ")
 	if err != nil {

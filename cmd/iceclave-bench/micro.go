@@ -1,0 +1,183 @@
+package main
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"iceclave/internal/flash"
+	"iceclave/internal/ftl"
+	"iceclave/internal/sim"
+	"iceclave/internal/trivium"
+)
+
+// triviumResults records the cipher microbenchmark: one encrypted-page
+// unit of work (key schedule + 4 KB keystream) for the bit-serial
+// reference and the word-parallel production engine. The speedup is the
+// number `make bench-compare` checks against the >= 10x floor.
+type triviumResults struct {
+	PageBytes          int     `json:"page_bytes"`
+	BitserialNsPerPage int64   `json:"bitserial_ns_per_page"`
+	Word64NsPerPage    int64   `json:"word64_ns_per_page"`
+	Speedup            float64 `json:"speedup"`
+	Word64MBPerS       float64 `json:"word64_mb_per_s"`
+}
+
+// ftlResults records the lock-sharding microbenchmark: write+read round
+// trips through the FTL with all tenants on one goroutine vs one goroutine
+// per channel (each pinned to its own channel's LPAs, so the sharded locks
+// never collide). On a 1-CPU container parallel_speedup sits near 1x; see
+// docs/BENCHMARKS.md.
+type ftlResults struct {
+	Channels           int     `json:"channels"`
+	Stripes            int     `json:"mapping_stripes"`
+	OpsPerTenant       int     `json:"ops_per_tenant"`
+	SerialPagesPerSec  float64 `json:"serial_pages_per_sec"`
+	ShardedPagesPerSec float64 `json:"sharded_parallel_pages_per_sec"`
+	ParallelSpeedup    float64 `json:"parallel_speedup"`
+}
+
+// benchTrivium times Reset+Keystream over a flash page for both cipher
+// implementations. The bit-serial oracle is ~100x slower, so it gets a
+// smaller iteration budget at equal statistical weight.
+func benchTrivium() triviumResults {
+	const pageBytes = 4096
+	key := []byte("iceclave-k")
+	iv := make([]byte, trivium.IVSize)
+	page := make([]byte, pageBytes)
+
+	var ref trivium.Reference
+	const refIters = 64
+	t0 := time.Now()
+	for i := 0; i < refIters; i++ {
+		iv[9] = byte(i)
+		ref.Reset(key, iv)
+		ref.Keystream(page)
+	}
+	bitNs := time.Since(t0).Nanoseconds() / refIters
+
+	var word trivium.Cipher
+	const wordIters = 8192
+	t1 := time.Now()
+	for i := 0; i < wordIters; i++ {
+		iv[9] = byte(i)
+		word.Reset(key, iv)
+		word.Keystream(page)
+	}
+	wordNs := time.Since(t1).Nanoseconds() / wordIters
+
+	return triviumResults{
+		PageBytes:          pageBytes,
+		BitserialNsPerPage: bitNs,
+		Word64NsPerPage:    wordNs,
+		Speedup:            float64(bitNs) / float64(wordNs),
+		Word64MBPerS:       float64(pageBytes) / (float64(wordNs) / 1e9) / (1 << 20),
+	}
+}
+
+// benchFTL measures cross-channel scaling of the sharded FTL: the same
+// per-tenant op sequence (out-of-place write + fused translate/read, with
+// enough rewrites to trigger GC) run serially and then with one goroutine
+// per channel.
+func benchFTL() (ftlResults, error) {
+	const opsPerTenant = 2000
+	geo := flash.Geometry{
+		Channels:        4,
+		ChipsPerChannel: 1,
+		DiesPerChip:     1,
+		PlanesPerDie:    1,
+		BlocksPerPlane:  16,
+		PagesPerBlock:   16,
+		PageSize:        4096,
+	}
+	build := func() (*ftl.FTL, error) {
+		dev, err := flash.NewDevice(geo, flash.DefaultTiming())
+		if err != nil {
+			return nil, err
+		}
+		return ftl.New(dev, ftl.Config{}), nil
+	}
+	payload := make([]byte, 64)
+	tenant := func(f *ftl.FTL, ch int) error {
+		lpas := [4]ftl.LPA{}
+		for i := range lpas {
+			lpas[i] = ftl.LPA(ch + i*geo.Channels) // pinned to channel ch
+		}
+		at := sim.Time(0)
+		for r := 0; r < opsPerTenant; r++ {
+			l := lpas[r%len(lpas)]
+			done, err := f.Write(at, l, payload)
+			if err != nil {
+				return err
+			}
+			if _, _, err := f.Read(done, l); err != nil {
+				return err
+			}
+			at = done
+		}
+		return nil
+	}
+
+	fSerial, err := build()
+	if err != nil {
+		return ftlResults{}, err
+	}
+	t0 := time.Now()
+	for ch := 0; ch < geo.Channels; ch++ {
+		if err := tenant(fSerial, ch); err != nil {
+			return ftlResults{}, err
+		}
+	}
+	serialSec := time.Since(t0).Seconds()
+
+	fPar, err := build()
+	if err != nil {
+		return ftlResults{}, err
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, geo.Channels)
+	t1 := time.Now()
+	for ch := 0; ch < geo.Channels; ch++ {
+		wg.Add(1)
+		go func(ch int) {
+			defer wg.Done()
+			if err := tenant(fPar, ch); err != nil {
+				errCh <- err
+			}
+		}(ch)
+	}
+	wg.Wait()
+	parSec := time.Since(t1).Seconds()
+	close(errCh)
+	for err := range errCh {
+		return ftlResults{}, err
+	}
+
+	pages := float64(geo.Channels * opsPerTenant * 2) // one write + one read per op
+	return ftlResults{
+		Channels:           geo.Channels,
+		Stripes:            fPar.Stripes(),
+		OpsPerTenant:       opsPerTenant,
+		SerialPagesPerSec:  pages / serialSec,
+		ShardedPagesPerSec: pages / parSec,
+		ParallelSpeedup:    serialSec / parSec,
+	}, nil
+}
+
+// runMicro executes just the cipher and FTL microbenchmarks and prints a
+// human summary; -bench-json embeds the same numbers in the JSON record.
+func runMicro() (triviumResults, ftlResults, error) {
+	tr := benchTrivium()
+	fr, err := benchFTL()
+	if err != nil {
+		return tr, fr, err
+	}
+	fmt.Printf("trivium: bit-serial %s/page, word64 %s/page (%.1fx, %.0f MB/s)\n",
+		time.Duration(tr.BitserialNsPerPage), time.Duration(tr.Word64NsPerPage),
+		tr.Speedup, tr.Word64MBPerS)
+	fmt.Printf("ftl: serial %.0f pages/s, %d-channel sharded %.0f pages/s (%.2fx on GOMAXPROCS=%d)\n",
+		fr.SerialPagesPerSec, fr.Channels, fr.ShardedPagesPerSec,
+		fr.ParallelSpeedup, runtime.GOMAXPROCS(0))
+	return tr, fr, nil
+}

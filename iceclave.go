@@ -18,10 +18,14 @@
 // The SSD is safe for concurrent use: many tenants can OffloadCode,
 // execute, and Finish from their own goroutines, and isolation holds
 // mid-flight — a cross-TEE access still fails and aborts the offender
-// while its neighbours keep running. internal/sched provides the
-// admission-controlled worker pool (per-tenant in-flight caps, priority
-// bands, graceful drain) that production multi-tenant deployments put in
-// front of Execute.
+// while its neighbours keep running. Tenants pinned to different flash
+// channels proceed without sharing a lock (the FTL uses per-channel
+// allocator shards plus a striped mapping table; ARCHITECTURE.md draws
+// the full hierarchy), and the encrypted data path runs the word-parallel
+// Trivium engine at hundreds of MB/s per core. internal/sched provides
+// the admission-controlled worker pool (per-tenant in-flight caps,
+// priority bands, graceful drain) that production multi-tenant
+// deployments put in front of Execute.
 package iceclave
 
 import (

@@ -6,6 +6,11 @@
 // The cache tracks presence and recency of fixed-size lines identified by a
 // 64-bit address; it stores no payload. Callers model data movement by
 // acting on the hit/miss/eviction results.
+//
+// Concurrency contract: Cache carries mutable recency state and is not
+// safe for concurrent use. Every instance is serialized by its owner —
+// the MEE counter cache under mee.Engine's lock, the CMT under
+// tee.Runtime's lock, and the CPU LLC inside a single-goroutine replay.
 package cache
 
 import "fmt"

@@ -2,6 +2,12 @@
 // DRAM, MEE, stream cipher, TrustZone runtime, and host models, plus the
 // trace-replay engine that executes recorded workloads under the four
 // evaluation modes (Host, Host+SGX, ISC, IceClave) and their variants.
+//
+// Concurrency contract: a composed system model and every replay over it
+// are confined to one goroutine; Config and Result are plain values.
+// Parallelism comes from running independent replays, each over its own
+// system instance (see experiments.Suite.AllParallel), never from sharing
+// one replay across goroutines.
 package core
 
 import (

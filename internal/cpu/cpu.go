@@ -4,6 +4,11 @@
 // A72 in gem5 (Table 3); figures depend on *relative* compute capability
 // across A77/A72/A53 and the host i7 (Figure 15), which a calibrated
 // throughput model preserves.
+//
+// Concurrency contract: Core and Complex carry per-replay cache and
+// accounting state and are not safe for concurrent use; each replay
+// builds its own. Parallel experiments give every goroutine a private
+// instance rather than locking a shared one.
 package cpu
 
 import (

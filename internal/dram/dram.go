@@ -2,6 +2,10 @@
 // timing (standing in for USIMM in the paper's stack), bus bandwidth, and a
 // page-granular data cache that captures how much of the working set fits
 // in controller memory (the quantity Figure 16 sweeps).
+//
+// Concurrency contract: DRAM and PageCache carry bank/row and residency
+// state and are not safe for concurrent use; each replayed system owns
+// one of each. Timing and Geometry are plain configuration values.
 package dram
 
 import (

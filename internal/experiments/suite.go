@@ -8,6 +8,11 @@
 // n goroutines. Output is deterministic either way: rows are assembled in
 // workload order and note aggregates are summed in that same order, so a
 // parallel run emits byte-identical tables to a serial one.
+//
+// Concurrency contract: Suite is safe for concurrent use — the trace
+// cache is mutex-guarded with once-per-workload recording, and each
+// replay worker builds a private system model. Call SetWorkers before
+// sharing a Suite; the worker count itself is not synchronized.
 package experiments
 
 import (

@@ -3,6 +3,11 @@
 // machine, command timing (read, program, erase), and per-channel bus
 // bandwidth. It is the bottom substrate of the IceClave simulator, standing
 // in for SimpleSSD's device model (paper §5, Table 3).
+//
+// Concurrency contract: Device is safe for concurrent use and is the leaf
+// of the SSD lock hierarchy — it takes no other lock, so any layer may
+// call into it while holding its own (the FTL's channel shards and
+// mapping stripes do exactly that). Geometry and Timing are plain values.
 package flash
 
 import "fmt"

@@ -4,12 +4,19 @@
 // collection, wear-aware block allocation, and a demand-cached mapping
 // table (CMT) in the DFTL style that IceClave places in the protected
 // memory region (paper §4.2).
+//
+// Concurrency contract: FTL is safe for concurrent use under a sharded,
+// two-level lock hierarchy (see the FTL type comment and ARCHITECTURE.md);
+// tenants writing to different channels do not contend on any shared lock.
+// MappingCache is not safe for concurrent use and is serialized by its
+// owner (the tee.Runtime lock).
 package ftl
 
 import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"iceclave/internal/flash"
 	"iceclave/internal/sim"
@@ -59,6 +66,10 @@ type Config struct {
 	// WearDelta is the max allowed spread between block erase counts
 	// before allocation steers to the least-worn candidates. Default 8.
 	WearDelta int
+	// StripesPerChannel is the number of mapping-table lock stripes per
+	// channel. More stripes mean less contention between readers of
+	// nearby LPAs at the cost of lock-array footprint. Default 8.
+	StripesPerChannel int
 }
 
 func (c *Config) applyDefaults() {
@@ -70,6 +81,9 @@ func (c *Config) applyDefaults() {
 	}
 	if c.WearDelta <= 0 {
 		c.WearDelta = 8
+	}
+	if c.StripesPerChannel <= 0 {
+		c.StripesPerChannel = 8
 	}
 }
 
@@ -90,6 +104,16 @@ func (s Stats) WriteAmplification() float64 {
 	return float64(s.HostWrites+s.GCWrites) / float64(s.HostWrites)
 }
 
+// counters is the internal, atomically updated form of Stats, so hot-path
+// accounting needs no lock at all and never extends a critical section.
+type counters struct {
+	hostWrites   atomic.Int64
+	gcWrites     atomic.Int64
+	gcRuns       atomic.Int64
+	erases       atomic.Int64
+	translations atomic.Int64
+}
+
 // dieState tracks one die's free-block pool and active (partially
 // programmed) block within a channel.
 type dieState struct {
@@ -99,15 +123,19 @@ type dieState struct {
 	hasActive   bool
 }
 
-// channelState holds the per-die allocators of one channel plus a
-// round-robin cursor. Striping consecutive writes across dies is what
-// lets reads exploit die-level parallelism behind one channel bus.
-type channelState struct {
+// channelShard is the per-channel lock domain: the die allocators, the
+// round-robin cursor, and (by convention, see FTL) the reverse-map entries
+// of every physical page on the channel. Striping consecutive writes
+// across dies is what lets reads exploit die-level parallelism behind one
+// channel bus; holding the shard lock across Program/Erase mirrors the
+// hardware, where one channel bus carries one transfer at a time.
+type channelShard struct {
+	mu   sync.Mutex
 	dies []dieState
 	rr   int
 }
 
-func (cs *channelState) freeTotal() int {
+func (cs *channelShard) freeTotal() int {
 	n := 0
 	for i := range cs.dies {
 		n += len(cs.dies[i].freeBlocks)
@@ -115,26 +143,53 @@ func (cs *channelState) freeTotal() int {
 	return n
 }
 
+// mappingStripe is one lock stripe of the mapping table, padded out so
+// adjacent stripes do not share a cache line (the striped-lock layout
+// conventional in sharded stores).
+type mappingStripe struct {
+	mu sync.Mutex
+	_  [56]byte
+}
+
 // FTL is the flash translation layer. It owns the device's block
 // allocation, the logical-to-physical mapping table, and the TEE ID bits.
 //
-// FTL is safe for concurrent use: one mutex guards the mapping table, ID
-// bits, and allocator state, so concurrent TEEs and the host path can
-// translate and write without torn entries, and a translation can never
-// observe a page mid-relocation by GC. Finer sharding (per-channel locks)
-// is a recorded follow-on in ROADMAP.md.
+// FTL is safe for concurrent use under a sharded, two-level lock
+// hierarchy (PR 1's single coarse mutex is gone):
+//
+//   - A mapping stripe (stripes[l % S], S = Channels*StripesPerChannel)
+//     guards the table entry of LPA l: its PPA, ID bits, and valid bit.
+//     Translations, permission checks, and the fused translate+read
+//     critical sections hold only the stripe.
+//   - A channel shard (chans[ch]) guards the channel's allocator state,
+//     its garbage collection, and the reverse-map entries of its physical
+//     pages. Writes and GC hold the shard of the one channel involved.
+//
+// Because pickChannel is static (l mod Channels) and S is a multiple of
+// Channels, every stripe's LPAs live on exactly one channel, and an LPA's
+// pages never migrate across channels — so each operation touches one
+// shard and one stripe, and tenants pinned to different channels share no
+// FTL lock (the flash.Device leaf mutex below remains device-wide).
+//
+// Lock order: channel shard first, then mapping stripe; stripe holders
+// never acquire a shard. Writers take the shard, run GC if needed (GC
+// takes the stripes of relocated LPAs one at a time — only readers can
+// hold those, and readers never wait on a shard, so the hierarchy is
+// acyclic), and only then take their own stripe for the mapping update.
+// Readers take only their stripe, which excludes GC from relocating that
+// page mid-read and pins the PPA the stream-cipher IV binds to.
 type FTL struct {
-	mu  sync.Mutex
 	dev *flash.Device
 	geo flash.Geometry
 	cfg Config
 
-	table   []entry // indexed by LPA
-	reverse []LPA   // PPA -> LPA for GC relocation; InvalidLPA when free
-	chans   []channelState
+	stripes []mappingStripe
+	table   []entry // entry l guarded by stripes[l % len(stripes)]
+	reverse []LPA   // PPA -> LPA for GC; entry guarded by its channel's shard
+	chans   []channelShard
 
 	logicalPages int64
-	stats        Stats
+	stats        counters
 }
 
 // invalidLPA marks an unused reverse-map slot.
@@ -149,9 +204,10 @@ func New(dev *flash.Device, cfg Config) *FTL {
 		dev:          dev,
 		geo:          geo,
 		cfg:          cfg,
+		stripes:      make([]mappingStripe, geo.Channels*cfg.StripesPerChannel),
 		table:        make([]entry, logical),
 		reverse:      make([]LPA, geo.TotalPages()),
-		chans:        make([]channelState, geo.Channels),
+		chans:        make([]channelShard, geo.Channels),
 		logicalPages: logical,
 	}
 	for i := range f.reverse {
@@ -181,11 +237,19 @@ func (f *FTL) LogicalBytes() int64 { return f.logicalPages * int64(f.geo.PageSiz
 // Device returns the underlying flash device.
 func (f *FTL) Device() *flash.Device { return f.dev }
 
-// Stats returns a copy of the activity counters.
+// Stripes returns the number of mapping-table lock stripes.
+func (f *FTL) Stripes() int { return len(f.stripes) }
+
+// Stats returns a consistent-enough snapshot of the activity counters
+// (each counter is atomic; the snapshot is not a cross-counter barrier).
 func (f *FTL) Stats() Stats {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	return f.stats
+	return Stats{
+		HostWrites:   f.stats.hostWrites.Load(),
+		GCWrites:     f.stats.gcWrites.Load(),
+		GCRuns:       f.stats.gcRuns.Load(),
+		Erases:       f.stats.erases.Load(),
+		Translations: f.stats.translations.Load(),
+	}
 }
 
 func (f *FTL) checkLPA(l LPA) error {
@@ -195,12 +259,23 @@ func (f *FTL) checkLPA(l LPA) error {
 	return nil
 }
 
-// translate resolves l with f.mu held.
-func (f *FTL) translate(l LPA) (flash.PPA, error) {
+// stripeOf maps an LPA to its mapping-table lock stripe. len(f.stripes) is
+// a multiple of the channel count, so stripeOf(l) % Channels ==
+// pickChannel(l): a stripe never spans channels.
+func (f *FTL) stripeOf(l LPA) *mappingStripe {
+	return &f.stripes[uint32(l)%uint32(len(f.stripes))]
+}
+
+// Translate returns the physical page backing l. It does not check ID
+// bits; use TranslateFor on the TEE path.
+func (f *FTL) Translate(l LPA) (flash.PPA, error) {
 	if err := f.checkLPA(l); err != nil {
 		return flash.InvalidPPA, err
 	}
-	f.stats.Translations++
+	st := f.stripeOf(l)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	f.stats.translations.Add(1)
 	e := f.table[l]
 	if !e.valid {
 		return flash.InvalidPPA, ErrUnmapped
@@ -208,20 +283,17 @@ func (f *FTL) translate(l LPA) (flash.PPA, error) {
 	return e.ppa, nil
 }
 
-// Translate returns the physical page backing l. It does not check ID
-// bits; use TranslateFor on the TEE path.
-func (f *FTL) Translate(l LPA) (flash.PPA, error) {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	return f.translate(l)
-}
-
-// translateFor resolves l with the §4.3 ID-bit check, f.mu held.
-func (f *FTL) translateFor(l LPA, id TEEID) (flash.PPA, error) {
+// TranslateFor is the permission-checked translation used by in-storage
+// TEEs reading the shared mapping table: the entry's ID bits must match the
+// caller's TEE ID (paper §4.3).
+func (f *FTL) TranslateFor(l LPA, id TEEID) (flash.PPA, error) {
 	if err := f.checkLPA(l); err != nil {
 		return flash.InvalidPPA, err
 	}
-	f.stats.Translations++
+	st := f.stripeOf(l)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	f.stats.translations.Add(1)
 	e := f.table[l]
 	if !e.valid {
 		return flash.InvalidPPA, ErrUnmapped
@@ -232,22 +304,14 @@ func (f *FTL) translateFor(l LPA, id TEEID) (flash.PPA, error) {
 	return e.ppa, nil
 }
 
-// TranslateFor is the permission-checked translation used by in-storage
-// TEEs reading the shared mapping table: the entry's ID bits must match the
-// caller's TEE ID (paper §4.3).
-func (f *FTL) TranslateFor(l LPA, id TEEID) (flash.PPA, error) {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	return f.translateFor(l, id)
-}
-
 // IDOf returns the TEE ID bits of l's entry.
 func (f *FTL) IDOf(l LPA) (TEEID, error) {
 	if err := f.checkLPA(l); err != nil {
 		return IDNone, err
 	}
-	f.mu.Lock()
-	defer f.mu.Unlock()
+	st := f.stripeOf(l)
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	return f.table[l].id, nil
 }
 
@@ -260,39 +324,52 @@ func (f *FTL) SetID(l LPA, id TEEID) error {
 	if id > MaxTEEID {
 		return fmt.Errorf("ftl: TEE ID %d exceeds 4 bits", id)
 	}
-	f.mu.Lock()
-	defer f.mu.Unlock()
+	st := f.stripeOf(l)
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	f.table[l].id = id
 	return nil
 }
 
 // ClearIDs resets the ID bits of every entry owned by id back to IDNone,
-// used when a TEE terminates and its ID is recycled.
+// used when a TEE terminates and its ID is recycled. It sweeps the table
+// one stripe at a time, so concurrent tenants on other stripes keep
+// translating while a neighbour is torn down.
 func (f *FTL) ClearIDs(id TEEID) {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	for i := range f.table {
-		if f.table[i].id == id {
-			f.table[i].id = IDNone
+	stripeCount := LPA(len(f.stripes))
+	for s := range f.stripes {
+		st := &f.stripes[s]
+		st.mu.Lock()
+		for l := LPA(s); int64(l) < f.logicalPages; l += stripeCount {
+			if f.table[l].id == id {
+				f.table[l].id = IDNone
+			}
 		}
+		st.mu.Unlock()
 	}
 }
 
 // Read translates and reads l, returning the completion time and payload.
-// Translation and the device read happen under one critical section so a
-// concurrent GC pass cannot relocate the page between the two.
+// Translation and the device read happen under l's mapping stripe, so a
+// concurrent GC pass (which takes the stripe before relocating a page)
+// cannot move the page between the two.
 func (f *FTL) Read(at sim.Time, l LPA) (done sim.Time, data []byte, err error) {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	ppa, err := f.translate(l)
-	if err != nil {
+	if err := f.checkLPA(l); err != nil {
 		return at, nil, err
 	}
-	return f.dev.Read(at, ppa)
+	st := f.stripeOf(l)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	f.stats.translations.Add(1)
+	e := f.table[l]
+	if !e.valid {
+		return at, nil, ErrUnmapped
+	}
+	return f.dev.Read(at, e.ppa)
 }
 
 // ReadFor is the TEE data-path read: the permission-checked translation of
-// TranslateFor fused with the device read in one critical section, so the
+// TranslateFor fused with the device read under l's mapping stripe, so the
 // returned payload and PPA (which binds the stream-cipher IV) are
 // consistent even while other tenants write and trigger GC relocation.
 // The ownership re-check does not count as a translation — the runtime
@@ -302,8 +379,9 @@ func (f *FTL) ReadFor(at sim.Time, l LPA, id TEEID) (done sim.Time, ppa flash.PP
 	if err := f.checkLPA(l); err != nil {
 		return at, flash.InvalidPPA, nil, err
 	}
-	f.mu.Lock()
-	defer f.mu.Unlock()
+	st := f.stripeOf(l)
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	e := f.table[l]
 	if !e.valid {
 		return at, flash.InvalidPPA, nil, ErrUnmapped
@@ -320,28 +398,63 @@ func (f *FTL) ReadFor(at sim.Time, l LPA, id TEEID) (done sim.Time, ppa flash.PP
 // (running GC first if the target channel is short on free blocks),
 // programs it, invalidates the old page, and updates the mapping. The ID
 // bits of the entry are preserved across rewrites.
+//
+// Locking: the channel shard is taken first (allocator, GC, program), the
+// mapping stripe second — the one place both levels are held together.
 func (f *FTL) Write(at sim.Time, l LPA, data []byte) (done sim.Time, err error) {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	return f.write(at, l, data)
+	if err := f.checkLPA(l); err != nil {
+		return at, err
+	}
+	ch := f.pickChannel(l)
+	cs := &f.chans[ch]
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	at, err = f.ensureFree(at, ch)
+	if err != nil {
+		return at, err
+	}
+	st := f.stripeOf(l)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return f.write(at, l, ch, data)
 }
 
 // WriteFor is the TEE data-path write: the §4.3 ownership check, the
 // out-of-place write, and the ID stamping of a newly adopted page happen
-// in one critical section, so two TEEs racing on an unowned LPA cannot
+// under l's mapping stripe, so two TEEs racing on an unowned LPA cannot
 // both claim it. owner reports the entry's pre-write owner; adopted
 // reports whether the entry was unowned and has been stamped with id.
+//
+// A denied write is rejected on a stripe-only fast path before the
+// channel shard (and any GC it would imply) is touched; ownership is
+// re-verified under the stripe after the shard is held, because it can
+// change between the two looks.
 func (f *FTL) WriteFor(at sim.Time, l LPA, data []byte, id TEEID) (done sim.Time, owner TEEID, adopted bool, err error) {
 	if err := f.checkLPA(l); err != nil {
 		return at, IDNone, false, err
 	}
-	f.mu.Lock()
-	defer f.mu.Unlock()
+	st := f.stripeOf(l)
+	st.mu.Lock()
+	owner = f.table[l].id
+	st.mu.Unlock()
+	if owner != id && owner != IDNone {
+		return at, owner, false, fmt.Errorf("%w: LPA %d owned by %d", ErrAccessDenied, l, owner)
+	}
+	ch := f.pickChannel(l)
+	cs := &f.chans[ch]
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	at, err = f.ensureFree(at, ch)
+	if err != nil {
+		return at, owner, false, err
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	owner = f.table[l].id
 	if owner != id && owner != IDNone {
 		return at, owner, false, fmt.Errorf("%w: LPA %d owned by %d", ErrAccessDenied, l, owner)
 	}
-	done, err = f.write(at, l, data)
+	done, err = f.write(at, l, ch, data)
 	if err != nil {
 		return done, owner, false, err
 	}
@@ -352,16 +465,10 @@ func (f *FTL) WriteFor(at sim.Time, l LPA, data []byte, id TEEID) (done sim.Time
 	return done, owner, adopted, nil
 }
 
-// write is the Write body, f.mu held.
-func (f *FTL) write(at sim.Time, l LPA, data []byte) (done sim.Time, err error) {
-	if err := f.checkLPA(l); err != nil {
-		return at, err
-	}
-	ch := f.pickChannel(l)
-	at, err = f.ensureFree(at, ch)
-	if err != nil {
-		return at, err
-	}
+// write is the Write body: allocate, program, remap. Caller holds the
+// channel shard of ch and the mapping stripe of l, and has already run
+// ensureFree on ch.
+func (f *FTL) write(at sim.Time, l LPA, ch int, data []byte) (done sim.Time, err error) {
 	ppa, err := f.allocate(ch)
 	if err != nil {
 		return at, err
@@ -379,17 +486,19 @@ func (f *FTL) write(at sim.Time, l LPA, data []byte) (done sim.Time, err error) 
 	}
 	f.table[l] = entry{ppa: ppa, id: old.id, valid: true}
 	f.reverse[ppa] = l
-	f.stats.HostWrites++
+	f.stats.hostWrites.Add(1)
 	return done, nil
 }
 
-// pickChannel stripes logical pages across channels for parallelism.
+// pickChannel stripes logical pages across channels for parallelism. It
+// is static on purpose: an LPA's pages live on one channel forever, which
+// is what keeps the stripe and shard lock domains disjoint per operation.
 func (f *FTL) pickChannel(l LPA) int { return int(uint32(l) % uint32(f.geo.Channels)) }
 
 // allocate hands out the next free page in ch, round-robining across the
 // channel's dies so consecutive writes stripe over die-level parallelism.
 // Within a die, allocation prefers the least-worn free block once wear
-// spread exceeds WearDelta.
+// spread exceeds WearDelta. Caller holds the channel shard.
 func (f *FTL) allocate(ch int) (flash.PPA, error) {
 	cs := &f.chans[ch]
 	n := len(cs.dies)
@@ -416,7 +525,7 @@ func (f *FTL) allocate(ch int) (flash.PPA, error) {
 // pickFreeBlock implements the wear-leveling allocation policy: normally
 // FIFO, but when the erase-count spread across the die's free pool
 // exceeds WearDelta, pick the least-worn block so cold blocks absorb new
-// writes.
+// writes. Caller holds the channel shard.
 func (f *FTL) pickFreeBlock(ds *dieState) int {
 	minIdx, minE, maxE := 0, int(^uint(0)>>1), 0
 	for i, b := range ds.freeBlocks {
@@ -435,7 +544,8 @@ func (f *FTL) pickFreeBlock(ds *dieState) int {
 }
 
 // ensureFree runs garbage collection on ch until its free pool is above
-// the low-water mark or no further space can be reclaimed.
+// the low-water mark or no further space can be reclaimed. Caller holds
+// the channel shard but no mapping stripe (GC takes stripes itself).
 func (f *FTL) ensureFree(at sim.Time, ch int) (sim.Time, error) {
 	for f.chans[ch].freeTotal() < f.cfg.GCFreeBlockLow {
 		done, reclaimed, err := f.collectChannel(at, ch)
@@ -455,12 +565,15 @@ func (f *FTL) ensureFree(at sim.Time, ch int) (sim.Time, error) {
 
 // collectChannel performs one greedy GC pass on ch: pick the non-free,
 // non-active block with the fewest valid pages, relocate them, erase it.
+// Caller holds the channel shard; each live page's relocation takes that
+// page's mapping stripe, so a concurrent reader of the same LPA either
+// completes its device read before the move or observes the new PPA.
 func (f *FTL) collectChannel(at sim.Time, ch int) (done sim.Time, reclaimed bool, err error) {
 	victim, ok := f.pickVictim(ch)
 	if !ok {
 		return at, false, nil
 	}
-	f.stats.GCRuns++
+	f.stats.gcRuns.Add(1)
 	// Relocate live pages.
 	first := f.geo.FirstPage(victim)
 	for i := 0; i < f.geo.PagesPerBlock; i++ {
@@ -472,36 +585,48 @@ func (f *FTL) collectChannel(at sim.Time, ch int) (done sim.Time, reclaimed bool
 		if l == invalidLPA {
 			return at, false, fmt.Errorf("ftl: valid page %d with no reverse mapping", src)
 		}
-		readDone, data, err := f.dev.Read(at, src)
+		at, err = f.relocate(at, src, l, ch)
 		if err != nil {
 			return at, false, err
 		}
-		dst, err := f.allocate(ch)
-		if err != nil {
-			return at, false, err
-		}
-		progDone, err := f.dev.Program(readDone, dst, data)
-		if err != nil {
-			return at, false, err
-		}
-		if err := f.dev.Invalidate(src); err != nil {
-			return at, false, err
-		}
-		f.reverse[src] = invalidLPA
-		f.reverse[dst] = l
-		f.table[l].ppa = dst
-		f.stats.GCWrites++
-		at = progDone
 	}
 	done, err = f.dev.Erase(at, victim)
 	if err != nil {
 		return at, false, err
 	}
-	f.stats.Erases++
+	f.stats.erases.Add(1)
 	die := f.dieOf(victim)
 	ds := &f.chans[ch].dies[die]
 	ds.freeBlocks = append(ds.freeBlocks, victim)
 	return done, true, nil
+}
+
+// relocate moves one live page (src, mapped by l) to a fresh page on the
+// same channel, under l's mapping stripe. Caller holds the channel shard.
+func (f *FTL) relocate(at sim.Time, src flash.PPA, l LPA, ch int) (sim.Time, error) {
+	st := f.stripeOf(l)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	readDone, data, err := f.dev.Read(at, src)
+	if err != nil {
+		return at, err
+	}
+	dst, err := f.allocate(ch)
+	if err != nil {
+		return at, err
+	}
+	progDone, err := f.dev.Program(readDone, dst, data)
+	if err != nil {
+		return at, err
+	}
+	if err := f.dev.Invalidate(src); err != nil {
+		return at, err
+	}
+	f.reverse[src] = invalidLPA
+	f.reverse[dst] = l
+	f.table[l].ppa = dst
+	f.stats.gcWrites.Add(1)
+	return progDone, nil
 }
 
 // dieOf returns the channel-local die index of a block.
@@ -513,7 +638,8 @@ func (f *FTL) dieOf(b flash.BlockID) int {
 // non-active block with the fewest valid pages, requiring at least one
 // invalid page so the erase reclaims space. Ties break toward the
 // least-erased block, which rotates erases evenly across the channel
-// instead of hammering the lowest-numbered fully-invalid block.
+// instead of hammering the lowest-numbered fully-invalid block. Caller
+// holds the channel shard.
 func (f *FTL) pickVictim(ch int) (flash.BlockID, bool) {
 	cs := &f.chans[ch]
 	skip := make(map[flash.BlockID]bool)
@@ -550,9 +676,10 @@ func (f *FTL) pickVictim(ch int) (flash.BlockID, bool) {
 
 // FreeBlocks returns the number of free blocks pooled on channel ch.
 func (f *FTL) FreeBlocks(ch int) int {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	return f.chans[ch].freeTotal()
+	cs := &f.chans[ch]
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	return cs.freeTotal()
 }
 
 // MaxEraseSpread returns max-min block erase counts, a wear-leveling

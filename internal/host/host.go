@@ -2,6 +2,13 @@
 // path with its per-command software overhead, the host CPU, the Intel SGX
 // cost model used by the Host+SGX baseline, and the IceClave host library
 // (OffloadCode / GetResult) of Table 2.
+//
+// Concurrency contract: PCIe and the SGX model accumulate per-replay
+// transfer accounting and are not safe for concurrent use — each replay
+// or tenant session owns its own. Offload and Result are plain values
+// passed across the host/device boundary; concurrent tenants submitting
+// Offloads are serialized by the device side (iceclave.SSD and
+// internal/sched), not here.
 package host
 
 import (

@@ -12,10 +12,16 @@
 //     and really detects tampering, replay, and counter corruption.
 //   - TrafficModel is the statistical counter-cache simulation the timing
 //     experiments drive with millions of accesses.
+//
+// Concurrency contract: Engine is safe for concurrent use (one mutex
+// serializes page-state and root updates; the AES key schedule is
+// expanded once and read-only after construction). TrafficModel is not —
+// each replay drives a private instance.
 package mee
 
 import (
 	"crypto/aes"
+	"crypto/cipher"
 	"crypto/sha256"
 	"encoding/binary"
 	"errors"
@@ -81,6 +87,7 @@ type pageState struct {
 type Engine struct {
 	mu     sync.Mutex
 	aesKey [16]byte
+	block  cipher.Block // AES key schedule, expanded once at construction
 	macKey [32]byte
 	pages  map[uint64]*pageState // DRAM-side state
 	// trusted is the verified counter digest per page (on-chip perimeter).
@@ -91,8 +98,13 @@ type Engine struct {
 
 // NewEngine returns a functional engine with the given device secrets.
 func NewEngine(aesKey [16]byte, macKey [32]byte) *Engine {
+	block, err := aes.NewCipher(aesKey[:])
+	if err != nil {
+		panic(err) // 16-byte key cannot fail
+	}
 	return &Engine{
 		aesKey:  aesKey,
+		block:   block,
 		macKey:  macKey,
 		pages:   make(map[uint64]*pageState),
 		trusted: make(map[uint64][32]byte),
@@ -100,12 +112,12 @@ func NewEngine(aesKey [16]byte, macKey [32]byte) *Engine {
 }
 
 // pad derives the one-time pad for (page, line, counter) — split-counter
-// encryption: AES(k, page ⧺ line ⧺ major ⧺ minor) (paper §4.4).
+// encryption: AES(k, page ⧺ line ⧺ major ⧺ minor) (paper §4.4). The key
+// schedule is expanded once in NewEngine — a real MEE holds it in hardware
+// registers — so a page operation costs 4 AES block encryptions per line,
+// not 4 key expansions.
 func (e *Engine) pad(page uint64, line int, major uint64, minor uint8) [LineSize]byte {
-	block, err := aes.NewCipher(e.aesKey[:])
-	if err != nil {
-		panic(err) // 16-byte key cannot fail
-	}
+	block := e.block
 	var pad [LineSize]byte
 	for i := 0; i < LineSize/16; i++ {
 		var ctr [16]byte

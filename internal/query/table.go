@@ -9,6 +9,12 @@
 // Programs execute against a Store (flash pages reached through the FTL
 // or the TEE) and record their work in a Meter; the timing layer converts
 // metered operation counts into simulated time.
+//
+// Concurrency contract: a Meter, a Store handle, and the operator types
+// built over them belong to one program invocation on one goroutine.
+// Concurrent offloaded programs are isolated by giving each its own
+// Meter/Store pair (see iceclave.SSD.Execute); the shared device beneath
+// those handles enforces its own thread safety.
 package query
 
 import (

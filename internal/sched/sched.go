@@ -26,6 +26,11 @@
 // The scheduler is deliberately generic — a Job is just a func(ctx) error —
 // so the same pool drives functional TEE offloads (iceclave.SSD), timing
 // replays, and the parallel experiment suite.
+//
+// Concurrency contract: Scheduler and Handle are safe for concurrent use
+// from any number of tenant goroutines; Stats snapshots are internally
+// consistent. Jobs themselves run on pool workers and must be
+// self-synchronizing if they share state.
 package sched
 
 import (

@@ -5,6 +5,12 @@
 // The package is deliberately free of goroutines; all simulated concurrency
 // is expressed through virtual time so that runs are deterministic and
 // reproducible.
+//
+// Concurrency contract: Engine, Server, Pipe, and RNG are not safe for
+// concurrent use — a simulation instance lives on one goroutine, which is
+// what makes runs reproducible. Time and Duration are plain values; code
+// that shares them across goroutines (e.g. the tee.Runtime clock)
+// provides its own synchronization.
 package sim
 
 import (

@@ -1,6 +1,10 @@
 // Package stats renders experiment results as aligned text tables and
 // CSV, the output format of the benchmark harness that regenerates the
 // paper's tables and figures.
+//
+// Concurrency contract: Table is a single-goroutine builder; parallel
+// experiment runners assemble rows into per-goroutine buffers and merge
+// them in deterministic order rather than sharing one Table.
 package stats
 
 import (

@@ -615,12 +615,19 @@ func (r *Runtime) ReadPage(t *TEE, lpa ftl.LPA) ([]byte, error) {
 		return nil, err
 	}
 	// The flash controller encrypts the page with the PPA-bound IV; only
-	// ciphertext crosses the bus; the DRAM-side engine decrypts.
-	page := make([]byte, r.ftl.Device().Geometry().PageSize)
+	// ciphertext crosses the bus; the DRAM-side engine decrypts with the
+	// same keystream. Both sides derive the identical PPA-bound pad, so
+	// the runtime generates it once through the bulk API and applies it
+	// twice instead of paying the cipher warm-up per side.
+	pageSize := r.ftl.Device().Geometry().PageSize
+	page := make([]byte, pageSize)
 	copy(page, data)
-	r.cipher.EncryptPage(uint32(ppa), page)
-	ct := append([]byte(nil), page...)
-	r.cipher.DecryptPage(uint32(ppa), page)
+	ks := make([]byte, pageSize)
+	r.cipher.KeystreamPage(uint32(ppa), ks)
+	ct := make([]byte, pageSize)
+	for i := range page {
+		ct[i] = page[i] ^ ks[i] // flash-side encryption onto the bus
+	}
 	r.mu.Lock()
 	if done > r.now {
 		r.now = done

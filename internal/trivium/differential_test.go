@@ -1,0 +1,182 @@
+package trivium
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// corpusArgs parses one committed go-fuzz corpus file (the "go test fuzz v1"
+// format: one Go literal per line) into its raw argument list. Only the
+// literal forms our fuzz targets use — []byte, uint32, uint64 — appear in
+// testdata/fuzz.
+func corpusArgs(t *testing.T, path string) []interface{} {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read corpus file: %v", err)
+	}
+	var args []interface{}
+	for _, line := range strings.Split(string(raw), "\n")[1:] {
+		line = strings.TrimSpace(line)
+		switch {
+		case strings.HasPrefix(line, "[]byte("):
+			s, err := strconv.Unquote(strings.TrimSuffix(strings.TrimPrefix(line, "[]byte("), ")"))
+			if err != nil {
+				t.Fatalf("%s: bad []byte literal %q: %v", path, line, err)
+			}
+			args = append(args, []byte(s))
+		case strings.HasPrefix(line, "uint32("):
+			v, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(line, "uint32("), ")"), 0, 32)
+			if err != nil {
+				t.Fatalf("%s: bad uint32 literal %q: %v", path, line, err)
+			}
+			args = append(args, uint32(v))
+		case strings.HasPrefix(line, "uint64("):
+			v, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(line, "uint64("), ")"), 0, 64)
+			if err != nil {
+				t.Fatalf("%s: bad uint64 literal %q: %v", path, line, err)
+			}
+			args = append(args, uint64(v))
+		case line == "":
+		default:
+			t.Fatalf("%s: unhandled corpus literal %q", path, line)
+		}
+	}
+	return args
+}
+
+func corpusFiles(t *testing.T, target string) []string {
+	t.Helper()
+	files, err := filepath.Glob(filepath.Join("testdata", "fuzz", target, "*"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no committed corpus for %s (err=%v)", target, err)
+	}
+	return files
+}
+
+// TestDifferentialCorpusKeystream proves the word-parallel Cipher
+// keystream-identical to the bit-serial Reference on every committed
+// FuzzKeystreamRoundTrip corpus entry.
+func TestDifferentialCorpusKeystream(t *testing.T) {
+	checked := 0
+	for _, path := range corpusFiles(t, "FuzzKeystreamRoundTrip") {
+		args := corpusArgs(t, path)
+		if len(args) != 3 {
+			t.Fatalf("%s: want 3 args, got %d", path, len(args))
+		}
+		key, _ := args[0].([]byte)
+		iv, _ := args[1].([]byte)
+		data, _ := args[2].([]byte)
+		if len(key) != KeySize || len(iv) != IVSize {
+			continue // the fuzz target skips these too
+		}
+		n := len(data) + 64 // cover the payload length plus extra batches
+		want := make([]byte, n)
+		NewReference(key, iv).Keystream(want)
+		got := make([]byte, n)
+		New(key, iv).Keystream(got)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("%s: keystream diverged\nword: %x\nref:  %x", path, got, want)
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Fatal("corpus contained no valid key/IV pairs")
+	}
+}
+
+// TestDifferentialCorpusEngine replays the committed FuzzEnginePageRoundTrip
+// corpus (PPA, IV base, page payload) through the word-parallel Engine and
+// checks the ciphertext against a bit-serial encryption under the same
+// PPA-bound IV.
+func TestDifferentialCorpusEngine(t *testing.T) {
+	key := []byte("iceclave-k")
+	for _, path := range corpusFiles(t, "FuzzEnginePageRoundTrip") {
+		args := corpusArgs(t, path)
+		if len(args) != 3 {
+			t.Fatalf("%s: want 3 args, got %d", path, len(args))
+		}
+		ppa, _ := args[0].(uint32)
+		ivBase, _ := args[1].(uint64)
+		data, _ := args[2].([]byte)
+		e := NewEngine(key, ivBase)
+		got := append([]byte(nil), data...)
+		e.EncryptPage(ppa, got)
+		iv := e.IVFor(ppa)
+		want := make([]byte, len(data))
+		NewReference(key, iv[:]).XORKeyStream(want, data)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("%s: engine ciphertext diverged from bit-serial", path)
+		}
+	}
+}
+
+// TestDifferentialRandom hammers the two implementations with random keys,
+// IVs, and lengths, consuming the word engine through randomly interleaved
+// API calls (KeystreamByte, Keystream, XORKeyStream in odd-sized chunks) so
+// the batch buffering across unaligned boundaries is exercised, not just
+// whole-page calls.
+func TestDifferentialRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(0x1CEC1A7E))
+	for trial := 0; trial < 200; trial++ {
+		key := make([]byte, KeySize)
+		iv := make([]byte, IVSize)
+		rng.Read(key)
+		rng.Read(iv)
+		n := rng.Intn(1024)
+		want := make([]byte, n)
+		NewReference(key, iv).Keystream(want)
+
+		got := make([]byte, 0, n)
+		c := New(key, iv)
+		for len(got) < n {
+			switch remain := n - len(got); rng.Intn(3) {
+			case 0: // single byte
+				got = append(got, c.KeystreamByte())
+			case 1: // bulk keystream of random size
+				chunk := make([]byte, 1+rng.Intn(remain))
+				c.Keystream(chunk)
+				got = append(got, chunk...)
+			default: // XOR path: recover the keystream by XORing zeros
+				chunk := make([]byte, 1+rng.Intn(remain))
+				c.XORKeyStream(chunk, chunk)
+				got = append(got, chunk...)
+			}
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("trial %d (key=%x iv=%x n=%d): keystream diverged", trial, key, iv, n)
+		}
+	}
+}
+
+// BenchmarkKeystream measures one encrypted-page unit of cipher work — key
+// schedule (1152-round warm-up) plus a 4 KB keystream — for the bit-serial
+// reference and the word-parallel production engine. The word/bitserial
+// ratio is the speedup `make bench-compare` checks (must be >= 10x; it is
+// ~2 orders of magnitude in practice).
+func BenchmarkKeystream(b *testing.B) {
+	key := []byte("0123456789")
+	iv := []byte("abcdefghij")
+	page := make([]byte, 4096)
+	b.Run("bitserial", func(b *testing.B) {
+		b.SetBytes(int64(len(page)))
+		var c Reference
+		for i := 0; i < b.N; i++ {
+			c.Reset(key, iv)
+			c.Keystream(page)
+		}
+	})
+	b.Run("word64", func(b *testing.B) {
+		b.SetBytes(int64(len(page)))
+		var c Cipher
+		for i := 0; i < b.N; i++ {
+			c.Reset(key, iv)
+			c.Keystream(page)
+		}
+	})
+}

@@ -71,5 +71,18 @@ func (e *Engine) EncryptPage(ppa uint32, page []byte) {
 	c.XORKeyStream(page, page)
 }
 
+// KeystreamPage fills dst with the keystream EncryptPage would XOR into a
+// page at ppa. Callers that need both the bus ciphertext and the plaintext
+// of the same page (the §4.6 read path encrypts at the flash side and
+// decrypts at the DRAM side with the same IV) generate the keystream once
+// through this bulk API and apply it twice, instead of running the cipher
+// warm-up and keystream twice per page.
+func (e *Engine) KeystreamPage(ppa uint32, dst []byte) {
+	iv := e.IVFor(ppa)
+	var c Cipher
+	c.Reset(e.key[:], iv[:])
+	c.Keystream(dst)
+}
+
 // DecryptPage reverses EncryptPage for the same PPA and epoch.
 func (e *Engine) DecryptPage(ppa uint32, page []byte) { e.EncryptPage(ppa, page) }

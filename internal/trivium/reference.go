@@ -1,0 +1,106 @@
+package trivium
+
+// Reference is the spec-literal, bit-at-a-time Trivium implementation: a
+// one-bit-per-clock feedback shift register network with three registers of
+// 93, 84, and 111 bits, exactly as written in the De Cannière & Preneel
+// submission. It produces one keystream bit per clock and shifts the whole
+// 288-bit state by one position each time.
+//
+// Reference exists as the differential oracle for the word-parallel Cipher:
+// the two implementations must be keystream-identical on every input (see
+// the TestDifferentialCorpus*/TestDifferentialRandom tests and the fuzz
+// corpus under testdata/fuzz). It is deliberately slow — do not use it on
+// a data path.
+//
+// Reference is not safe for concurrent use.
+type Reference struct {
+	// state holds bits s1..s288 in state[0]..state[287].
+	state [288]byte
+}
+
+// NewReference returns a bit-serial cipher initialized with the given
+// 80-bit key and IV. It panics if either slice is not exactly 10 bytes:
+// key sizing is a programming error, not a runtime condition.
+func NewReference(key, iv []byte) *Reference {
+	if len(key) != KeySize || len(iv) != IVSize {
+		panic("trivium: key and IV must be 10 bytes")
+	}
+	c := new(Reference)
+	c.Reset(key, iv)
+	return c
+}
+
+// Reset re-initializes the cipher with a new key and IV, performing the
+// 1152-round warm-up. The bit-loading order follows the Trivium
+// specification: key bit i goes to state position i, IV bit i to position
+// 93+i, and the last three state bits are set to one.
+func (c *Reference) Reset(key, iv []byte) {
+	if len(key) != KeySize || len(iv) != IVSize {
+		panic("trivium: key and IV must be 10 bytes")
+	}
+	for i := range c.state {
+		c.state[i] = 0
+	}
+	for i := 0; i < 80; i++ {
+		c.state[i] = bit(key, i)
+		c.state[93+i] = bit(iv, i)
+	}
+	c.state[285], c.state[286], c.state[287] = 1, 1, 1
+	for i := 0; i < warmupRounds; i++ {
+		c.clock()
+	}
+}
+
+// bit extracts bit i from a byte slice, MSB-first within each byte, which
+// matches the conventional Trivium test-vector byte ordering.
+func bit(b []byte, i int) byte {
+	return (b[i/8] >> (7 - uint(i%8))) & 1
+}
+
+// clock advances the state one step and returns the keystream bit.
+func (c *Reference) clock() byte {
+	s := &c.state
+	t1 := s[65] ^ s[92]
+	t2 := s[161] ^ s[176]
+	t3 := s[242] ^ s[287]
+	z := t1 ^ t2 ^ t3
+	t1 ^= (s[90] & s[91]) ^ s[170]
+	t2 ^= (s[174] & s[175]) ^ s[263]
+	t3 ^= (s[285] & s[286]) ^ s[68]
+	// Shift the three registers: A = s1..s93, B = s94..s177, C = s178..s288.
+	copy(s[1:93], s[0:92])
+	copy(s[94:177], s[93:176])
+	copy(s[178:288], s[177:287])
+	s[0] = t3
+	s[93] = t1
+	s[177] = t2
+	return z
+}
+
+// KeystreamByte produces the next 8 keystream bits packed MSB-first.
+func (c *Reference) KeystreamByte() byte {
+	var b byte
+	for i := 0; i < 8; i++ {
+		b = b<<1 | c.clock()
+	}
+	return b
+}
+
+// Keystream fills dst with keystream bytes.
+func (c *Reference) Keystream(dst []byte) {
+	for i := range dst {
+		dst[i] = c.KeystreamByte()
+	}
+}
+
+// XORKeyStream sets dst = src XOR keystream. dst and src may be the same
+// slice; it panics if dst is shorter than src, matching crypto/cipher
+// conventions.
+func (c *Reference) XORKeyStream(dst, src []byte) {
+	if len(dst) < len(src) {
+		panic("trivium: output smaller than input")
+	}
+	for i, v := range src {
+		dst[i] = v ^ c.KeystreamByte()
+	}
+}

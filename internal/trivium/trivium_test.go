@@ -104,22 +104,5 @@ func TestRoundTripProperty(t *testing.T) {
 	}
 }
 
-func BenchmarkKeystream(b *testing.B) {
-	c := New(make([]byte, KeySize), make([]byte, IVSize))
-	buf := make([]byte, 4096)
-	b.SetBytes(int64(len(buf)))
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		c.Keystream(buf)
-	}
-}
-
-func BenchmarkInit(b *testing.B) {
-	key := make([]byte, KeySize)
-	iv := make([]byte, IVSize)
-	c := New(key, iv)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		c.Reset(key, iv)
-	}
-}
+// BenchmarkKeystream (bit-serial vs word-parallel) lives in
+// differential_test.go next to the equivalence tests.

@@ -4,6 +4,12 @@
 // (paper §4.2, Figure 4), the page-attribute encoding of Figure 6 (NS bit,
 // AP[2:1] flags, and the repurposed ES bit), and world-switch cost
 // accounting (3.8 µs per switch, Table 5).
+//
+// Concurrency contract: AddressSpace is mutated only during construction
+// (AddRegion); once built, Check is a pure read and safe from any
+// goroutine. Monitor tracks the current world of the single storage
+// processor and is not safe for concurrent use — tee.Runtime serializes
+// it under the runtime lock.
 package trustzone
 
 import (

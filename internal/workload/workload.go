@@ -5,6 +5,11 @@
 // deltas). The timing layer then replays that trace under any execution
 // mode — Host, Host+SGX, ISC, IceClave — and any device configuration,
 // without re-running the query.
+//
+// Concurrency contract: recording a Workload is a single-goroutine
+// affair, but a recorded Trace is immutable and safe to replay from many
+// goroutines at once — that sharing is what lets experiments.Suite fan
+// replays of one trace across workers.
 package workload
 
 import (
