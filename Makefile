@@ -39,17 +39,23 @@ ci: fmt-check build vet race
 bench:
 	$(GO) run ./cmd/iceclave-bench -bench-json BENCH_results.json -workers 4
 
-# micro runs only the cipher and lock-sharding microbenchmarks (seconds,
-# not minutes) and prints a human summary.
+# micro runs only the cipher, lock-sharding, die-pipelining, and
+# admission-queueing microbenchmarks (seconds, not minutes) and prints a
+# human summary. The die-pipelining and queueing numbers are simulated
+# time, so they are deterministic on any machine.
 micro:
 	$(GO) run ./cmd/iceclave-bench -micro
 
-# bench-compare checks the word-parallel Trivium claim instead of
-# asserting it: it runs BenchmarkKeystream (bit-serial oracle vs word64
-# production engine, same key schedule + 4 KB page unit of work) and fails
-# unless the measured speedup is >= 10x. With benchstat installed and a
-# saved baseline (cp bench_new.txt bench_old.txt before a change), it also
-# prints an old-vs-new statistical comparison. See docs/BENCHMARKS.md.
+# bench-compare checks the performance claims instead of asserting them:
+#   - BenchmarkKeystream (bit-serial oracle vs word64 production engine,
+#     same key schedule + 4 KB page unit of work) must show >= 10x.
+#   - The -micro die-pipelining section (one channel's program burst on a
+#     single die vs striped across its dies, in simulated time) must show
+#     >= 2x overlap — failure means multi-die programs have regressed
+#     toward the serialized baseline.
+# With benchstat installed and a saved baseline (cp bench_new.txt
+# bench_old.txt before a change), it also prints an old-vs-new statistical
+# comparison. See docs/BENCHMARKS.md.
 bench-compare:
 	$(GO) test -run '^$$' -bench BenchmarkKeystream -benchmem -count $(BENCH_COUNT) \
 		./internal/trivium | tee bench_new.txt
@@ -61,6 +67,13 @@ bench-compare:
 	        printf "trivium word64 speedup over bit-serial: %.1fx\n", ratio; \
 	        if (ratio < 10) { print "FAIL: speedup below the 10x floor"; exit 1 } \
 	      }' bench_new.txt
+	@$(GO) run ./cmd/iceclave-bench -micro | tee micro_new.txt
+	@awk -F'[()x]' '/^die pipelining:/ { ratio=$$2 } \
+	      END { \
+	        if (ratio == "") { print "bench-compare: missing die-pipelining output"; exit 1 } \
+	        printf "die-pipelined program overlap: %.2fx\n", ratio; \
+	        if (ratio+0 < 2) { print "FAIL: multi-die program throughput regressed toward the serialized baseline"; exit 1 } \
+	      }' micro_new.txt
 	@if command -v benchstat >/dev/null 2>&1 && [ -f bench_old.txt ]; then \
 		benchstat bench_old.txt bench_new.txt; \
 	else \

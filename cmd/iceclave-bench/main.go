@@ -1,15 +1,17 @@
 // iceclave-bench regenerates every table and figure of the paper's
 // evaluation section and prints them as text tables (optionally CSV).
 //
-// The harness can run serially (the seed behaviour) or spread each
-// experiment's independent replays across worker goroutines; both modes
-// emit byte-identical tables. With -bench-json it times the two modes,
-// drives a multi-tenant offload storm through the internal/sched worker
-// pool, and writes a machine-readable BENCH_results.json so the
+// The harness can run serially (the seed behaviour), spread each
+// experiment's independent replays across worker goroutines, and memoize
+// results by (workload, mode, config); all modes emit byte-identical
+// tables. With -bench-json it times serial, memoized, and parallel
+// passes, drives a multi-tenant offload storm through the internal/sched
+// worker pool, and writes a machine-readable BENCH_results.json so the
 // performance trajectory is trackable across PRs.
 //
-// With -micro it runs just the Trivium cipher and FTL lock-sharding
-// microbenchmarks (methodology in docs/BENCHMARKS.md).
+// With -micro it runs just the Trivium cipher, FTL lock-sharding,
+// die-pipelining, and admission-queueing microbenchmarks (methodology in
+// docs/BENCHMARKS.md).
 //
 // Usage:
 //
@@ -46,15 +48,15 @@ func main() {
 		rows     = flag.Int("rows", 0, "override lineitem row count (dataset scale)")
 		parallel = flag.Bool("parallel", false, "spread experiment replays across -workers goroutines")
 		workers  = flag.Int("workers", runtime.NumCPU(), "replay parallelism for -parallel and -bench-json")
-		benchOut = flag.String("bench-json", "", "time serial vs parallel suite plus a scheduler offload storm; write results to this file")
+		benchOut = flag.String("bench-json", "", "time the serial, memoized, and parallel suite plus a scheduler offload storm and the microbenchmarks; write results to this file")
 		tenants  = flag.Int("tenants", 32, "concurrent tenants in the -bench-json scheduler storm")
 		jobs     = flag.Int("jobs", 4, "offloads per tenant in the -bench-json scheduler storm")
-		micro    = flag.Bool("micro", false, "run only the Trivium/FTL microbenchmarks and print a summary")
+		micro    = flag.Bool("micro", false, "run only the Trivium/FTL/die-pipelining/queueing microbenchmarks and print a summary")
 	)
 	flag.Parse()
 
 	if *micro {
-		if _, _, err := runMicro(); err != nil {
+		if _, _, _, _, err := runMicro(); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -110,15 +112,25 @@ type benchResults struct {
 	Workers      int    `json:"workers"`
 	LineitemRows int    `json:"lineitem_rows"`
 
-	// Suite timings: one All() pass over warmed traces, ns/op.
+	// Suite timings: one All() pass over warmed traces, ns/op. Serial and
+	// parallel passes run with result memoization off so they time the
+	// replay engine itself; the memoized pass is the same serial pass with
+	// the (workload, mode, config) result cache on, and its delta is the
+	// suite-time saving from figures sharing configurations.
 	SuiteSerialNs   int64   `json:"suite_serial_ns_per_op"`
+	SuiteMemoizedNs int64   `json:"suite_memoized_ns_per_op"`
+	MemoSpeedup     float64 `json:"memo_speedup"`
+	MemoHits        int64   `json:"memo_hits"`
+	MemoMisses      int64   `json:"memo_misses"`
 	SuiteParallelNs int64   `json:"suite_parallel_ns_per_op"`
 	SuiteSpeedup    float64 `json:"suite_speedup"`
 	OutputIdentical bool    `json:"output_identical"`
 
-	Scheduler schedResults   `json:"scheduler"`
-	Trivium   triviumResults `json:"trivium_keystream"`
-	FTL       ftlResults     `json:"ftl_sharded_locks"`
+	Scheduler  schedResults      `json:"scheduler"`
+	Trivium    triviumResults    `json:"trivium_keystream"`
+	FTL        ftlResults        `json:"ftl_sharded_locks"`
+	DieOverlap dieOverlapResults `json:"die_pipelining"`
+	Queueing   queueingResults   `json:"admission_queueing"`
 }
 
 // schedResults records the multi-tenant offload storm.
@@ -132,19 +144,20 @@ type schedResults struct {
 	OffloadsPerSec float64 `json:"offloads_per_sec"`
 }
 
-// runBench times the serial and parallel evaluation harness over the same
-// warmed traces, verifies their output is identical, storms the scheduler
-// with concurrent tenants, and writes the JSON record.
+// runBench times the serial (memo off), memoized, and parallel evaluation
+// harness over the same warmed traces, verifies all three emit identical
+// output, storms the scheduler with concurrent tenants, and writes the
+// JSON record.
 func runBench(sc workload.Scale, workers, tenants, jobs int, outPath string) error {
-	suite := experiments.NewSuite(sc, core.DefaultConfig())
-	// Warm the trace cache so both timed passes measure replay work only.
+	suite := experiments.NewSuite(sc, core.DefaultConfig()).SetMemoize(false)
+	// Warm the trace cache so the timed passes measure replay work only.
 	fmt.Fprintf(os.Stderr, "recording workload traces...\n")
 	for _, name := range workload.Names() {
 		if _, err := suite.Trace(name); err != nil {
 			return err
 		}
 	}
-	fmt.Fprintf(os.Stderr, "timing serial suite...\n")
+	fmt.Fprintf(os.Stderr, "timing serial suite (memoization off)...\n")
 	t0 := time.Now()
 	serialTables, err := suite.All()
 	if err != nil {
@@ -152,18 +165,31 @@ func runBench(sc workload.Scale, workers, tenants, jobs int, outPath string) err
 	}
 	serialNs := time.Since(t0).Nanoseconds()
 
-	fmt.Fprintf(os.Stderr, "timing parallel suite (%d workers)...\n", workers)
+	fmt.Fprintf(os.Stderr, "timing memoized suite...\n")
+	suite.SetMemoize(true)
+	suite.ResetMemo()
 	t1 := time.Now()
+	memoTables, err := suite.All()
+	if err != nil {
+		return err
+	}
+	memoNs := time.Since(t1).Nanoseconds()
+	memoHits, memoMisses := suite.MemoStats()
+	suite.SetMemoize(false)
+
+	fmt.Fprintf(os.Stderr, "timing parallel suite (%d workers, memoization off)...\n", workers)
+	t2 := time.Now()
 	parallelTables, err := suite.AllParallel(workers)
 	if err != nil {
 		return err
 	}
-	parallelNs := time.Since(t1).Nanoseconds()
+	parallelNs := time.Since(t2).Nanoseconds()
 
-	identical := len(serialTables) == len(parallelTables)
+	identical := len(serialTables) == len(parallelTables) && len(serialTables) == len(memoTables)
 	if identical {
 		for i := range serialTables {
-			if serialTables[i].String() != parallelTables[i].String() {
+			if serialTables[i].String() != parallelTables[i].String() ||
+				serialTables[i].String() != memoTables[i].String() {
 				identical = false
 				break
 			}
@@ -175,7 +201,7 @@ func runBench(sc workload.Scale, workers, tenants, jobs int, outPath string) err
 		return err
 	}
 
-	tr, fr, err := runMicro()
+	tr, fr, dr, qr, err := runMicro()
 	if err != nil {
 		return err
 	}
@@ -188,12 +214,18 @@ func runBench(sc workload.Scale, workers, tenants, jobs int, outPath string) err
 		Workers:         workers,
 		LineitemRows:    sc.LineitemRows,
 		SuiteSerialNs:   serialNs,
+		SuiteMemoizedNs: memoNs,
+		MemoSpeedup:     float64(serialNs) / float64(memoNs),
+		MemoHits:        memoHits,
+		MemoMisses:      memoMisses,
 		SuiteParallelNs: parallelNs,
 		SuiteSpeedup:    float64(serialNs) / float64(parallelNs),
 		OutputIdentical: identical,
 		Scheduler:       st,
 		Trivium:         tr,
 		FTL:             fr,
+		DieOverlap:      dr,
+		Queueing:        qr,
 	}
 	data, err := json.MarshalIndent(res, "", "  ")
 	if err != nil {
@@ -203,8 +235,9 @@ func runBench(sc workload.Scale, workers, tenants, jobs int, outPath string) err
 	if err := os.WriteFile(outPath, data, 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("suite: serial %.2fs, parallel %.2fs (%.2fx, %d workers, identical=%v)\n",
-		float64(serialNs)/1e9, float64(parallelNs)/1e9, res.SuiteSpeedup, workers, identical)
+	fmt.Printf("suite: serial %.2fs, memoized %.2fs (%.2fx, %d hits), parallel %.2fs (%.2fx, %d workers, identical=%v)\n",
+		float64(serialNs)/1e9, float64(memoNs)/1e9, res.MemoSpeedup, memoHits,
+		float64(parallelNs)/1e9, res.SuiteSpeedup, workers, identical)
 	fmt.Printf("scheduler: %d tenants x %d offloads in %.2fs (%.1f offloads/s, %d failed)\n",
 		tenants, jobs, float64(st.WallNs)/1e9, st.OffloadsPerSec, st.Failed)
 	fmt.Printf("wrote %s\n", outPath)
@@ -313,6 +346,8 @@ func one(s *experiments.Suite, name string) (*stats.Table, error) {
 		return s.Figure17()
 	case "figure 18":
 		return s.Figure18()
+	case "timing", "timing 1":
+		return s.AdmissionTiming()
 	}
 	return nil, fmt.Errorf("unknown experiment %q", name)
 }

@@ -8,6 +8,7 @@ import (
 
 	"iceclave/internal/flash"
 	"iceclave/internal/ftl"
+	"iceclave/internal/sched"
 	"iceclave/internal/sim"
 	"iceclave/internal/trivium"
 )
@@ -165,19 +166,138 @@ func benchFTL() (ftlResults, error) {
 	}, nil
 }
 
-// runMicro executes just the cipher and FTL microbenchmarks and prints a
-// human summary; -bench-json embeds the same numbers in the JSON record.
-func runMicro() (triviumResults, ftlResults, error) {
+// dieOverlapResults records the die-pipelining microbenchmark in
+// SIMULATED time: the same burst of programs aimed at one channel,
+// completing on a single die (serialized by tPROG) versus striped across
+// the channel's dies (only the short bus transfers serialize). The
+// speedup is virtual-time, so it is deterministic — `make bench-compare`
+// fails if it regresses to the serialized baseline.
+type dieOverlapResults struct {
+	DiesPerChannel   int     `json:"dies_per_channel"`
+	Programs         int     `json:"programs"`
+	SerializedNs     int64   `json:"single_die_done_ns"`
+	PipelinedNs      int64   `json:"multi_die_done_ns"`
+	OverlapSpeedup   float64 `json:"overlap_speedup"`
+	ProgramLatencyNs int64   `json:"tprog_ns"`
+}
+
+// queueingResults records the virtual-time admission microbenchmark: N
+// equal-length tenant jobs through the sched simulated-time gate with a
+// fixed slot count. Deterministic: with service S and k slots, job i
+// waits floor(i/k)*S.
+type queueingResults struct {
+	Tenants     int   `json:"tenants"`
+	Slots       int   `json:"slots"`
+	ServiceNs   int64 `json:"service_ns"`
+	TotalWaitNs int64 `json:"total_queue_wait_ns"`
+	MeanWaitNs  int64 `json:"mean_queue_wait_ns"`
+}
+
+// benchDieOverlap drives one burst of same-channel programs through the
+// FTL against a single-die channel and a multi-die channel and compares
+// the virtual completion times.
+func benchDieOverlap() (dieOverlapResults, error) {
+	const programs = 8
+	const diesPerChannel = 4
+	run := func(dies int) (sim.Time, error) {
+		geo := flash.Geometry{
+			Channels:        2,
+			ChipsPerChannel: dies,
+			DiesPerChip:     1,
+			PlanesPerDie:    1,
+			BlocksPerPlane:  8,
+			PagesPerBlock:   16,
+			PageSize:        4096,
+		}
+		dev, err := flash.NewDevice(geo, flash.DefaultTiming())
+		if err != nil {
+			return 0, err
+		}
+		f := ftl.New(dev, ftl.Config{})
+		var last sim.Time
+		for i := 0; i < programs; i++ {
+			// Even LPAs stay on channel 0; all issued at t=0 so the only
+			// serialization is what the timing model imposes.
+			done, err := f.Write(0, ftl.LPA(2*i), nil)
+			if err != nil {
+				return 0, err
+			}
+			if done > last {
+				last = done
+			}
+		}
+		return last, nil
+	}
+	serial, err := run(1)
+	if err != nil {
+		return dieOverlapResults{}, err
+	}
+	pipelined, err := run(diesPerChannel)
+	if err != nil {
+		return dieOverlapResults{}, err
+	}
+	return dieOverlapResults{
+		DiesPerChannel:   diesPerChannel,
+		Programs:         programs,
+		SerializedNs:     int64(serial),
+		PipelinedNs:      int64(pipelined),
+		OverlapSpeedup:   float64(serial) / float64(pipelined),
+		ProgramLatencyNs: int64(flash.DefaultTiming().ProgramLatency),
+	}, nil
+}
+
+// benchQueueing measures admission queueing delay on the virtual clock:
+// every tenant submits one job at t=0, the gate admits `slots` at a time,
+// and each job releases its slot after a fixed service time.
+func benchQueueing() queueingResults {
+	const (
+		tenants = 8
+		slots   = 2
+		service = sim.Duration(1 * sim.Millisecond)
+	)
+	eng := &sim.Engine{}
+	va := sched.NewVirtualAdmission(eng, sched.VirtualConfig{MaxInFlight: slots})
+	for i := 0; i < tenants; i++ {
+		name := fmt.Sprintf("tenant-%d", i)
+		var tk *sim.Ticket
+		tk = va.Submit(0, name, sched.PriorityNormal, func(granted sim.Time) {
+			eng.At(granted+service, func(now sim.Time) { va.Release(tk, now) })
+		})
+	}
+	eng.Run()
+	return queueingResults{
+		Tenants:     tenants,
+		Slots:       slots,
+		ServiceNs:   int64(service),
+		TotalWaitNs: int64(va.Waited()),
+		MeanWaitNs:  int64(va.Waited()) / tenants,
+	}
+}
+
+// runMicro executes the cipher, FTL lock-sharding, die-pipelining, and
+// admission-queueing microbenchmarks and prints a human summary;
+// -bench-json embeds the same numbers in the JSON record.
+func runMicro() (triviumResults, ftlResults, dieOverlapResults, queueingResults, error) {
 	tr := benchTrivium()
 	fr, err := benchFTL()
 	if err != nil {
-		return tr, fr, err
+		return tr, fr, dieOverlapResults{}, queueingResults{}, err
 	}
+	dr, err := benchDieOverlap()
+	if err != nil {
+		return tr, fr, dr, queueingResults{}, err
+	}
+	qr := benchQueueing()
 	fmt.Printf("trivium: bit-serial %s/page, word64 %s/page (%.1fx, %.0f MB/s)\n",
 		time.Duration(tr.BitserialNsPerPage), time.Duration(tr.Word64NsPerPage),
 		tr.Speedup, tr.Word64MBPerS)
 	fmt.Printf("ftl: serial %.0f pages/s, %d-channel sharded %.0f pages/s (%.2fx on GOMAXPROCS=%d)\n",
 		fr.SerialPagesPerSec, fr.Channels, fr.ShardedPagesPerSec,
 		fr.ParallelSpeedup, runtime.GOMAXPROCS(0))
-	return tr, fr, nil
+	fmt.Printf("die pipelining: %d programs on one channel, 1 die %s vs %d dies %s (%.2fx overlap)\n",
+		dr.Programs, time.Duration(dr.SerializedNs), dr.DiesPerChannel,
+		time.Duration(dr.PipelinedNs), dr.OverlapSpeedup)
+	fmt.Printf("queueing: %d tenants / %d slots, mean admission wait %s of simulated time\n",
+		qr.Tenants, qr.Slots, time.Duration(qr.MeanWaitNs))
+	return tr, fr, dr, qr, nil
 }

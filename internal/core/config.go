@@ -108,6 +108,16 @@ type Config struct {
 	// pages. Multi-tenant experiments set it so solo and collocated runs
 	// execute on identical hardware.
 	MinFlashPages int64
+	// AdmissionSlots caps how many tenants replay concurrently in
+	// RunMulti. Tenants beyond the cap queue in simulated time behind the
+	// sched package's virtual admission gate, and the wait is reported in
+	// Result.QueueDelay. 0 disables admission control — every tenant is
+	// admitted at time zero, the pre-backbone semantics.
+	AdmissionSlots int
+	// AdmissionTenantSlots caps concurrently admitted replays per tenant
+	// (trace) name, the virtual-time form of sched.Config.
+	// TenantMaxInFlight. 0 means unlimited.
+	AdmissionTenantSlots int
 	// Seed feeds address-synthesis randomness.
 	Seed uint64
 }

@@ -9,6 +9,7 @@ import (
 	"iceclave/internal/ftl"
 	"iceclave/internal/host"
 	"iceclave/internal/mee"
+	"iceclave/internal/sched"
 	"iceclave/internal/sim"
 	"iceclave/internal/workload"
 )
@@ -18,8 +19,12 @@ type Result struct {
 	Workload string
 	Mode     Mode
 
-	// Total is the end-to-end simulated time.
+	// Total is the end-to-end simulated time, including QueueDelay.
 	Total sim.Duration
+	// QueueDelay is the simulated time the tenant waited for admission
+	// before its replay began — nonzero only under RunMulti with
+	// Config.AdmissionSlots / AdmissionTenantSlots caps set.
+	QueueDelay sim.Duration
 	// LoadTime is time stalled on storage I/O (flash and, on the host
 	// path, PCIe).
 	LoadTime sim.Duration
@@ -455,45 +460,66 @@ func Run(tr *workload.Trace, mode Mode, cfg Config) (Result, error) {
 	return results[0], nil
 }
 
+// begin opens the tenant's replay at its admission time: the clock starts
+// at the grant (so queueing delay is part of Total) and the Table 5
+// creation cost is charged.
+func (t *tenant) begin(granted sim.Time) {
+	t.now = granted
+	t.result.QueueDelay = sim.Duration(granted)
+	if t.mode == ModeIceClave {
+		t.now += t.res.cfg.Costs.Create
+		t.result.TEETime += t.res.cfg.Costs.Create
+	}
+}
+
+// stepEvent is one backbone event: replay one step, then reschedule at the
+// tenant's advanced clock. A drained trace charges the deletion cost and
+// releases the admission slot — which is what lets a queued tenant's grant
+// fire at this tenant's virtual completion time.
+func (t *tenant) stepEvent(eng *sim.Engine, adm *sched.VirtualAdmission, ticket *sim.Ticket) {
+	if t.done() {
+		if t.mode == ModeIceClave {
+			t.now += t.res.cfg.Costs.Delete
+			t.result.TEETime += t.res.cfg.Costs.Delete
+		}
+		adm.Release(ticket, t.now)
+		return
+	}
+	t.advance()
+	eng.At(t.now, func(sim.Time) { t.stepEvent(eng, adm, ticket) })
+}
+
 // RunMulti replays several traces concurrently against shared hardware —
-// the multi-tenant experiments of Figures 17 and 18. Tenants advance in
-// virtual-time order, contending for channels, dies, cores, the mapping
-// cache, and the page cache.
+// the multi-tenant experiments of Figures 17 and 18. One discrete-event
+// virtual-time backbone spans the whole run: tenants submit to the sched
+// package's simulated-time admission gate at time zero, grants and replay
+// steps are engine events in virtual-time order, and tenants contend for
+// channels, dies, cores, the mapping cache, and the page cache through the
+// same clock. With admission caps configured, the wait for a slot appears
+// in each Result's QueueDelay (and in its Total).
 func RunMulti(traces []*workload.Trace, mode Mode, cfg Config) ([]Result, error) {
 	res, offsets, err := newResources(cfg, traces)
 	if err != nil {
 		return nil, err
 	}
+	eng := &sim.Engine{}
+	adm := sched.NewVirtualAdmission(eng, sched.VirtualConfig{
+		MaxInFlight:       cfg.AdmissionSlots,
+		TenantMaxInFlight: cfg.AdmissionTenantSlots,
+	})
 	tenants := make([]*tenant, len(traces))
 	for i, tr := range traces {
-		tenants[i] = newTenant(res, tr, mode, offsets[i], cfg.Seed+uint64(i)*7919)
-		if mode == ModeIceClave {
-			// TEE creation cost (Table 5) opens each tenant's run.
-			tenants[i].now += cfg.Costs.Create
-			tenants[i].result.TEETime += cfg.Costs.Create
-		}
+		tn := newTenant(res, tr, mode, offsets[i], cfg.Seed+uint64(i)*7919)
+		tenants[i] = tn
+		var ticket *sim.Ticket
+		ticket = adm.Submit(0, tr.Name, sched.PriorityNormal, func(granted sim.Time) {
+			tn.begin(granted)
+			tn.stepEvent(eng, adm, ticket)
+		})
 	}
-	for {
-		var next *tenant
-		for _, tn := range tenants {
-			if tn.done() {
-				continue
-			}
-			if next == nil || tn.now < next.now {
-				next = tn
-			}
-		}
-		if next == nil {
-			break
-		}
-		next.advance()
-	}
+	eng.Run()
 	out := make([]Result, len(tenants))
 	for i, tn := range tenants {
-		if mode == ModeIceClave {
-			tn.now += cfg.Costs.Delete
-			tn.result.TEETime += cfg.Costs.Delete
-		}
 		out[i] = tn.finish()
 	}
 	return out, nil

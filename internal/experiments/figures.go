@@ -316,18 +316,19 @@ func (s *Suite) multiTenant(id, title string, mixes [][]string) (*stats.Table, e
 			totalPages += int64(tr.SetupPages) + tr.Meter.PagesWritten + 1024
 		}
 		// Solo and collocated runs execute on identical hardware: the
-		// device is sized for the whole mix in both cases.
+		// device is sized for the whole mix in both cases. Solo runs go
+		// through the memo, so mixes sharing a sizing replay them once.
 		cfg := s.Config
 		cfg.MinFlashPages = totalPages
 		solo := make([]core.Result, len(mix))
-		for j, tr := range traces {
-			r, err := core.Run(tr, core.ModeIceClave, cfg)
+		for j, name := range mix {
+			r, err := s.runCfg(name, core.ModeIceClave, cfg)
 			if err != nil {
 				return err
 			}
 			solo[j] = r
 		}
-		colo, err := core.RunMulti(traces, core.ModeIceClave, cfg)
+		colo, err := s.runMulti(mix, core.ModeIceClave, cfg)
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"testing"
+
+	"iceclave/internal/core"
+)
+
+// TestMemoSharesReplaysAcrossFigures pins the satellite claim: figures
+// sharing a configuration (the IceClave default appears in Figures 5, 11,
+// and 15) replay it once, and the memoized tables are byte-identical to
+// cold ones.
+func TestMemoSharesReplaysAcrossFigures(t *testing.T) {
+	cold := testSuite().SetMemoize(false)
+	warm := testSuite() // memoizing by default
+
+	type gen struct {
+		name string
+		fn   func(*Suite) (interface{ String() string }, error)
+	}
+	gens := []gen{
+		{"Figure 5", func(s *Suite) (interface{ String() string }, error) { return s.Figure5() }},
+		{"Figure 11", func(s *Suite) (interface{ String() string }, error) { return s.Figure11() }},
+		{"Figure 15", func(s *Suite) (interface{ String() string }, error) { return s.Figure15() }},
+	}
+	for _, g := range gens {
+		want, err := g.fn(cold)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := g.fn(warm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.String() != want.String() {
+			t.Fatalf("%s: memoized table differs from cold table", g.name)
+		}
+	}
+	hits, misses := warm.MemoStats()
+	if hits == 0 {
+		t.Fatal("no memo hits across Figures 5/11/15, which share the IceClave default run")
+	}
+	// Figures 5, 11, and 15 all need (workload, IceClave, default) and 11
+	// and 15 share (workload, Host, default): at least 2 hits per workload.
+	if want := int64(2 * 11); hits < want {
+		t.Fatalf("memo hits = %d, want >= %d", hits, want)
+	}
+	if misses == 0 {
+		t.Fatal("memo recorded no misses, so nothing ever replayed")
+	}
+}
+
+// TestMemoResetForcesReplay pins ResetMemo: after a reset the same run is
+// a miss again and still produces the identical result.
+func TestMemoResetForcesReplay(t *testing.T) {
+	s := testSuite()
+	r1, err := s.run("Filter", core.ModeIceClave, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.ResetMemo()
+	if h, m := s.MemoStats(); h != 0 || m != 0 {
+		t.Fatalf("stats after reset: %d/%d", h, m)
+	}
+	r2, err := s.run("Filter", core.ModeIceClave, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, m := s.MemoStats(); m != 1 {
+		t.Fatalf("misses after reset+run = %d, want 1", m)
+	}
+	if r1 != r2 {
+		t.Fatal("replay after reset differs from the memoized result")
+	}
+}
+
+// TestMemoKeyDistinguishesConfigs pins that a config mutation is a
+// different key: the same workload and mode with different channel counts
+// must not share a result.
+func TestMemoKeyDistinguishesConfigs(t *testing.T) {
+	s := testSuite()
+	r8, err := s.run("Filter", core.ModeIceClave, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4, err := s.run("Filter", core.ModeIceClave, func(c *core.Config) { c.Channels = 4 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits, _ := s.MemoStats(); hits != 0 {
+		t.Fatalf("distinct configs shared a memo entry (%d hits)", hits)
+	}
+	if r8.Total == r4.Total {
+		t.Fatal("4- and 8-channel replays returned identical totals; key too coarse?")
+	}
+}

@@ -144,6 +144,12 @@ func (d *Device) transferTime() sim.Duration {
 	return sim.DurationForBytes(int64(d.geo.PageSize), d.timing.ChannelBandwidth)
 }
 
+// PageTransferTime returns the channel-bus occupancy of one page — the
+// short phase of a program that serializes per channel while the long
+// cell-program phase overlaps across dies. Callers pinning die-pipelining
+// bounds (completion < 2x tPROG) compute their budgets from this.
+func (d *Device) PageTransferTime() sim.Duration { return d.transferTime() }
+
 // Read performs a page read arriving at time at: the die is busy for tRD,
 // then the page crosses the channel bus. It returns the completion time and
 // the stored payload (nil if the page was never programmed with data).

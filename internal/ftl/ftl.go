@@ -15,6 +15,7 @@ package ftl
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -54,6 +55,11 @@ var ErrAccessDenied = errors.New("ftl: mapping entry access denied")
 
 // ErrDeviceFull is returned when no free page can be found even after GC.
 var ErrDeviceFull = errors.New("ftl: device full")
+
+// ErrOwned is returned by ClaimID when the entry already carries a
+// different TEE's ID bits — the ownership-aware creation path refuses to
+// re-stamp a live owner.
+var ErrOwned = errors.New("ftl: mapping entry already owned")
 
 // Config tunes FTL policy.
 type Config struct {
@@ -124,15 +130,20 @@ type dieState struct {
 }
 
 // channelShard is the per-channel lock domain: the die allocators, the
-// round-robin cursor, and (by convention, see FTL) the reverse-map entries
-// of every physical page on the channel. Striping consecutive writes
-// across dies is what lets reads exploit die-level parallelism behind one
-// channel bus; holding the shard lock across Program/Erase mirrors the
-// hardware, where one channel bus carries one transfer at a time.
+// round-robin cursor, the per-block in-flight program counts, and (by
+// convention, see FTL) the reverse-map entries of every physical page on
+// the channel. Striping consecutive writes across dies is what lets both
+// reads and programs exploit die-level parallelism behind one channel
+// bus. The shard is deliberately NOT held across the device's
+// Program/Erase calls: the bus transfer and the die-local cell-program
+// occupy the device's own sim.Servers, so programs to different dies of
+// one channel overlap in simulated time and concurrent writers overlap in
+// wall-clock time (see Write).
 type channelShard struct {
-	mu   sync.Mutex
-	dies []dieState
-	rr   int
+	mu       sync.Mutex
+	dies     []dieState
+	rr       int
+	inflight int // programs staged on this channel, not yet committed
 }
 
 func (cs *channelShard) freeTotal() int {
@@ -172,12 +183,19 @@ type mappingStripe struct {
 // FTL lock (the flash.Device leaf mutex below remains device-wide).
 //
 // Lock order: channel shard first, then mapping stripe; stripe holders
-// never acquire a shard. Writers take the shard, run GC if needed (GC
-// takes the stripes of relocated LPAs one at a time — only readers can
-// hold those, and readers never wait on a shard, so the hierarchy is
-// acyclic), and only then take their own stripe for the mapping update.
-// Readers take only their stripe, which excludes GC from relocating that
-// page mid-read and pins the PPA the stream-cipher IV binds to.
+// never acquire a shard. The write path is pipelined in three phases
+// (stage / program / commit): stage holds the shard to run GC and
+// allocate a page, marking the page's block as carrying an in-flight
+// program; the device Program then runs with NO FTL lock held, so
+// programs to different dies of one channel overlap in simulated time
+// and concurrent writers to one channel overlap in wall-clock time;
+// commit re-takes the shard (retiring the in-flight marker and updating
+// the reverse map) and then the stripe for the mapping update. GC takes
+// the stripes of relocated LPAs one at a time — only readers can hold
+// those, and readers never wait on a shard, so the hierarchy is acyclic —
+// and skips any block with an in-flight program. Readers take only their
+// stripe, which excludes GC from relocating that page mid-read and pins
+// the PPA the stream-cipher IV binds to.
 type FTL struct {
 	dev *flash.Device
 	geo flash.Geometry
@@ -187,10 +205,20 @@ type FTL struct {
 	table   []entry // entry l guarded by stripes[l % len(stripes)]
 	reverse []LPA   // PPA -> LPA for GC; entry guarded by its channel's shard
 	chans   []channelShard
+	// pending[b] counts programs staged on block b whose device call is
+	// still in flight outside the shard; GC must not pick such a block as
+	// a victim (its pages look free or lack reverse mappings until the
+	// writer commits). Guarded by the block's channel shard.
+	pending []int32
 
 	logicalPages int64
 	stats        counters
 }
+
+// programHook, when non-nil, runs immediately before each write-path
+// device program, after every FTL lock has been released. Tests use it to
+// pin the pipelining contract that no shard is held across device calls.
+var programHook func(ch int)
 
 // invalidLPA marks an unused reverse-map slot.
 const invalidLPA = ^LPA(0)
@@ -208,6 +236,7 @@ func New(dev *flash.Device, cfg Config) *FTL {
 		table:        make([]entry, logical),
 		reverse:      make([]LPA, geo.TotalPages()),
 		chans:        make([]channelShard, geo.Channels),
+		pending:      make([]int32, geo.TotalBlocks()),
 		logicalPages: logical,
 	}
 	for i := range f.reverse {
@@ -331,6 +360,27 @@ func (f *FTL) SetID(l LPA, id TEEID) error {
 	return nil
 }
 
+// ClaimID stamps id into l's entry only if the entry is unowned (or
+// already carries id) — the check and the stamp are atomic under l's
+// stripe, so two TEEs racing to claim one LPA cannot both win. SetID
+// remains the unconditional secure-world override.
+func (f *FTL) ClaimID(l LPA, id TEEID) error {
+	if err := f.checkLPA(l); err != nil {
+		return err
+	}
+	if id > MaxTEEID {
+		return fmt.Errorf("ftl: TEE ID %d exceeds 4 bits", id)
+	}
+	st := f.stripeOf(l)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if cur := f.table[l].id; cur != IDNone && cur != id {
+		return fmt.Errorf("%w: LPA %d held by ID %d", ErrOwned, l, cur)
+	}
+	f.table[l].id = id
+	return nil
+}
+
 // ClearIDs resets the ID bits of every entry owned by id back to IDNone,
 // used when a TEE terminates and its ID is recycled. It sweeps the table
 // one stripe at a time, so concurrent tenants on other stripes keep
@@ -399,36 +449,45 @@ func (f *FTL) ReadFor(at sim.Time, l LPA, id TEEID) (done sim.Time, ppa flash.PP
 // programs it, invalidates the old page, and updates the mapping. The ID
 // bits of the entry are preserved across rewrites.
 //
-// Locking: the channel shard is taken first (allocator, GC, program), the
-// mapping stripe second — the one place both levels are held together.
+// Locking: the write is pipelined — stage under the channel shard,
+// device program with no FTL lock, commit under shard then stripe — so
+// the die-local cell-program time never extends any FTL critical section.
 func (f *FTL) Write(at sim.Time, l LPA, data []byte) (done sim.Time, err error) {
 	if err := f.checkLPA(l); err != nil {
 		return at, err
 	}
 	ch := f.pickChannel(l)
-	cs := &f.chans[ch]
-	cs.mu.Lock()
-	defer cs.mu.Unlock()
-	at, err = f.ensureFree(at, ch)
+	ppa, at, err := f.stage(at, ch)
 	if err != nil {
 		return at, err
 	}
-	st := f.stripeOf(l)
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	return f.write(at, l, ch, data)
+	if programHook != nil {
+		programHook(ch)
+	}
+	done, err = f.dev.Program(at, ppa, data)
+	if err != nil {
+		f.abandon(ch, ppa)
+		return at, err
+	}
+	if err := f.commit(l, ch, ppa); err != nil {
+		return done, err
+	}
+	return done, nil
 }
 
 // WriteFor is the TEE data-path write: the §4.3 ownership check, the
-// out-of-place write, and the ID stamping of a newly adopted page happen
-// under l's mapping stripe, so two TEEs racing on an unowned LPA cannot
-// both claim it. owner reports the entry's pre-write owner; adopted
-// reports whether the entry was unowned and has been stamped with id.
+// mapping update, and the ID stamping of a newly adopted page happen
+// under l's mapping stripe at commit time, so two TEEs racing on an
+// unowned LPA cannot both claim it. owner reports the entry's pre-commit
+// owner; adopted reports whether the entry was unowned and has been
+// stamped with id.
 //
 // A denied write is rejected on a stripe-only fast path before the
 // channel shard (and any GC it would imply) is touched; ownership is
-// re-verified under the stripe after the shard is held, because it can
-// change between the two looks.
+// re-verified under the stripe at commit, because it can change while the
+// program is in flight. In that rare race the page is already on the die,
+// so it is invalidated for GC to reclaim and the write is denied — the
+// pipelined analogue of the old inside-the-lock denial.
 func (f *FTL) WriteFor(at sim.Time, l LPA, data []byte, id TEEID) (done sim.Time, owner TEEID, adopted bool, err error) {
 	if err := f.checkLPA(l); err != nil {
 		return at, IDNone, false, err
@@ -441,53 +500,131 @@ func (f *FTL) WriteFor(at sim.Time, l LPA, data []byte, id TEEID) (done sim.Time
 		return at, owner, false, fmt.Errorf("%w: LPA %d owned by %d", ErrAccessDenied, l, owner)
 	}
 	ch := f.pickChannel(l)
-	cs := &f.chans[ch]
-	cs.mu.Lock()
-	defer cs.mu.Unlock()
-	at, err = f.ensureFree(at, ch)
+	ppa, at, err := f.stage(at, ch)
 	if err != nil {
 		return at, owner, false, err
 	}
+	if programHook != nil {
+		programHook(ch)
+	}
+	done, err = f.dev.Program(at, ppa, data)
+	if err != nil {
+		f.abandon(ch, ppa)
+		return at, owner, false, err
+	}
+	owner, adopted, err = f.commitFor(l, ch, ppa, id)
+	if err != nil {
+		return done, owner, false, err
+	}
+	return done, owner, adopted, nil
+}
+
+// stage reserves a write's physical page under ch's shard: run GC if the
+// channel is short on free blocks, allocate the next page, and mark its
+// block as carrying an in-flight program so GC leaves the block alone
+// while the device call proceeds outside the shard. It returns the issue
+// time, delayed past any GC the allocation forced.
+//
+// A full-device verdict while the channel has in-flight programs is not
+// final: the blocks GC had to skip become victims as soon as their
+// writers commit, so stage yields and retries instead of surfacing a
+// spurious ErrDeviceFull. Single-goroutine callers never see a retry —
+// with no concurrent writer, inflight is always zero here.
+func (f *FTL) stage(at sim.Time, ch int) (flash.PPA, sim.Time, error) {
+	cs := &f.chans[ch]
+	for {
+		cs.mu.Lock()
+		newAt, err := f.ensureFree(at, ch)
+		if err == nil {
+			var ppa flash.PPA
+			ppa, err = f.allocate(ch)
+			if err == nil {
+				f.pending[f.geo.BlockOf(ppa)]++
+				cs.inflight++
+				cs.mu.Unlock()
+				return ppa, newAt, nil
+			}
+		}
+		retry := errors.Is(err, ErrDeviceFull) && cs.inflight > 0
+		cs.mu.Unlock()
+		if !retry {
+			return flash.InvalidPPA, at, err
+		}
+		runtime.Gosched()
+	}
+}
+
+// abandon retires the in-flight marker of a staged program the device
+// rejected. The allocated page stays unprogrammed; GC reclaims it with
+// the rest of its block.
+func (f *FTL) abandon(ch int, ppa flash.PPA) {
+	cs := &f.chans[ch]
+	cs.mu.Lock()
+	f.pending[f.geo.BlockOf(ppa)]--
+	cs.inflight--
+	cs.mu.Unlock()
+}
+
+// commit publishes a programmed page: under the shard it retires the
+// in-flight marker and the old page's reverse mapping, under l's stripe
+// it swaps the mapping entry (preserving the ID bits) and invalidates the
+// superseded page. Lock order shard -> stripe, the one place both levels
+// are held together.
+func (f *FTL) commit(l LPA, ch int, ppa flash.PPA) error {
+	cs := &f.chans[ch]
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	f.pending[f.geo.BlockOf(ppa)]--
+	cs.inflight--
+	st := f.stripeOf(l)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return f.remap(l, ppa)
+}
+
+// commitFor is commit with the §4.3 ownership re-check and adoption
+// stamp. A denial discovered here (the entry changed hands mid-program)
+// invalidates the freshly programmed page so GC can reclaim it.
+func (f *FTL) commitFor(l LPA, ch int, ppa flash.PPA, id TEEID) (owner TEEID, adopted bool, err error) {
+	cs := &f.chans[ch]
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	f.pending[f.geo.BlockOf(ppa)]--
+	cs.inflight--
+	st := f.stripeOf(l)
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	owner = f.table[l].id
 	if owner != id && owner != IDNone {
-		return at, owner, false, fmt.Errorf("%w: LPA %d owned by %d", ErrAccessDenied, l, owner)
+		if ierr := f.dev.Invalidate(ppa); ierr != nil {
+			return owner, false, ierr
+		}
+		return owner, false, fmt.Errorf("%w: LPA %d owned by %d", ErrAccessDenied, l, owner)
 	}
-	done, err = f.write(at, l, ch, data)
-	if err != nil {
-		return done, owner, false, err
+	if err := f.remap(l, ppa); err != nil {
+		return owner, false, err
 	}
 	if owner == IDNone {
 		f.table[l].id = id
 		adopted = true
 	}
-	return done, owner, adopted, nil
+	return owner, adopted, nil
 }
 
-// write is the Write body: allocate, program, remap. Caller holds the
-// channel shard of ch and the mapping stripe of l, and has already run
-// ensureFree on ch.
-func (f *FTL) write(at sim.Time, l LPA, ch int, data []byte) (done sim.Time, err error) {
-	ppa, err := f.allocate(ch)
-	if err != nil {
-		return at, err
-	}
-	done, err = f.dev.Program(at, ppa, data)
-	if err != nil {
-		return at, err
-	}
+// remap points l at its freshly programmed page and retires the old one.
+// Caller holds ch's shard and l's stripe.
+func (f *FTL) remap(l LPA, ppa flash.PPA) error {
 	old := f.table[l]
 	if old.valid {
 		if err := f.dev.Invalidate(old.ppa); err != nil {
-			return done, err
+			return err
 		}
 		f.reverse[old.ppa] = invalidLPA
 	}
 	f.table[l] = entry{ppa: ppa, id: old.id, valid: true}
 	f.reverse[ppa] = l
 	f.stats.hostWrites.Add(1)
-	return done, nil
+	return nil
 }
 
 // pickChannel stripes logical pages across channels for parallelism. It
@@ -603,6 +740,11 @@ func (f *FTL) collectChannel(at sim.Time, ch int) (done sim.Time, reclaimed bool
 
 // relocate moves one live page (src, mapped by l) to a fresh page on the
 // same channel, under l's mapping stripe. Caller holds the channel shard.
+// Unlike the pipelined write path, GC keeps the shard across its device
+// calls on purpose: it is the allocator's own maintenance pass, it must
+// see a frozen allocator while it rewrites reverse mappings, and its
+// programs target the active block, which concurrent writers on this
+// channel are blocked from staging into anyway.
 func (f *FTL) relocate(at sim.Time, src flash.PPA, l LPA, ch int) (sim.Time, error) {
 	st := f.stripeOf(l)
 	st.mu.Lock()
@@ -636,10 +778,12 @@ func (f *FTL) dieOf(b flash.BlockID) int {
 
 // pickVictim selects the channel's fullest-of-invalid block: the non-free,
 // non-active block with the fewest valid pages, requiring at least one
-// invalid page so the erase reclaims space. Ties break toward the
-// least-erased block, which rotates erases evenly across the channel
-// instead of hammering the lowest-numbered fully-invalid block. Caller
-// holds the channel shard.
+// invalid page so the erase reclaims space. Blocks with in-flight programs
+// (staged by a writer that has released the shard) are skipped — their
+// pages look free or lack reverse mappings until the writer commits. Ties
+// break toward the least-erased block, which rotates erases evenly across
+// the channel instead of hammering the lowest-numbered fully-invalid
+// block. Caller holds the channel shard.
 func (f *FTL) pickVictim(ch int) (flash.BlockID, bool) {
 	cs := &f.chans[ch]
 	skip := make(map[flash.BlockID]bool)
@@ -659,7 +803,7 @@ func (f *FTL) pickVictim(ch int) (flash.BlockID, bool) {
 		if f.geo.ChannelOf(f.geo.FirstPage(b)) != ch {
 			continue
 		}
-		if skip[b] {
+		if skip[b] || f.pending[b] > 0 {
 			continue
 		}
 		valid := f.dev.ValidPages(b)

@@ -1,0 +1,70 @@
+package sched
+
+import "iceclave/internal/sim"
+
+// This file is the scheduler's simulated-time mode. The goroutine pool in
+// sched.go meters admission control in wall-clock time; VirtualAdmission
+// expresses the same policy — per-tenant in-flight caps, a global cap,
+// FIFO dispatch within three priority bands, work-conserving skip of
+// capped tenants — as discrete events on a sim.Engine, so queueing delay
+// from admission lands on the simulated clock that the flash, CPU, and
+// memory models already share. core.RunMulti threads this mode into the
+// multi-tenant replay loop; the Figure 17/18-style timing tables read the
+// delay back out of core.Result.QueueDelay.
+//
+// Concurrency contract: unlike Scheduler, VirtualAdmission follows the sim
+// package's single-goroutine rule — it is part of a simulation, not a
+// thread pool.
+
+// VirtualConfig tunes the simulated-time admission gate. The zero value
+// means no admission control at all (every tenant starts immediately),
+// which reproduces the pre-backbone replay semantics.
+type VirtualConfig struct {
+	// MaxInFlight caps tenants replaying concurrently across the device
+	// (the 15 live TEE IDs of §4.3, or a policy choice below it).
+	// Non-positive means unlimited.
+	MaxInFlight int
+	// TenantMaxInFlight caps concurrently running jobs per tenant key.
+	// Non-positive means unlimited.
+	TenantMaxInFlight int
+}
+
+// VirtualAdmission is the sim-backed admission resource: Submit queues a
+// tenant job at a virtual instant, the grant callback fires as an engine
+// event when capacity allows, and Release returns the slot at the job's
+// virtual completion time.
+type VirtualAdmission struct {
+	adm *sim.Admission
+}
+
+// NewVirtualAdmission builds the gate over eng with the scheduler's three
+// priority bands.
+func NewVirtualAdmission(eng *sim.Engine, cfg VirtualConfig) *VirtualAdmission {
+	return &VirtualAdmission{
+		adm: sim.NewAdmission(eng, int(numPriorities), cfg.MaxInFlight, cfg.TenantMaxInFlight),
+	}
+}
+
+// Submit enqueues one job for tenant at virtual time at; fn runs when the
+// job is admitted, with the grant time as its argument. Like Scheduler,
+// higher priorities dispatch first and tenants at their cap are skipped,
+// not waited on.
+func (v *VirtualAdmission) Submit(at sim.Time, tenant string, prio Priority, fn func(granted sim.Time)) *sim.Ticket {
+	if prio < PriorityLow || prio >= numPriorities {
+		prio = PriorityNormal
+	}
+	return v.adm.Submit(at, tenant, int(prio), fn)
+}
+
+// Release retires a granted job at its virtual completion time, admitting
+// whatever the freed capacity now allows.
+func (v *VirtualAdmission) Release(t *sim.Ticket, at sim.Time) { v.adm.Release(t, at) }
+
+// Pending returns the queued (not yet admitted) job count.
+func (v *VirtualAdmission) Pending() int { return v.adm.Pending() }
+
+// Running returns the admitted, unreleased job count.
+func (v *VirtualAdmission) Running() int { return v.adm.Running() }
+
+// Waited returns the total simulated queueing delay across admitted jobs.
+func (v *VirtualAdmission) Waited() sim.Duration { return v.adm.Waited() }

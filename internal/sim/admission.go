@@ -1,0 +1,169 @@
+package sim
+
+// Admission is a virtual-time admission gate: the discrete-event form of
+// the sched package's admission control. Tickets are submitted with a
+// tenant key and a priority band; a ticket is granted when the global slot
+// cap and its key's per-key cap both have room. Grants are delivered as
+// Engine events, so queueing delay from admission control lands on the
+// same virtual clock as every downstream resource (CPU servers, flash
+// dies, channel buses) — the backbone property the multi-tenant timing
+// experiments depend on.
+//
+// Dispatch policy mirrors sched.Scheduler: highest band first, FIFO within
+// a band, and work-conserving — a queued ticket whose key is at its cap is
+// skipped rather than head-of-line blocking the band.
+//
+// Like Server, Admission is single-goroutine by the package contract; all
+// concurrency it models is virtual.
+type Admission struct {
+	eng    *Engine
+	bands  [][]*Ticket
+	slots  int // global concurrent-grant cap; <= 0 means unlimited
+	perKey int // per-key concurrent-grant cap; <= 0 means unlimited
+
+	inUse int
+	byKey map[string]int
+
+	granted   int64
+	waited    Duration
+	maxQueued int
+	queued    int
+}
+
+// Ticket is one admission request. Submitted and Granted expose the
+// queueing interval once the grant fires; Granted is meaningful only
+// after the grant callback has run.
+type Ticket struct {
+	Key       string
+	Band      int
+	Submitted Time
+	Granted   Time
+
+	fn      func(granted Time)
+	running bool
+	done    bool
+}
+
+// Waited returns the ticket's queueing delay; zero until granted.
+func (t *Ticket) Waited() Duration {
+	if !t.running && !t.done {
+		return 0
+	}
+	return t.Granted - t.Submitted
+}
+
+// NewAdmission builds a gate with the given number of priority bands
+// (band bands-1 is the highest), a global slot cap, and a per-key cap.
+// Non-positive caps mean unlimited. It panics if bands < 1 or eng is nil.
+func NewAdmission(eng *Engine, bands, slots, perKey int) *Admission {
+	if eng == nil {
+		panic("sim: NewAdmission needs an engine")
+	}
+	if bands < 1 {
+		panic("sim: NewAdmission needs at least one band")
+	}
+	return &Admission{
+		eng:    eng,
+		bands:  make([][]*Ticket, bands),
+		slots:  slots,
+		perKey: perKey,
+		byKey:  make(map[string]int),
+	}
+}
+
+// admissible reports whether a ticket for key could start right now.
+func (a *Admission) admissible(key string) bool {
+	if a.slots > 0 && a.inUse >= a.slots {
+		return false
+	}
+	if a.perKey > 0 && a.byKey[key] >= a.perKey {
+		return false
+	}
+	return true
+}
+
+// grant marks t running at time at and schedules its callback.
+func (a *Admission) grant(t *Ticket, at Time) {
+	t.running = true
+	t.Granted = at
+	a.inUse++
+	a.byKey[t.Key]++
+	a.granted++
+	a.waited += at - t.Submitted
+	a.eng.At(at, func(now Time) { t.fn(now) })
+}
+
+// Submit enqueues a request at virtual time at; fn runs (as an engine
+// event) when the ticket is granted — immediately at `at` if the caps have
+// room. It panics on an out-of-range band, matching the Engine's posture
+// that scheduling bugs should not pass silently.
+func (a *Admission) Submit(at Time, key string, band int, fn func(granted Time)) *Ticket {
+	if band < 0 || band >= len(a.bands) {
+		panic("sim: admission band out of range")
+	}
+	t := &Ticket{Key: key, Band: band, Submitted: at, fn: fn}
+	if a.admissible(key) {
+		a.grant(t, at)
+		return t
+	}
+	a.bands[band] = append(a.bands[band], t)
+	a.queued++
+	if a.queued > a.maxQueued {
+		a.maxQueued = a.queued
+	}
+	return t
+}
+
+// Release retires a granted ticket at virtual time at and grants every
+// queued ticket that the freed capacity now admits.
+func (a *Admission) Release(t *Ticket, at Time) {
+	if !t.running || t.done {
+		panic("sim: release of a ticket that is not running")
+	}
+	t.running = false
+	t.done = true
+	a.inUse--
+	a.byKey[t.Key]--
+	if a.byKey[t.Key] == 0 {
+		delete(a.byKey, t.Key)
+	}
+	a.dispatch(at)
+}
+
+// dispatch grants queued tickets while capacity allows: highest band
+// first, FIFO within a band, skipping (not blocking on) keys at their cap.
+func (a *Admission) dispatch(at Time) {
+	for b := len(a.bands) - 1; b >= 0; b-- {
+		q := a.bands[b]
+		for i := 0; i < len(q); {
+			if a.slots > 0 && a.inUse >= a.slots {
+				a.bands[b] = q
+				return
+			}
+			t := q[i]
+			if !a.admissible(t.Key) {
+				i++ // work-conserving: skip the capped key, try later tickets
+				continue
+			}
+			q = append(q[:i:i], q[i+1:]...)
+			a.queued--
+			a.grant(t, at)
+		}
+		a.bands[b] = q
+	}
+}
+
+// Pending returns the number of queued (not yet granted) tickets.
+func (a *Admission) Pending() int { return a.queued }
+
+// Running returns the number of granted, unreleased tickets.
+func (a *Admission) Running() int { return a.inUse }
+
+// Granted returns how many tickets have been granted so far.
+func (a *Admission) Granted() int64 { return a.granted }
+
+// Waited returns the total queueing delay across granted tickets.
+func (a *Admission) Waited() Duration { return a.waited }
+
+// MaxQueued returns the high-water mark of the admission queue.
+func (a *Admission) MaxQueued() int { return a.maxQueued }

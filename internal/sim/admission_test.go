@@ -1,0 +1,137 @@
+package sim
+
+import "testing"
+
+// TestAdmissionImmediateGrant pins the uncontended path: with free
+// capacity, the grant fires at the submission instant with zero wait.
+func TestAdmissionImmediateGrant(t *testing.T) {
+	eng := &Engine{}
+	a := NewAdmission(eng, 3, 2, 1)
+	var granted Time = -1
+	tk := a.Submit(10, "a", 1, func(now Time) { granted = now })
+	eng.Run()
+	if granted != 10 {
+		t.Fatalf("granted at %v, want 10", granted)
+	}
+	if tk.Waited() != 0 {
+		t.Fatalf("waited %v, want 0", tk.Waited())
+	}
+	if a.Running() != 1 || a.Pending() != 0 {
+		t.Fatalf("running=%d pending=%d", a.Running(), a.Pending())
+	}
+}
+
+// TestAdmissionGlobalCapQueues pins the backbone property: the second
+// ticket's grant time equals the first ticket's release time, and the
+// interval is recorded as queueing delay.
+func TestAdmissionGlobalCapQueues(t *testing.T) {
+	eng := &Engine{}
+	a := NewAdmission(eng, 1, 1, 0)
+	var t1, t2 Time = -1, -1
+	tk1 := a.Submit(0, "a", 0, func(now Time) { t1 = now })
+	tk2 := a.Submit(0, "b", 0, func(now Time) { t2 = now })
+	eng.Run()
+	if t1 != 0 || t2 != -1 {
+		t.Fatalf("before release: t1=%v t2=%v", t1, t2)
+	}
+	a.Release(tk1, 500)
+	eng.Run()
+	if t2 != 500 {
+		t.Fatalf("queued grant at %v, want the release time 500", t2)
+	}
+	if tk2.Waited() != 500 {
+		t.Fatalf("waited %v, want 500", tk2.Waited())
+	}
+	if a.Waited() != 500 {
+		t.Fatalf("aggregate wait %v, want 500", a.Waited())
+	}
+}
+
+// TestAdmissionBandPriority pins dispatch order on release: the
+// highest-band queued ticket wins regardless of submission order.
+func TestAdmissionBandPriority(t *testing.T) {
+	eng := &Engine{}
+	a := NewAdmission(eng, 3, 1, 0)
+	hold := a.Submit(0, "hold", 2, func(Time) {})
+	var order []string
+	submit := func(key string, band int) *Ticket {
+		return a.Submit(0, key, band, func(Time) { order = append(order, key) })
+	}
+	submit("low", 0)
+	high := submit("high", 2)
+	mid := submit("mid", 1)
+	eng.Run()
+
+	a.Release(hold, 100)
+	eng.Run()
+	a.Release(high, 200)
+	eng.Run()
+	a.Release(mid, 300)
+	eng.Run()
+	if got := len(order); got != 3 {
+		t.Fatalf("granted %d, want 3", got)
+	}
+	for i, want := range []string{"high", "mid", "low"} {
+		if order[i] != want {
+			t.Fatalf("grant order %v, want high,mid,low", order)
+		}
+	}
+}
+
+// TestAdmissionPerKeySkip pins work conservation: a queued ticket whose
+// key is at its per-key cap is skipped, not head-of-line blocking.
+func TestAdmissionPerKeySkip(t *testing.T) {
+	eng := &Engine{}
+	a := NewAdmission(eng, 1, 2, 1)
+	var order []string
+	note := func(key string) func(Time) {
+		return func(Time) { order = append(order, key) }
+	}
+	ta1 := a.Submit(0, "a", 0, note("a1"))
+	tb1 := a.Submit(0, "b", 0, note("b1"))
+	// Both slots busy now; queue a's second job ahead of c's first.
+	a.Submit(0, "a", 0, note("a2"))
+	a.Submit(0, "c", 0, note("c1"))
+	eng.Run()
+	if len(order) != 2 || order[0] != "a1" || order[1] != "b1" {
+		t.Fatalf("granted %v, want a1,b1", order)
+	}
+	// A slot frees while "a" is still running: a2 must be skipped (key at
+	// cap) and c1 granted instead.
+	a.Release(tb1, 100)
+	eng.Run()
+	if len(order) != 3 || order[2] != "c1" {
+		t.Fatalf("after b1 release: %v, want c1 granted (a2 skipped)", order)
+	}
+	a.Release(ta1, 200)
+	eng.Run()
+	if len(order) != 4 || order[3] != "a2" {
+		t.Fatalf("after a1 release: %v, want a2 granted", order)
+	}
+}
+
+// TestAdmissionFIFOWithinBand pins arrival order within one band.
+func TestAdmissionFIFOWithinBand(t *testing.T) {
+	eng := &Engine{}
+	a := NewAdmission(eng, 1, 1, 0)
+	var order []string
+	hold := a.Submit(0, "hold", 0, func(Time) {})
+	tks := make([]*Ticket, 3)
+	for i, key := range []string{"x", "y", "z"} {
+		key := key
+		tks[i] = a.Submit(Time(i), key, 0, func(Time) { order = append(order, key) })
+	}
+	eng.Run()
+	a.Release(hold, 10)
+	eng.Run()
+	a.Release(tks[0], 20)
+	eng.Run()
+	a.Release(tks[1], 30)
+	eng.Run()
+	if len(order) != 3 || order[0] != "x" || order[1] != "y" || order[2] != "z" {
+		t.Fatalf("grant order %v, want x,y,z", order)
+	}
+	if a.MaxQueued() != 3 {
+		t.Fatalf("max queued %d, want 3", a.MaxQueued())
+	}
+}

@@ -95,6 +95,13 @@ const DefaultHeapBytes = 16 << 20
 // ErrNoFreeID is returned when all 15 TEE IDs are live.
 var ErrNoFreeID = errors.New("tee: no free TEE ID")
 
+// ErrLPAOwned is returned by CreateTEE when a requested LPA is already
+// owned by a live TEE. The seed re-stamped such entries, silently moving
+// pages between tenants; creation now rejects the request so a host bug
+// (or a malicious co-tenant racing CreateTEE) cannot transfer ownership
+// of live data. Options.AllowSharedLPAs restores the seed semantics.
+var ErrLPAOwned = errors.New("tee: LPA already owned by a live TEE")
+
 // ErrTooLarge is returned when the binary does not fit available memory.
 var ErrTooLarge = errors.New("tee: program image exceeds available SSD DRAM")
 
@@ -246,13 +253,14 @@ type span struct{ base, size uint64 }
 // Runtime is the IceClave runtime: it lives in the secure world and
 // manages TEEs, the protected-region mapping cache, and the cipher engine.
 type Runtime struct {
-	ftl     *ftl.FTL
-	cipher  *trivium.Engine
-	mem     *mee.Engine
-	space   *trustzone.AddressSpace
-	monitor *trustzone.Monitor
-	cmt     *ftl.MappingCache
-	costs   Costs
+	ftl        *ftl.FTL
+	cipher     *trivium.Engine
+	mem        *mee.Engine
+	space      *trustzone.AddressSpace
+	monitor    *trustzone.Monitor
+	cmt        *ftl.MappingCache
+	costs      Costs
+	sharedLPAs bool
 
 	mu       sync.Mutex
 	now      sim.Time
@@ -280,6 +288,11 @@ type Options struct {
 	CipherKey []byte // 10-byte Trivium key; a fixed default is used if nil
 	DRAMBytes uint64 // controller DRAM capacity (default 4 GB)
 	CMTBytes  uint64 // cached-mapping-table capacity (default 32 MB)
+	// AllowSharedLPAs restores the seed's CreateTEE semantics, where the
+	// ID bits of an LPA owned by a live TEE are silently re-stamped to
+	// the new TEE. The default (false) rejects such creations with
+	// ErrLPAOwned; see that error for the rationale.
+	AllowSharedLPAs bool
 }
 
 // NewRuntime builds a runtime over an FTL. The memory map places the
@@ -314,16 +327,17 @@ func NewRuntime(f *ftl.FTL, opts Options) (*Runtime, error) {
 	copy(aesKey[:], "iceclave-mee-aes")
 	copy(macKey[:], "iceclave-mee-mac")
 	rt := &Runtime{
-		ftl:      f,
-		cipher:   trivium.NewEngine(opts.CipherKey, 0x1CEC1A7E0001),
-		mem:      mee.NewEngine(aesKey, macKey),
-		space:    space,
-		monitor:  trustzone.NewMonitor(opts.Costs.WorldSwitch),
-		cmt:      ftl.NewMappingCache(opts.CMTBytes, uint64(f.Device().Geometry().PageSize)),
-		costs:    opts.Costs,
-		tees:     make(map[ftl.TEEID]*TEE),
-		freeHeap: []span{{base: normalBase, size: opts.DRAMBytes - normalBase}},
-		heapFree: opts.DRAMBytes - normalBase,
+		ftl:        f,
+		cipher:     trivium.NewEngine(opts.CipherKey, 0x1CEC1A7E0001),
+		mem:        mee.NewEngine(aesKey, macKey),
+		space:      space,
+		monitor:    trustzone.NewMonitor(opts.Costs.WorldSwitch),
+		cmt:        ftl.NewMappingCache(opts.CMTBytes, uint64(f.Device().Geometry().PageSize)),
+		costs:      opts.Costs,
+		sharedLPAs: opts.AllowSharedLPAs,
+		tees:       make(map[ftl.TEEID]*TEE),
+		freeHeap:   []span{{base: normalBase, size: opts.DRAMBytes - normalBase}},
+		heapFree:   opts.DRAMBytes - normalBase,
 	}
 	// The runtime itself executes in the normal world between service
 	// calls; boot hand-off to the normal world happens here.
@@ -447,6 +461,12 @@ func (r *Runtime) releaseHeap(base, size uint64) {
 // CreateTEE implements the Table 2 API: allocate an identity, set the ID
 // bits of the program's mapping entries, preallocate its heap, and charge
 // the 95 µs creation cost. Creation happens in the secure world.
+//
+// Ownership is enforced at stamping time: an LPA whose entry already
+// carries a live TEE's ID bits fails the creation with ErrLPAOwned
+// (atomically per entry, via the FTL's claim path), and everything the
+// partial creation stamped is rolled back. Options.AllowSharedLPAs keeps
+// the seed's silent re-stamping for callers that depend on it.
 func (r *Runtime) CreateTEE(cfg Config) (*TEE, error) {
 	if cfg.HeapBytes == 0 {
 		cfg.HeapBytes = DefaultHeapBytes
@@ -468,9 +488,19 @@ func (r *Runtime) CreateTEE(cfg Config) (*TEE, error) {
 		r.now = r.monitor.SwitchTo(r.now, trustzone.Normal)
 		return nil, fmt.Errorf("%w: no room for %d-byte heap", ErrTooLarge, cfg.HeapBytes)
 	}
-	// SetIDBits: stamp ownership into the mapping table.
+	// SetIDBits: stamp ownership into the mapping table. ClearIDs on the
+	// rollback path only touches entries carrying the new id, so a
+	// rejected creation leaves the prior owners' bits intact.
+	stamp := r.ftl.ClaimID
+	if r.sharedLPAs {
+		stamp = r.ftl.SetID
+	}
 	for _, l := range cfg.LPAs {
-		if err := r.ftl.SetID(l, id); err != nil {
+		err := stamp(l, id)
+		if errors.Is(err, ftl.ErrOwned) {
+			err = fmt.Errorf("%w: LPA %d", ErrLPAOwned, l)
+		}
+		if err != nil {
 			r.ftl.ClearIDs(id)
 			r.inUse[id] = false
 			r.releaseHeap(heapBase, cfg.HeapBytes)

@@ -142,14 +142,102 @@ func TestIDReuseAfterTermination(t *testing.T) {
 
 func TestIDExhaustion(t *testing.T) {
 	rt, f := testRuntime(t)
-	lpas := writePages(t, f, 1, 0x50)
+	// One LPA per TEE: 15 live TEEs may not share pages under the
+	// ownership-aware creation rules.
+	lpas := writePages(t, f, 16, 0x50)
 	for i := 0; i < 15; i++ {
-		if _, err := rt.CreateTEE(Config{Binary: []byte{1}, LPAs: lpas, HeapBytes: 1 << 20}); err != nil {
+		if _, err := rt.CreateTEE(Config{Binary: []byte{1}, LPAs: lpas[i : i+1], HeapBytes: 1 << 20}); err != nil {
 			t.Fatalf("create %d: %v", i, err)
 		}
 	}
-	if _, err := rt.CreateTEE(Config{Binary: []byte{1}, LPAs: lpas, HeapBytes: 1 << 20}); !errors.Is(err, ErrNoFreeID) {
+	if _, err := rt.CreateTEE(Config{Binary: []byte{1}, LPAs: lpas[15:], HeapBytes: 1 << 20}); !errors.Is(err, ErrNoFreeID) {
 		t.Fatalf("16th TEE returned %v", err)
+	}
+}
+
+// TestCreateRejectsOwnedLPA pins the ownership-aware SetIDBits decision:
+// creating a TEE over an LPA a live TEE owns fails with ErrLPAOwned, the
+// prior owner's bits survive, and the rejected creation rolls back fully
+// (its ID and heap are reusable, and its other stamps are cleared).
+func TestCreateRejectsOwnedLPA(t *testing.T) {
+	rt, f := testRuntime(t)
+	lpas := writePages(t, f, 3, 0x80)
+	owner, err := rt.CreateTEE(Config{Binary: []byte{1}, LPAs: lpas[:1]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := rt.Live()
+	// lpas[1] is free, lpas[0] is owned: the creation must fail and must
+	// not leave a stamp on lpas[1].
+	if _, err := rt.CreateTEE(Config{Binary: []byte{1}, LPAs: lpas[1:3]}); err != nil {
+		t.Fatalf("disjoint creation failed: %v", err)
+	}
+	if _, err := rt.CreateTEE(Config{Binary: []byte{1}, LPAs: []ftl.LPA{lpas[0]}}); !errors.Is(err, ErrLPAOwned) {
+		t.Fatalf("creation over owned LPA returned %v, want ErrLPAOwned", err)
+	}
+	if id, _ := f.IDOf(lpas[0]); id != owner.EID() {
+		t.Fatalf("owner's ID bits disturbed: %d", id)
+	}
+	if rt.Live() != live+1 {
+		t.Fatalf("live TEEs = %d after rejected creation, want %d", rt.Live(), live+1)
+	}
+	// After the owner terminates, the same LPA is claimable again.
+	if err := rt.TerminateTEE(owner, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.CreateTEE(Config{Binary: []byte{1}, LPAs: lpas[:1]}); err != nil {
+		t.Fatalf("creation after owner terminated: %v", err)
+	}
+}
+
+// TestCreateRejectionRollsBackStamps pins the partial-stamp rollback: a
+// creation that dies on its Nth LPA must clear the N-1 entries it already
+// stamped.
+func TestCreateRejectionRollsBackStamps(t *testing.T) {
+	rt, f := testRuntime(t)
+	lpas := writePages(t, f, 3, 0x90)
+	if _, err := rt.CreateTEE(Config{Binary: []byte{1}, LPAs: lpas[2:3]}); err != nil {
+		t.Fatal(err)
+	}
+	// lpas[0] and lpas[1] are free; lpas[2] is owned — stamped in order,
+	// the failure happens after two successful claims.
+	if _, err := rt.CreateTEE(Config{Binary: []byte{1}, LPAs: lpas}); !errors.Is(err, ErrLPAOwned) {
+		t.Fatalf("creation returned %v, want ErrLPAOwned", err)
+	}
+	for _, l := range lpas[:2] {
+		if id, _ := f.IDOf(l); id != ftl.IDNone {
+			t.Fatalf("LPA %d still stamped with %d after rollback", l, id)
+		}
+	}
+}
+
+// TestAllowSharedLPAsCompat pins the compatibility flag: with
+// AllowSharedLPAs the seed semantics return — creation re-stamps entries
+// a live TEE owns, transferring them to the new TEE.
+func TestAllowSharedLPAsCompat(t *testing.T) {
+	geo := flash.Geometry{
+		Channels: 2, ChipsPerChannel: 1, DiesPerChip: 1, PlanesPerDie: 1,
+		BlocksPerPlane: 32, PagesPerBlock: 16, PageSize: 4096,
+	}
+	dev, err := flash.NewDevice(geo, flash.DefaultTiming())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := ftl.New(dev, ftl.Config{})
+	rt, err := NewRuntime(f, Options{AllowSharedLPAs: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lpas := writePages(t, f, 1, 0xA0)
+	if _, err := rt.CreateTEE(Config{Binary: []byte{1}, LPAs: lpas}); err != nil {
+		t.Fatal(err)
+	}
+	second, err := rt.CreateTEE(Config{Binary: []byte{1}, LPAs: lpas})
+	if err != nil {
+		t.Fatalf("shared-LPA creation failed under compat flag: %v", err)
+	}
+	if id, _ := f.IDOf(lpas[0]); id != second.EID() {
+		t.Fatalf("entry owned by %d, want re-stamped to %d", id, second.EID())
 	}
 }
 
