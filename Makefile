@@ -4,7 +4,7 @@ GO ?= go
 # for significance when comparing against a saved baseline).
 BENCH_COUNT ?= 1
 
-.PHONY: all build fmt-check vet test race ci bench bench-compare micro fuzz
+.PHONY: all build fmt-check vet test race race-shard ci bench bench-compare micro fuzz
 
 all: build
 
@@ -26,11 +26,23 @@ test:
 race:
 	$(GO) test -race ./...
 
+# race-shard runs the channel-sharding contracts explicitly (and
+# verbosely) under the race detector: the device- and FTL-level
+# cross-channel no-shared-lock pins, the GC-vs-write-storm isolation
+# stress, and the lock-free stats snapshot race. These are the tests that
+# protect the per-channel flash.Device sharding; `race` runs them too,
+# but a sharding regression should fail loudly and by name.
+race-shard:
+	$(GO) test -race -count 1 -v \
+		-run 'CrossChannelNoSharedLock|SnapshotRaceWithPrograms|CrossChannelWriteStormIntegrity|GCChannelIsolationUnderWriteStorm|GCOnHostageChannelDoesNotBlockOthers' \
+		./internal/flash ./internal/ftl
+
 # ci is the gate future PRs must keep green: gofmt-clean tree, clean
-# build, clean vet, and the full test suite (including the 32-tenant
-# offload stress, the FTL stripe-contention tests, and the Trivium
-# differential suite) under the race detector.
-ci: fmt-check build vet race
+# build, clean vet, the named channel-sharding race tests, and the full
+# test suite (including the 32-tenant offload stress, the FTL
+# stripe-contention tests, and the Trivium differential suite) under the
+# race detector.
+ci: fmt-check build vet race-shard race
 
 # bench regenerates the committed machine-readable performance record:
 # serial vs parallel experiment-suite wall time, the scheduler offload
@@ -53,6 +65,12 @@ micro:
 #     single die vs striped across its dies, in simulated time) must show
 #     >= 2x overlap — failure means multi-die programs have regressed
 #     toward the serialized baseline.
+#   - The -micro write-storm section (program/invalidate/erase churn on
+#     every flash.Device channel, one goroutine per channel vs serial,
+#     wall clock) must beat the GOMAXPROCS-aware gate the micro prints:
+#     >= 2x with 4+ cores, >= 0.7x on fewer (where parallel hardware is
+#     absent and the gate only rejects the collapse that a re-introduced
+#     cross-channel shared lock causes). See docs/BENCHMARKS.md.
 # With benchstat installed and a saved baseline (cp bench_new.txt
 # bench_old.txt before a change), it also prints an old-vs-new statistical
 # comparison. See docs/BENCHMARKS.md.
@@ -73,6 +91,12 @@ bench-compare:
 	        if (ratio == "") { print "bench-compare: missing die-pipelining output"; exit 1 } \
 	        printf "die-pipelined program overlap: %.2fx\n", ratio; \
 	        if (ratio+0 < 2) { print "FAIL: multi-die program throughput regressed toward the serialized baseline"; exit 1 } \
+	      }' micro_new.txt
+	@awk '/^write-storm speedup/ { ratio=$$3; gate=$$5 } \
+	      END { \
+	        if (ratio == "") { print "bench-compare: missing write-storm output"; exit 1 } \
+	        printf "cross-channel write-storm speedup: %.2fx (gate %.2fx)\n", ratio, gate; \
+	        if (ratio+0 < gate+0) { print "FAIL: cross-channel write storm below its gate - device channels are contending on a shared lock"; exit 1 } \
 	      }' micro_new.txt
 	@if command -v benchstat >/dev/null 2>&1 && [ -f bench_old.txt ]; then \
 		benchstat bench_old.txt bench_new.txt; \

@@ -56,7 +56,7 @@ func main() {
 	flag.Parse()
 
 	if *micro {
-		if _, _, _, _, err := runMicro(); err != nil {
+		if _, err := runMicro(); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -131,6 +131,7 @@ type benchResults struct {
 	FTL        ftlResults        `json:"ftl_sharded_locks"`
 	DieOverlap dieOverlapResults `json:"die_pipelining"`
 	Queueing   queueingResults   `json:"admission_queueing"`
+	WriteStorm writeStormResults `json:"write_storm"`
 }
 
 // schedResults records the multi-tenant offload storm.
@@ -201,7 +202,7 @@ func runBench(sc workload.Scale, workers, tenants, jobs int, outPath string) err
 		return err
 	}
 
-	tr, fr, dr, qr, err := runMicro()
+	mr, err := runMicro()
 	if err != nil {
 		return err
 	}
@@ -222,10 +223,11 @@ func runBench(sc workload.Scale, workers, tenants, jobs int, outPath string) err
 		SuiteSpeedup:    float64(serialNs) / float64(parallelNs),
 		OutputIdentical: identical,
 		Scheduler:       st,
-		Trivium:         tr,
-		FTL:             fr,
-		DieOverlap:      dr,
-		Queueing:        qr,
+		Trivium:         mr.Trivium,
+		FTL:             mr.FTL,
+		DieOverlap:      mr.DieOverlap,
+		Queueing:        mr.Queueing,
+		WriteStorm:      mr.WriteStorm,
 	}
 	data, err := json.MarshalIndent(res, "", "  ")
 	if err != nil {

@@ -3,6 +3,7 @@ package core
 import (
 	"testing"
 
+	"iceclave/internal/sim"
 	"iceclave/internal/workload"
 )
 
@@ -72,5 +73,44 @@ func TestAdmissionTenantSlotsSerializeSameWorkload(t *testing.T) {
 	}
 	if results[1].QueueDelay != results[0].Total {
 		t.Fatalf("second instance queued %v, want %v", results[1].QueueDelay, results[0].Total)
+	}
+}
+
+// TestBatchedAdmissionAlignsGrantsToQuantum pins the batched-grant policy
+// end to end through RunMulti: with one slot and a grant quantum, the
+// second tenant's admission lands on the first quantum boundary at or
+// after its predecessor's completion — later than (or equal to) the
+// per-release grant, never earlier.
+func TestBatchedAdmissionAlignsGrantsToQuantum(t *testing.T) {
+	a := recordTrace(t, "Filter")
+	b := recordTrace(t, "Aggregate")
+	cfg := DefaultConfig()
+	cfg.AdmissionSlots = 1
+	perRelease, err := RunMulti([]*workload.Trace{a, b}, ModeIceClave, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const quantum = 1 * sim.Millisecond
+	cfg.AdmissionQuantum = quantum
+	cfg.AdmissionBatch = 1
+	batched, err := RunMulti([]*workload.Trace{a, b}, ModeIceClave, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First tenant: admitted at the t=0 tick in both policies.
+	if batched[0].QueueDelay != 0 {
+		t.Fatalf("first tenant queued %v under batching, want 0", batched[0].QueueDelay)
+	}
+	got := batched[1].QueueDelay
+	if got < perRelease[1].QueueDelay {
+		t.Fatalf("batched grant %v earlier than per-release %v", got, perRelease[1].QueueDelay)
+	}
+	if sim.Time(got)%sim.Time(quantum) != 0 {
+		t.Fatalf("batched grant %v not on a %v boundary", got, quantum)
+	}
+	want := (sim.Time(perRelease[1].QueueDelay) + sim.Time(quantum) - 1) / sim.Time(quantum) * sim.Time(quantum)
+	if sim.Time(got) != want {
+		t.Fatalf("batched grant %v, want first boundary %v after release %v",
+			got, want, perRelease[1].QueueDelay)
 	}
 }

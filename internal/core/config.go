@@ -118,6 +118,16 @@ type Config struct {
 	// (trace) name, the virtual-time form of sched.Config.
 	// TenantMaxInFlight. 0 means unlimited.
 	AdmissionTenantSlots int
+	// AdmissionQuantum, when positive, switches RunMulti's admission gate
+	// to batched grants: queued tenants are admitted only at multiples of
+	// the quantum on the virtual clock (controller firmware amortizing
+	// scheduling work over a periodic timer), instead of a dispatch pass
+	// on every release. 0 keeps per-release dispatch.
+	AdmissionQuantum sim.Duration
+	// AdmissionBatch caps tenants admitted per quantum tick; 0 means the
+	// tick admits everything capacity allows. Ignored unless
+	// AdmissionQuantum is set.
+	AdmissionBatch int
 	// Seed feeds address-synthesis randomness.
 	Seed uint64
 }

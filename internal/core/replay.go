@@ -506,6 +506,8 @@ func RunMulti(traces []*workload.Trace, mode Mode, cfg Config) ([]Result, error)
 	adm := sched.NewVirtualAdmission(eng, sched.VirtualConfig{
 		MaxInFlight:       cfg.AdmissionSlots,
 		TenantMaxInFlight: cfg.AdmissionTenantSlots,
+		GrantQuantum:      cfg.AdmissionQuantum,
+		GrantBatch:        cfg.AdmissionBatch,
 	})
 	tenants := make([]*tenant, len(traces))
 	for i, tr := range traces {

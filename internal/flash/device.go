@@ -3,6 +3,7 @@ package flash
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"iceclave/internal/sim"
 )
@@ -39,7 +40,8 @@ const (
 	PageInvalid                  // programmed, data superseded; needs erase
 )
 
-// Stats aggregates device activity.
+// Stats is a snapshot of the device activity counters, taken with
+// Snapshot().
 type Stats struct {
 	Reads        int64
 	Programs     int64
@@ -48,31 +50,66 @@ type Stats struct {
 	BytesWritten int64
 }
 
-// Device is a simulated NAND flash array: functional page storage plus a
-// timing model with per-die command units and per-channel bus bandwidth.
-// All operations take an arrival time and return a completion time, so
-// callers compose the device into larger discrete-event simulations.
-//
-// Device is safe for concurrent use: one mutex serializes page-state,
-// payload, and reservation updates, so N in-storage TEEs can issue
-// commands from their own goroutines. Virtual-time ordering under
-// concurrency follows lock-acquisition order.
-type Device struct {
-	mu     sync.Mutex
-	geo    Geometry
-	timing Timing
+// counters is the internal, atomically updated form of Stats: hot-path
+// accounting never extends a channel's critical section, and readers never
+// take any lock (each counter is individually atomic and monotonic; the
+// snapshot is not a cross-counter barrier — the same contract as
+// ftl.Stats).
+type counters struct {
+	reads        atomic.Int64
+	programs     atomic.Int64
+	erases       atomic.Int64
+	bytesRead    atomic.Int64
+	bytesWritten atomic.Int64
+}
 
-	state      []PageState
-	eraseCount []int32
-	data       map[PPA][]byte // sparse payload store for programmed pages
+// channelState is one channel's functional and timing shard: the page
+// states, erase counts, and payloads of the channel's contiguous PPA
+// range, plus the channel's die command units and bus server, all under
+// the channel's own lock. Operations on different channels share no lock
+// and no sim.Server, so a many-channel write storm from N concurrent
+// tenants scales with cores instead of serializing on a device-wide
+// mutex.
+type channelState struct {
+	mu         sync.Mutex
+	state      []PageState    // channel-local page index
+	eraseCount []int32        // channel-local block index
+	data       map[PPA][]byte // sparse payload store, keyed by global PPA
 
 	dies  []*sim.Server // array reads, one unit per die
 	diesW []*sim.Server // programs/erases; modern controllers suspend
 	// in-flight programs for reads, so the read path does not queue
 	// behind the much slower program operations
-	channels []*sim.Server // bus serialization per channel
+	bus *sim.Server // bus serialization for this channel
+}
 
-	stats Stats
+// Device is a simulated NAND flash array: functional page storage plus a
+// timing model with per-die command units and per-channel bus bandwidth.
+// All operations take an arrival time and return a completion time, so
+// callers compose the device into larger discrete-event simulations.
+//
+// Device is safe for concurrent use and its state is sharded by channel:
+// each operation resolves its channel from the PPA (or BlockID) and takes
+// only that channel's lock, so N in-storage TEEs pinned to different
+// channels issue commands with no mutual exclusion between them at all
+// (TestCrossChannelNoSharedLock pins this, mirroring the FTL's
+// cross-channel contract). Virtual-time ordering under concurrency
+// follows lock-acquisition order within a channel; operations on
+// different channels touch disjoint simulated resources (dies, buses,
+// pages) and are causally independent. Stats are atomic counters read
+// through Snapshot without any lock.
+type Device struct {
+	geo    Geometry
+	timing Timing
+
+	chans []channelState
+
+	pagesPerChannel  int64
+	blocksPerChannel int64
+	diesPerChannel   int
+	pagesPerDie      int64
+
+	stats counters
 }
 
 // NewDevice builds a device with the given geometry and timing. It returns
@@ -85,21 +122,26 @@ func NewDevice(geo Geometry, timing Timing) (*Device, error) {
 		return nil, fmt.Errorf("flash: channel bandwidth must be positive, got %v", timing.ChannelBandwidth)
 	}
 	d := &Device{
-		geo:        geo,
-		timing:     timing,
-		state:      make([]PageState, geo.TotalPages()),
-		eraseCount: make([]int32, geo.TotalBlocks()),
-		data:       make(map[PPA][]byte),
-		dies:       make([]*sim.Server, geo.Dies()),
-		diesW:      make([]*sim.Server, geo.Dies()),
-		channels:   make([]*sim.Server, geo.Channels),
+		geo:              geo,
+		timing:           timing,
+		chans:            make([]channelState, geo.Channels),
+		pagesPerChannel:  geo.PagesPerChannel(),
+		blocksPerChannel: geo.BlocksPerChannel(),
+		diesPerChannel:   geo.DiesPerChannel(),
+		pagesPerDie:      int64(geo.PlanesPerDie) * geo.PagesPerPlane(),
 	}
-	for i := range d.dies {
-		d.dies[i] = sim.NewServer(fmt.Sprintf("die%d", i), 1)
-		d.diesW[i] = sim.NewServer(fmt.Sprintf("die%dw", i), 1)
-	}
-	for i := range d.channels {
-		d.channels[i] = sim.NewServer(fmt.Sprintf("chan%d", i), 1)
+	for ch := range d.chans {
+		cs := &d.chans[ch]
+		cs.state = make([]PageState, d.pagesPerChannel)
+		cs.eraseCount = make([]int32, d.blocksPerChannel)
+		cs.data = make(map[PPA][]byte)
+		cs.dies = make([]*sim.Server, d.diesPerChannel)
+		cs.diesW = make([]*sim.Server, d.diesPerChannel)
+		for i := range cs.dies {
+			cs.dies[i] = sim.NewServer(fmt.Sprintf("c%dd%d", ch, i), 1)
+			cs.diesW[i] = sim.NewServer(fmt.Sprintf("c%dd%dw", ch, i), 1)
+		}
+		cs.bus = sim.NewServer(fmt.Sprintf("chan%d", ch), 1)
 	}
 	return d, nil
 }
@@ -110,26 +152,51 @@ func (d *Device) Geometry() Geometry { return d.geo }
 // Timing returns the device timing parameters.
 func (d *Device) Timing() Timing { return d.timing }
 
-// Stats returns a copy of the activity counters.
-func (d *Device) Stats() Stats {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.stats
+// Snapshot returns the activity counters. It is the only stats accessor:
+// lock-free, safe against concurrent operations on any channel.
+func (d *Device) Snapshot() Stats {
+	return Stats{
+		Reads:        d.stats.reads.Load(),
+		Programs:     d.stats.programs.Load(),
+		Erases:       d.stats.erases.Load(),
+		BytesRead:    d.stats.bytesRead.Load(),
+		BytesWritten: d.stats.bytesWritten.Load(),
+	}
+}
+
+// shardOf resolves p's channel shard and channel-local page index.
+func (d *Device) shardOf(p PPA) (*channelState, int64) {
+	return &d.chans[int64(p)/d.pagesPerChannel], int64(p) % d.pagesPerChannel
+}
+
+// blockShard resolves b's channel shard and channel-local block index.
+func (d *Device) blockShard(b BlockID) (*channelState, int64) {
+	return &d.chans[int64(b)/d.blocksPerChannel], int64(b) % d.blocksPerChannel
+}
+
+// localDie returns the channel-local die index of the channel-local page
+// lp. Dies are the next dimension inside a channel (the layout is
+// channel > chip > die > plane > block > page), so this is one division —
+// the hot paths never pay a full address decomposition.
+func (d *Device) localDie(lp int64) int {
+	return int(lp / d.pagesPerDie)
 }
 
 // State returns the lifecycle state of page p.
 func (d *Device) State(p PPA) PageState {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.state[p]
+	cs, lp := d.shardOf(p)
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	return cs.state[lp]
 }
 
 // EraseCount returns how many times p's block has been erased (the wear
 // figure used by wear leveling).
 func (d *Device) EraseCount(b BlockID) int {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return int(d.eraseCount[b])
+	cs, lb := d.blockShard(b)
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	return int(cs.eraseCount[lb])
 }
 
 func (d *Device) checkPPA(p PPA) error {
@@ -159,16 +226,17 @@ func (d *Device) Read(at sim.Time, p PPA) (done sim.Time, data []byte, err error
 	if err := d.checkPPA(p); err != nil {
 		return at, nil, err
 	}
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if d.state[p] == PageFree {
+	cs, lp := d.shardOf(p)
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	if cs.state[lp] == PageFree {
 		return at, nil, fmt.Errorf("flash: read of free page %d", p)
 	}
-	_, arrayDone := d.dies[d.geo.DieIndex(p)].Acquire(at, d.timing.ReadLatency)
-	_, done = d.channels[d.geo.ChannelOf(p)].Acquire(arrayDone, d.transferTime())
-	d.stats.Reads++
-	d.stats.BytesRead += int64(d.geo.PageSize)
-	return done, d.data[p], nil
+	_, arrayDone := cs.dies[d.localDie(lp)].Acquire(at, d.timing.ReadLatency)
+	_, done = cs.bus.Acquire(arrayDone, d.transferTime())
+	d.stats.reads.Add(1)
+	d.stats.bytesRead.Add(int64(d.geo.PageSize))
+	return done, cs.data[p], nil
 }
 
 // Program writes data into page p (out-of-place write discipline: the page
@@ -179,22 +247,23 @@ func (d *Device) Program(at sim.Time, p PPA, data []byte) (done sim.Time, err er
 	if err := d.checkPPA(p); err != nil {
 		return at, err
 	}
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if d.state[p] != PageFree {
-		return at, fmt.Errorf("flash: program of non-free page %d (state %d)", p, d.state[p])
+	cs, lp := d.shardOf(p)
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	if cs.state[lp] != PageFree {
+		return at, fmt.Errorf("flash: program of non-free page %d (state %d)", p, cs.state[lp])
 	}
 	if len(data) > d.geo.PageSize {
 		return at, fmt.Errorf("flash: payload %d bytes exceeds page size %d", len(data), d.geo.PageSize)
 	}
-	_, busDone := d.channels[d.geo.ChannelOf(p)].Acquire(at, d.transferTime())
-	_, done = d.diesW[d.geo.DieIndex(p)].Acquire(busDone, d.timing.ProgramLatency)
-	d.state[p] = PageValid
+	_, busDone := cs.bus.Acquire(at, d.transferTime())
+	_, done = cs.diesW[d.localDie(lp)].Acquire(busDone, d.timing.ProgramLatency)
+	cs.state[lp] = PageValid
 	if data != nil {
-		d.data[p] = append([]byte(nil), data...)
+		cs.data[p] = append([]byte(nil), data...)
 	}
-	d.stats.Programs++
-	d.stats.BytesWritten += int64(d.geo.PageSize)
+	d.stats.programs.Add(1)
+	d.stats.bytesWritten.Add(int64(d.geo.PageSize))
 	return done, nil
 }
 
@@ -204,13 +273,14 @@ func (d *Device) Invalidate(p PPA) error {
 	if err := d.checkPPA(p); err != nil {
 		return err
 	}
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if d.state[p] != PageValid {
-		return fmt.Errorf("flash: invalidate of non-valid page %d (state %d)", p, d.state[p])
+	cs, lp := d.shardOf(p)
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	if cs.state[lp] != PageValid {
+		return fmt.Errorf("flash: invalidate of non-valid page %d (state %d)", p, cs.state[lp])
 	}
-	d.state[p] = PageInvalid
-	delete(d.data, p)
+	cs.state[lp] = PageInvalid
+	delete(cs.data, p)
 	return nil
 }
 
@@ -221,34 +291,35 @@ func (d *Device) Erase(at sim.Time, b BlockID) (done sim.Time, err error) {
 	if int64(b) >= d.geo.TotalBlocks() {
 		return at, fmt.Errorf("flash: block %d out of range", b)
 	}
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	cs, lb := d.blockShard(b)
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
 	first := d.geo.FirstPage(b)
+	_, lfirst := d.shardOf(first)
 	for i := 0; i < d.geo.PagesPerBlock; i++ {
-		p := first + PPA(i)
-		if d.state[p] == PageValid {
-			return at, fmt.Errorf("flash: erase of block %d with valid page %d", b, p)
+		if cs.state[lfirst+int64(i)] == PageValid {
+			return at, fmt.Errorf("flash: erase of block %d with valid page %d", b, first+PPA(i))
 		}
 	}
 	for i := 0; i < d.geo.PagesPerBlock; i++ {
-		p := first + PPA(i)
-		d.state[p] = PageFree
-		delete(d.data, p)
+		cs.state[lfirst+int64(i)] = PageFree
+		delete(cs.data, first+PPA(i))
 	}
-	_, done = d.diesW[d.geo.DieIndex(first)].Acquire(at, d.timing.EraseLatency)
-	d.eraseCount[b]++
-	d.stats.Erases++
+	_, done = cs.diesW[d.localDie(lfirst)].Acquire(at, d.timing.EraseLatency)
+	cs.eraseCount[lb]++
+	d.stats.erases.Add(1)
 	return done, nil
 }
 
 // ValidPages returns the number of valid pages in block b.
 func (d *Device) ValidPages(b BlockID) int {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	first := d.geo.FirstPage(b)
+	cs, _ := d.blockShard(b)
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	_, lfirst := d.shardOf(d.geo.FirstPage(b))
 	n := 0
 	for i := 0; i < d.geo.PagesPerBlock; i++ {
-		if d.state[first+PPA(i)] == PageValid {
+		if cs.state[lfirst+int64(i)] == PageValid {
 			n++
 		}
 	}
@@ -258,9 +329,10 @@ func (d *Device) ValidPages(b BlockID) int {
 // ChannelBusy returns the accumulated busy time of channel ch, for
 // bandwidth-utilization reporting.
 func (d *Device) ChannelBusy(ch int) sim.Duration {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.channels[ch].Busy()
+	cs := &d.chans[ch]
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	return cs.bus.Busy()
 }
 
 // InternalBandwidth returns the aggregate internal bandwidth in bytes/sec
@@ -271,17 +343,24 @@ func (d *Device) InternalBandwidth() float64 {
 
 // ResetTiming clears the timing reservations and stats while keeping page
 // contents, letting one populated device serve several timing experiments.
+// It locks one channel at a time; quiesce concurrent operations first if a
+// cross-channel consistent reset matters.
 func (d *Device) ResetTiming() {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	for _, s := range d.dies {
-		s.Reset()
+	for ch := range d.chans {
+		cs := &d.chans[ch]
+		cs.mu.Lock()
+		for _, s := range cs.dies {
+			s.Reset()
+		}
+		for _, s := range cs.diesW {
+			s.Reset()
+		}
+		cs.bus.Reset()
+		cs.mu.Unlock()
 	}
-	for _, s := range d.diesW {
-		s.Reset()
-	}
-	for _, s := range d.channels {
-		s.Reset()
-	}
-	d.stats = Stats{}
+	d.stats.reads.Store(0)
+	d.stats.programs.Store(0)
+	d.stats.erases.Store(0)
+	d.stats.bytesRead.Store(0)
+	d.stats.bytesWritten.Store(0)
 }

@@ -166,7 +166,7 @@ func TestStats(t *testing.T) {
 	d.Read(0, 0)
 	d.Invalidate(0)
 	d.Erase(0, 0)
-	s := d.Stats()
+	s := d.Snapshot()
 	if s.Programs != 1 || s.Reads != 1 || s.Erases != 1 {
 		t.Fatalf("stats = %+v", s)
 	}

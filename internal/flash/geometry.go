@@ -7,7 +7,11 @@
 // Concurrency contract: Device is safe for concurrent use and is the leaf
 // of the SSD lock hierarchy — it takes no other lock, so any layer may
 // call into it while holding its own (the FTL's channel shards and
-// mapping stripes do exactly that). Geometry and Timing are plain values.
+// mapping stripes do exactly that). The device's functional state is
+// sharded by channel: every operation locks only the channel its PPA or
+// BlockID resolves to, so operations on different channels share no lock
+// (stats are lock-free atomics read via Snapshot). Geometry and Timing
+// are plain values.
 package flash
 
 import "fmt"
@@ -78,6 +82,22 @@ func (g Geometry) Capacity() int64 { return g.TotalPages() * int64(g.PageSize) }
 // PagesPerPlane returns the number of pages in one plane.
 func (g Geometry) PagesPerPlane() int64 { return int64(g.BlocksPerPlane) * int64(g.PagesPerBlock) }
 
+// DiesPerChannel returns the number of dies behind one channel.
+func (g Geometry) DiesPerChannel() int { return g.ChipsPerChannel * g.DiesPerChip }
+
+// PagesPerChannel returns the number of pages behind one channel. The
+// linear PPA layout is channel-major, so channel ch owns the contiguous
+// PPA range [ch*PagesPerChannel, (ch+1)*PagesPerChannel).
+func (g Geometry) PagesPerChannel() int64 {
+	return int64(g.DiesPerChannel()) * int64(g.PlanesPerDie) * g.PagesPerPlane()
+}
+
+// BlocksPerChannel returns the number of erase blocks behind one channel;
+// like pages, a channel's BlockIDs are one contiguous range.
+func (g Geometry) BlocksPerChannel() int64 {
+	return g.PagesPerChannel() / int64(g.PagesPerBlock)
+}
+
 // Addr is a decomposed physical page address.
 type Addr struct {
 	Channel, Chip, Die, Plane, Block, Page int
@@ -125,8 +145,10 @@ func (g Geometry) FirstPage(b BlockID) PPA {
 	return PPA(int64(b) * int64(g.PagesPerBlock))
 }
 
-// ChannelOf returns the channel that p's die hangs off.
-func (g Geometry) ChannelOf(p PPA) int { return g.Decompose(p).Channel }
+// ChannelOf returns the channel that p's die hangs off. Channel is the
+// outermost dimension of the linear layout, so this is a single division
+// (equal to Decompose(p).Channel, without materializing the full Addr).
+func (g Geometry) ChannelOf(p PPA) int { return int(int64(p) / g.PagesPerChannel()) }
 
 // DieIndex returns the linear die index of p (for die-busy accounting).
 func (g Geometry) DieIndex(p PPA) int {

@@ -7,7 +7,10 @@
 //
 // Concurrency contract: FTL is safe for concurrent use under a sharded,
 // two-level lock hierarchy (see the FTL type comment and ARCHITECTURE.md);
-// tenants writing to different channels do not contend on any shared lock.
+// tenants writing to different channels do not contend on any shared lock
+// — and since the flash.Device leaf is itself channel-sharded, that
+// isolation extends through the device: GC or a write storm on one
+// channel takes no lock an operation on another channel can touch.
 // MappingCache is not safe for concurrent use and is serialized by its
 // owner (the tee.Runtime lock).
 package ftl
@@ -180,7 +183,10 @@ type mappingStripe struct {
 // Channels, every stripe's LPAs live on exactly one channel, and an LPA's
 // pages never migrate across channels — so each operation touches one
 // shard and one stripe, and tenants pinned to different channels share no
-// FTL lock (the flash.Device leaf mutex below remains device-wide).
+// FTL lock. The flash.Device below is sharded by channel the same way,
+// so cross-channel tenants share no lock at ANY layer of the stack: an
+// operation's whole lock footprint (shard, stripe, device channel) lives
+// on its one channel.
 //
 // Lock order: channel shard first, then mapping stripe; stripe holders
 // never acquire a shard. The write path is pipelined in three phases

@@ -1,0 +1,147 @@
+package sched
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// waitWorkersIdle polls until n workers are parked in cond.Wait, the
+// quiescent state the affinity tests need between submissions (a worker
+// retires its job slightly before it re-parks, so handle completion alone
+// is not enough).
+func waitWorkersIdle(t *testing.T, s *Scheduler, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		s.mu.Lock()
+		idle := 0
+		for _, v := range s.idle {
+			if v {
+				idle++
+			}
+		}
+		s.mu.Unlock()
+		if idle >= n {
+			return
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	t.Fatalf("workers never went idle (want %d)", n)
+}
+
+// TestCacheAffineDispatchKeepsHotTenantOnItsWorker is the deterministic
+// pin for cache-affine dispatch: with a 2-worker pool fully idle, a hot
+// tenant's next job must land on the worker that last ran that tenant,
+// every time — a non-preferred worker that wins the race to the queue
+// declines the job because the warm worker is free.
+func TestCacheAffineDispatchKeepsHotTenantOnItsWorker(t *testing.T) {
+	s := New(Config{Workers: 2, TenantMaxInFlight: 1, MaxInFlight: 4})
+	defer s.Close(context.Background())
+
+	run := func() int {
+		h, err := s.Submit("hot", PriorityNormal, func(context.Context) error { return nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := h.Wait(); err != nil {
+			t.Fatal(err)
+		}
+		return s.TenantStats("hot").LastWorker
+	}
+
+	waitWorkersIdle(t, s, 2)
+	home := run()
+	if home < 0 || home > 1 {
+		t.Fatalf("first job reported worker %d", home)
+	}
+	for i := 0; i < 50; i++ {
+		waitWorkersIdle(t, s, 2) // both workers free: affinity must decide
+		if got := run(); got != home {
+			t.Fatalf("round %d: hot tenant moved from worker %d to %d with both workers free",
+				i, home, got)
+		}
+	}
+}
+
+// TestAffinityFallsBackWhenPreferredWorkerBusy pins work conservation:
+// when the hot tenant's preferred worker is occupied, the other worker
+// takes the job instead of letting it wait for warmth.
+func TestAffinityFallsBackWhenPreferredWorkerBusy(t *testing.T) {
+	s := New(Config{Workers: 2, TenantMaxInFlight: 1, MaxInFlight: 4})
+	defer s.Close(context.Background())
+
+	// Pin down the hot tenant's home worker.
+	h, err := s.Submit("hot", PriorityNormal, func(context.Context) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	home := s.TenantStats("hot").LastWorker
+
+	// Occupy BOTH workers with blockers, then free only the non-home one:
+	// the home worker stays provably busy while a worker is free for the
+	// hot job.
+	waitWorkersIdle(t, s, 2)
+	releases := [2]chan struct{}{make(chan struct{}), make(chan struct{})}
+	handles := [2]*Handle{}
+	for i := 0; i < 2; i++ {
+		i := i
+		tenant := "blocker-" + string(rune('a'+i))
+		bh, err := s.Submit(tenant, PriorityNormal, func(context.Context) error {
+			<-releases[i]
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles[i] = bh
+		deadline := time.Now().Add(5 * time.Second)
+		for s.TenantStats(tenant).LastWorker < 0 {
+			if time.Now().After(deadline) {
+				t.Fatal("blocker never started")
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+	onHome := 0 // index of the blocker running on the home worker
+	if s.TenantStats("blocker-b").LastWorker == home {
+		onHome = 1
+	}
+	if got := s.TenantStats("blocker-" + string(rune('a'+onHome))).LastWorker; got != home {
+		t.Fatalf("neither blocker on home worker %d (got %d and %d)", home,
+			s.TenantStats("blocker-a").LastWorker, s.TenantStats("blocker-b").LastWorker)
+	}
+	homeRelease, homeHandle := releases[onHome], handles[onHome]
+	close(releases[1-onHome])
+	if err := handles[1-onHome].Wait(); err != nil {
+		t.Fatal(err)
+	}
+	waitWorkersIdle(t, s, 1) // the non-home worker re-parks; home still blocked
+
+	hh, err := s.Submit("hot", PriorityNormal, func(context.Context) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- hh.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("hot job starved waiting for its busy preferred worker: dispatch is not work-conserving")
+	}
+	if got := s.TenantStats("hot").LastWorker; got == home {
+		// Only possible if home freed first, which it cannot: its blocker
+		// still holds the release channel.
+		t.Fatalf("hot job reports home worker %d while home was blocked", got)
+	}
+	close(homeRelease)
+	if err := homeHandle.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -18,6 +18,12 @@
 //   - Jobs queue FIFO within three priority bands; dispatch is
 //     work-conserving: a job whose tenant is at its cap is skipped, not
 //     head-of-line blocking the band.
+//   - Dispatch is cache-affine: a tenant's next job prefers the worker
+//     that last ran that tenant (its working set is warm in that core's
+//     cache, mirroring controller core affinity). An idle preferred
+//     worker is left to claim its tenant's job; a busy one is not waited
+//     for — any free worker takes the job, keeping dispatch
+//     work-conserving.
 //   - Graceful drain: Drain stops admission and waits for the queues and
 //     workers to empty; Close additionally stops the workers.
 //   - Per-tenant metering: submissions, completions, failures,
@@ -123,6 +129,10 @@ type TenantStats struct {
 	RunTime time.Duration
 	// MaxInFlight is the high-water mark of concurrently running jobs.
 	MaxInFlight int
+	// LastWorker is the pool worker (0..Workers-1) that most recently
+	// started one of the tenant's jobs — the cache-affinity target; -1
+	// until the tenant's first job runs.
+	LastWorker int
 }
 
 // Stats aggregates scheduler-wide counters.
@@ -183,6 +193,7 @@ type Scheduler struct {
 	queued   int
 	running  int
 	tenants  map[string]*tenantState
+	idle     []bool // idle[w]: worker w is parked in cond.Wait
 	stats    Stats
 	draining bool
 	stopped  bool
@@ -200,10 +211,11 @@ func New(cfg Config) *Scheduler {
 		tenants: make(map[string]*tenantState),
 	}
 	s.cond = sync.NewCond(&s.mu)
+	s.idle = make([]bool, cfg.Workers)
 	s.ctx, s.cancel = context.WithCancel(context.Background())
 	s.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
-		go s.worker()
+		go s.worker(i)
 	}
 	return s
 }
@@ -216,6 +228,7 @@ func (s *Scheduler) tenant(name string) *tenantState {
 	ts, ok := s.tenants[name]
 	if !ok {
 		ts = &tenantState{}
+		ts.stats.LastWorker = -1
 		s.tenants[name] = ts
 	}
 	return ts
@@ -252,14 +265,23 @@ func (s *Scheduler) Submit(tenant string, prio Priority, fn Job) (*Handle, error
 	s.queued++
 	ts.stats.Submitted++
 	s.stats.Submitted++
-	s.cond.Signal()
+	// Broadcast, not Signal: the cache-affine skip rule means the first
+	// worker woken may decline the job in favour of its idle preferred
+	// worker, which must itself wake to claim it.
+	s.cond.Broadcast()
 	return j.handle, nil
 }
 
-// next pops the highest-priority FIFO job whose tenant is below its
-// in-flight cap, honoring the global cap. Caller holds s.mu. Returns nil
-// when nothing is runnable right now.
-func (s *Scheduler) next() *job {
+// next pops the highest-priority FIFO job runnable by worker w: the
+// tenant must be below its in-flight cap (global cap honored), and a job
+// whose tenant last ran on a *different, currently idle* worker is left
+// for that worker to claim — its caches are warm there, and leaving it
+// costs no throughput because the preferred worker is free and awake (the
+// submit/retire broadcasts wake every parked worker). If the preferred
+// worker is busy, any worker takes the job: affinity never outweighs work
+// conservation. Caller holds s.mu. Returns nil when nothing is runnable
+// by this worker right now.
+func (s *Scheduler) next(w int) *job {
 	if s.running >= s.cfg.MaxInFlight {
 		return nil
 	}
@@ -270,6 +292,9 @@ func (s *Scheduler) next() *job {
 			if ts.inflight >= s.cfg.TenantMaxInFlight {
 				continue // admission: tenant at cap; try later jobs
 			}
+			if pref := ts.stats.LastWorker; pref >= 0 && pref != w && s.idle[pref] {
+				continue // cache affinity: the warm worker is free; let it claim
+			}
 			s.queues[p] = append(q[:i:i], q[i+1:]...)
 			return j
 		}
@@ -277,27 +302,38 @@ func (s *Scheduler) next() *job {
 	return nil
 }
 
-// worker executes jobs until the scheduler stops.
-func (s *Scheduler) worker() {
+// worker executes jobs until the scheduler stops. id is the worker's
+// stable index, the unit of cache affinity.
+func (s *Scheduler) worker(id int) {
 	defer s.wg.Done()
 	for {
 		s.mu.Lock()
 		var j *job
 		for {
-			j = s.next()
+			j = s.next(id)
 			if j != nil || s.stopped {
 				break
 			}
+			s.idle[id] = true
 			s.cond.Wait()
+			s.idle[id] = false
 		}
 		if j == nil { // stopped with nothing runnable
 			s.mu.Unlock()
 			return
 		}
 		ts := s.tenant(j.tenant)
+		ts.stats.LastWorker = id
 		s.queued--
 		s.running++
 		ts.inflight++
+		if s.queued > 0 {
+			// Claiming this job may have turned a previously-skipped job
+			// runnable-by-anyone (its preferred worker is us, and we are
+			// now busy): re-wake parked workers so none of them sits idle
+			// next to a runnable job.
+			s.cond.Broadcast()
+		}
 		if ts.inflight > ts.stats.MaxInFlight {
 			ts.stats.MaxInFlight = ts.inflight
 		}
@@ -409,7 +445,7 @@ func (s *Scheduler) TenantStats(tenant string) TenantStats {
 	if ts, ok := s.tenants[tenant]; ok {
 		return ts.stats
 	}
-	return TenantStats{}
+	return TenantStats{LastWorker: -1}
 }
 
 // Tenants returns the per-tenant metering records keyed by tenant name.

@@ -27,6 +27,16 @@ type VirtualConfig struct {
 	// TenantMaxInFlight caps concurrently running jobs per tenant key.
 	// Non-positive means unlimited.
 	TenantMaxInFlight int
+	// GrantQuantum, when positive, switches the gate from per-release
+	// dispatch to batched grants: admissions fire only at multiples of
+	// the quantum on the virtual clock, modelling controller firmware
+	// that amortizes scheduling over a periodic timer instead of taking
+	// a scheduling pass on every completion.
+	GrantQuantum sim.Duration
+	// GrantBatch caps how many queued tenants one quantum tick admits;
+	// non-positive means the tick admits everything capacity allows.
+	// Ignored unless GrantQuantum is set.
+	GrantBatch int
 }
 
 // VirtualAdmission is the sim-backed admission resource: Submit queues a
@@ -41,7 +51,12 @@ type VirtualAdmission struct {
 // priority bands.
 func NewVirtualAdmission(eng *sim.Engine, cfg VirtualConfig) *VirtualAdmission {
 	return &VirtualAdmission{
-		adm: sim.NewAdmission(eng, int(numPriorities), cfg.MaxInFlight, cfg.TenantMaxInFlight),
+		adm: sim.NewAdmissionWithPolicy(eng, int(numPriorities), sim.Policy{
+			Slots:   cfg.MaxInFlight,
+			PerKey:  cfg.TenantMaxInFlight,
+			Quantum: cfg.GrantQuantum,
+			Batch:   cfg.GrantBatch,
+		}),
 	}
 }
 
@@ -68,3 +83,7 @@ func (v *VirtualAdmission) Running() int { return v.adm.Running() }
 
 // Waited returns the total simulated queueing delay across admitted jobs.
 func (v *VirtualAdmission) Waited() sim.Duration { return v.adm.Waited() }
+
+// Ticks returns how many batched scheduling passes have run (zero in
+// per-release mode).
+func (v *VirtualAdmission) Ticks() int64 { return v.adm.Ticks() }

@@ -13,21 +13,51 @@ package sim
 // a band, and work-conserving — a queued ticket whose key is at its cap is
 // skipped rather than head-of-line blocking the band.
 //
+// Two grant policies exist. Per-release (the default) dispatches the
+// moment capacity frees, the behaviour of firmware that reschedules on
+// every completion interrupt. Batched-grant mode (Policy.Quantum > 0)
+// instead aligns every grant to quantum tick boundaries and admits at
+// most Policy.Batch queued tickets per tick — the model of controller
+// firmware that amortizes its scheduling work over a periodic timer
+// instead of taking a scheduling pass per completion. Batching trades
+// queueing delay (a freed slot waits for the next tick) for scheduler
+// invocations (Ticks counts them).
+//
 // Like Server, Admission is single-goroutine by the package contract; all
 // concurrency it models is virtual.
 type Admission struct {
-	eng    *Engine
-	bands  [][]*Ticket
-	slots  int // global concurrent-grant cap; <= 0 means unlimited
-	perKey int // per-key concurrent-grant cap; <= 0 means unlimited
+	eng     *Engine
+	bands   [][]*Ticket
+	slots   int      // global concurrent-grant cap; <= 0 means unlimited
+	perKey  int      // per-key concurrent-grant cap; <= 0 means unlimited
+	quantum Duration // > 0 switches to batched-grant mode
+	batch   int      // max grants per quantum tick; <= 0 means unlimited
 
-	inUse int
-	byKey map[string]int
+	inUse       int
+	byKey       map[string]int
+	tickPending bool
 
 	granted   int64
 	waited    Duration
 	maxQueued int
 	queued    int
+	ticks     int64
+}
+
+// Policy bundles the admission gate's capacity and grant-batching knobs.
+// The zero value means unlimited capacity with per-release dispatch.
+type Policy struct {
+	// Slots is the global concurrent-grant cap; <= 0 means unlimited.
+	Slots int
+	// PerKey is the per-key concurrent-grant cap; <= 0 means unlimited.
+	PerKey int
+	// Quantum, when positive, enables batched-grant mode: grants fire
+	// only at multiples of Quantum on the virtual clock.
+	Quantum Duration
+	// Batch caps grants per quantum tick; <= 0 means no per-tick cap
+	// (the tick then admits everything capacity allows, still aligned to
+	// the quantum). Ignored unless Quantum is set.
+	Batch int
 }
 
 // Ticket is one admission request. Submitted and Granted expose the
@@ -52,10 +82,17 @@ func (t *Ticket) Waited() Duration {
 	return t.Granted - t.Submitted
 }
 
-// NewAdmission builds a gate with the given number of priority bands
-// (band bands-1 is the highest), a global slot cap, and a per-key cap.
-// Non-positive caps mean unlimited. It panics if bands < 1 or eng is nil.
+// NewAdmission builds a per-release-dispatch gate with the given number
+// of priority bands (band bands-1 is the highest), a global slot cap, and
+// a per-key cap. Non-positive caps mean unlimited. It panics if bands < 1
+// or eng is nil.
 func NewAdmission(eng *Engine, bands, slots, perKey int) *Admission {
+	return NewAdmissionWithPolicy(eng, bands, Policy{Slots: slots, PerKey: perKey})
+}
+
+// NewAdmissionWithPolicy builds a gate with the full policy, including
+// the batched-grant mode. It panics if bands < 1 or eng is nil.
+func NewAdmissionWithPolicy(eng *Engine, bands int, pol Policy) *Admission {
 	if eng == nil {
 		panic("sim: NewAdmission needs an engine")
 	}
@@ -63,11 +100,13 @@ func NewAdmission(eng *Engine, bands, slots, perKey int) *Admission {
 		panic("sim: NewAdmission needs at least one band")
 	}
 	return &Admission{
-		eng:    eng,
-		bands:  make([][]*Ticket, bands),
-		slots:  slots,
-		perKey: perKey,
-		byKey:  make(map[string]int),
+		eng:     eng,
+		bands:   make([][]*Ticket, bands),
+		slots:   pol.Slots,
+		perKey:  pol.PerKey,
+		quantum: pol.Quantum,
+		batch:   pol.Batch,
+		byKey:   make(map[string]int),
 	}
 }
 
@@ -102,7 +141,7 @@ func (a *Admission) Submit(at Time, key string, band int, fn func(granted Time))
 		panic("sim: admission band out of range")
 	}
 	t := &Ticket{Key: key, Band: band, Submitted: at, fn: fn}
-	if a.admissible(key) {
+	if a.quantum <= 0 && a.admissible(key) {
 		a.grant(t, at)
 		return t
 	}
@@ -111,7 +150,58 @@ func (a *Admission) Submit(at Time, key string, band int, fn func(granted Time))
 	if a.queued > a.maxQueued {
 		a.maxQueued = a.queued
 	}
+	if a.quantum > 0 && a.admissible(key) {
+		// Batched mode: even an immediately admissible ticket waits for
+		// the scheduler tick (which may be this very instant if at lies
+		// on a quantum boundary).
+		a.scheduleTick(a.nextTick(at))
+	}
 	return t
+}
+
+// nextTick returns the first quantum boundary at or after at.
+func (a *Admission) nextTick(at Time) Time {
+	q := Time(a.quantum)
+	return (at + q - 1) / q * q
+}
+
+// scheduleTick arms the (single) pending grant tick at the given time.
+func (a *Admission) scheduleTick(tick Time) {
+	if a.tickPending {
+		return
+	}
+	a.tickPending = true
+	a.eng.At(tick, func(now Time) {
+		a.tickPending = false
+		a.grantTick(now)
+	})
+}
+
+// grantTick is one batched scheduling pass: admit up to batch queued
+// tickets at the tick instant. If the per-tick batch cap — not
+// capacity — is what stopped the pass, the next tick is armed; otherwise
+// the queue drains further only when a Release frees capacity.
+func (a *Admission) grantTick(now Time) {
+	a.ticks++
+	n := a.dispatchUpTo(now, a.batch)
+	if a.batch > 0 && n >= a.batch && a.anyAdmissible() {
+		a.scheduleTick(now + Time(a.quantum))
+	}
+}
+
+// anyAdmissible reports whether some queued ticket could be granted right
+// now — the guard that keeps a batch-capped tick from arming a follow-up
+// tick no queued ticket could use (capacity-blocked tickets are re-armed
+// by the Release that unblocks them instead).
+func (a *Admission) anyAdmissible() bool {
+	for _, q := range a.bands {
+		for _, t := range q {
+			if a.admissible(t.Key) {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // Release retires a granted ticket at virtual time at and grants every
@@ -127,18 +217,35 @@ func (a *Admission) Release(t *Ticket, at Time) {
 	if a.byKey[t.Key] == 0 {
 		delete(a.byKey, t.Key)
 	}
+	if a.quantum > 0 {
+		// Batched mode: the freed capacity is picked up at the next
+		// scheduler tick, not here.
+		if a.queued > 0 {
+			a.scheduleTick(a.nextTick(at))
+		}
+		return
+	}
 	a.dispatch(at)
 }
 
-// dispatch grants queued tickets while capacity allows: highest band
-// first, FIFO within a band, skipping (not blocking on) keys at their cap.
-func (a *Admission) dispatch(at Time) {
+// dispatch grants queued tickets while capacity allows.
+func (a *Admission) dispatch(at Time) { a.dispatchUpTo(at, 0) }
+
+// dispatchUpTo is the one dispatch loop both grant policies share: grant
+// queued tickets — highest band first, FIFO within a band, skipping (not
+// blocking on) keys at their cap — until capacity runs out or max grants
+// have fired (max <= 0 means no grant limit). It returns the number of
+// grants made.
+func (a *Admission) dispatchUpTo(at Time, max int) int {
+	n := 0
 	for b := len(a.bands) - 1; b >= 0; b-- {
 		q := a.bands[b]
 		for i := 0; i < len(q); {
+			if max > 0 && n >= max {
+				break
+			}
 			if a.slots > 0 && a.inUse >= a.slots {
-				a.bands[b] = q
-				return
+				break
 			}
 			t := q[i]
 			if !a.admissible(t.Key) {
@@ -148,9 +255,11 @@ func (a *Admission) dispatch(at Time) {
 			q = append(q[:i:i], q[i+1:]...)
 			a.queued--
 			a.grant(t, at)
+			n++
 		}
 		a.bands[b] = q
 	}
+	return n
 }
 
 // Pending returns the number of queued (not yet granted) tickets.
@@ -167,3 +276,7 @@ func (a *Admission) Waited() Duration { return a.waited }
 
 // MaxQueued returns the high-water mark of the admission queue.
 func (a *Admission) MaxQueued() int { return a.maxQueued }
+
+// Ticks returns how many batched scheduling passes have run; always zero
+// in per-release mode, where every Release is its own dispatch.
+func (a *Admission) Ticks() int64 { return a.ticks }

@@ -135,3 +135,104 @@ func TestAdmissionFIFOWithinBand(t *testing.T) {
 		t.Fatalf("max queued %d, want 3", a.MaxQueued())
 	}
 }
+
+// TestBatchedGrantsTickAligned pins batched-grant mode's core rule: with
+// quantum q and batch K, tickets submitted at t=0 are admitted K per tick
+// at t = 0, q, 2q, ... instead of all at once.
+func TestBatchedGrantsTickAligned(t *testing.T) {
+	eng := &Engine{}
+	a := NewAdmissionWithPolicy(eng, 1, Policy{Quantum: 1000, Batch: 2})
+	grants := make(map[string]Time)
+	for _, key := range []string{"a", "b", "c", "d", "e"} {
+		key := key
+		a.Submit(0, key, 0, func(now Time) { grants[key] = now })
+	}
+	eng.Run()
+	want := map[string]Time{"a": 0, "b": 0, "c": 1000, "d": 1000, "e": 2000}
+	for key, at := range want {
+		if grants[key] != at {
+			t.Fatalf("grants = %v, want %v", grants, want)
+		}
+	}
+	if a.Ticks() != 3 {
+		t.Fatalf("ticks = %d, want 3", a.Ticks())
+	}
+}
+
+// TestBatchedReleaseWaitsForTick pins the per-release vs batched
+// difference: capacity freed mid-quantum is handed out at the next tick
+// boundary, not at the release instant.
+func TestBatchedReleaseWaitsForTick(t *testing.T) {
+	eng := &Engine{}
+	a := NewAdmissionWithPolicy(eng, 1, Policy{Slots: 1, Quantum: 1000, Batch: 1})
+	var t1, t2 Time = -1, -1
+	tk1 := a.Submit(0, "a", 0, func(now Time) { t1 = now })
+	a.Submit(0, "b", 0, func(now Time) { t2 = now })
+	eng.Run()
+	if t1 != 0 || t2 != -1 {
+		t.Fatalf("before release: t1=%v t2=%v", t1, t2)
+	}
+	a.Release(tk1, 1500)
+	eng.Run()
+	if t2 != 2000 {
+		t.Fatalf("queued grant at %v, want next tick 2000 (release was 1500)", t2)
+	}
+}
+
+// TestBatchedUnlimitedBatchStillTickAligned pins Batch <= 0 semantics: a
+// tick admits everything capacity allows, but off-boundary submissions
+// still wait for the boundary.
+func TestBatchedUnlimitedBatchStillTickAligned(t *testing.T) {
+	eng := &Engine{}
+	a := NewAdmissionWithPolicy(eng, 1, Policy{Quantum: 1000})
+	grants := make(map[string]Time)
+	for _, key := range []string{"a", "b", "c"} {
+		key := key
+		a.Submit(300, key, 0, func(now Time) { grants[key] = now })
+	}
+	eng.Run()
+	for _, key := range []string{"a", "b", "c"} {
+		if grants[key] != 1000 {
+			t.Fatalf("grants = %v, want all at the 1000 boundary", grants)
+		}
+	}
+	if a.Ticks() != 1 {
+		t.Fatalf("ticks = %d, want 1", a.Ticks())
+	}
+}
+
+// TestBatchedKeepsBandPriorityAndWorkConservation pins that a batched
+// tick dispatches with the same policy as per-release mode: highest band
+// first, capped keys skipped rather than head-of-line blocking.
+func TestBatchedKeepsBandPriorityAndWorkConservation(t *testing.T) {
+	eng := &Engine{}
+	a := NewAdmissionWithPolicy(eng, 3, Policy{Slots: 2, PerKey: 1, Quantum: 1000, Batch: 2})
+	var order []string
+	note := func(key string) func(Time) {
+		return func(Time) { order = append(order, key) }
+	}
+	a.Submit(0, "a", 0, note("a-low"))
+	a.Submit(0, "a", 2, note("a-high"))
+	a.Submit(0, "b", 1, note("b-mid"))
+	eng.Run()
+	// One tick: a-high (band 2), then b-mid (band 1); a-low is skipped —
+	// its key is at the per-key cap — not head-of-line blocking b.
+	if len(order) != 2 || order[0] != "a-high" || order[1] != "b-mid" {
+		t.Fatalf("granted %v, want a-high then b-mid", order)
+	}
+}
+
+// TestPerReleaseModeHasNoTicks pins that the default policy is untouched
+// by the batching machinery.
+func TestPerReleaseModeHasNoTicks(t *testing.T) {
+	eng := &Engine{}
+	a := NewAdmission(eng, 1, 1, 0)
+	tk1 := a.Submit(0, "a", 0, func(Time) {})
+	a.Submit(0, "b", 0, func(Time) {})
+	eng.Run()
+	a.Release(tk1, 777)
+	eng.Run()
+	if a.Ticks() != 0 {
+		t.Fatalf("ticks = %d, want 0 in per-release mode", a.Ticks())
+	}
+}
