@@ -4,7 +4,7 @@ GO ?= go
 # for significance when comparing against a saved baseline).
 BENCH_COUNT ?= 1
 
-.PHONY: all build fmt-check vet test race race-shard ci bench bench-compare micro fuzz
+.PHONY: all build fmt-check vet test race race-shard ci bench bench-compare micro fuzz profile
 
 all: build
 
@@ -51,12 +51,21 @@ ci: fmt-check build vet race-shard race
 bench:
 	$(GO) run ./cmd/iceclave-bench -bench-json BENCH_results.json -workers 4
 
-# micro runs only the cipher, lock-sharding, die-pipelining, and
-# admission-queueing microbenchmarks (seconds, not minutes) and prints a
-# human summary. The die-pipelining and queueing numbers are simulated
-# time, so they are deterministic on any machine.
+# micro runs only the cipher, lock-sharding, die-pipelining,
+# admission-queueing, write-storm, and mee-traffic microbenchmarks
+# (seconds, not minutes) and prints a human summary. The die-pipelining
+# and queueing numbers are simulated time, so they are deterministic on
+# any machine.
 micro:
 	$(GO) run ./cmd/iceclave-bench -micro
+
+# profile grounds hot-path claims in data: it records a CPU pprof of one
+# full serial suite pass (traces pre-warmed, so the profile is replay
+# work, ~7-30 s depending on scale) and prints the top-10 functions.
+# Inspect interactively with: go tool pprof cpu.pprof
+profile:
+	$(GO) run ./cmd/iceclave-bench -cpuprofile cpu.pprof
+	$(GO) tool pprof -top -nodecount=10 cpu.pprof
 
 # bench-compare checks the performance claims instead of asserting them:
 #   - BenchmarkKeystream (bit-serial oracle vs word64 production engine,
@@ -71,6 +80,10 @@ micro:
 #     >= 2x with 4+ cores, >= 0.7x on fewer (where parallel hardware is
 #     absent and the gate only rejects the collapse that a re-introduced
 #     cross-channel shared lock causes). See docs/BENCHMARKS.md.
+#   - The -micro mee-traffic section (the same streaming scan through the
+#     per-line TrafficReference and the batched TrafficModel) must show
+#     >= 3x on the scan AND identical stats — the bulk hot path may be
+#     fast only if it changes nothing.
 # With benchstat installed and a saved baseline (cp bench_new.txt
 # bench_old.txt before a change), it also prints an old-vs-new statistical
 # comparison. See docs/BENCHMARKS.md.
@@ -98,6 +111,14 @@ bench-compare:
 	        printf "cross-channel write-storm speedup: %.2fx (gate %.2fx)\n", ratio, gate; \
 	        if (ratio+0 < gate+0) { print "FAIL: cross-channel write storm below its gate - device channels are contending on a shared lock"; exit 1 } \
 	      }' micro_new.txt
+	@awk '/^mee traffic scan:/ { scan=$$NF } \
+	      /^mee traffic gate/ { gate=$$4; id=$$6 } \
+	      END { \
+	        if (scan == "" || gate == "") { print "bench-compare: missing mee-traffic output"; exit 1 } \
+	        printf "mee batched-traffic scan speedup: %.2fx (gate %.2fx, stats identical: %s)\n", scan, gate, id; \
+	        if (id != "true") { print "FAIL: batched traffic model diverged from the per-line reference"; exit 1 } \
+	        if (scan+0 < gate+0) { print "FAIL: batched memory-traffic scan below its gate - the sequential-run fast path has regressed toward the per-line loop"; exit 1 } \
+	      }' micro_new.txt
 	@if command -v benchstat >/dev/null 2>&1 && [ -f bench_old.txt ]; then \
 		benchstat bench_old.txt bench_new.txt; \
 	else \
@@ -105,11 +126,13 @@ bench-compare:
 	fi
 
 # fuzz gives each cipher/MEE fuzz target a short budget beyond the
-# committed regression corpus in testdata/fuzz. The Trivium targets now
+# committed regression corpus in testdata/fuzz. The Trivium targets
 # differentially check the word-parallel engine against the bit-serial
-# reference on every input.
+# reference on every input; the traffic target does the same for the
+# batched traffic model against its per-line TrafficReference oracle.
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzKeystreamRoundTrip -fuzztime=20s ./internal/trivium
 	$(GO) test -run='^$$' -fuzz=FuzzEnginePageRoundTrip -fuzztime=20s ./internal/trivium
 	$(GO) test -run='^$$' -fuzz=FuzzEngineWriteReadMAC -fuzztime=20s ./internal/mee
 	$(GO) test -run='^$$' -fuzz=FuzzEngineCounterReplay -fuzztime=20s ./internal/mee
+	$(GO) test -run='^$$' -fuzz=FuzzTrafficBatchedVsReference -fuzztime=20s ./internal/mee

@@ -28,6 +28,7 @@ import (
 	"log"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -51,9 +52,17 @@ func main() {
 		benchOut = flag.String("bench-json", "", "time the serial, memoized, and parallel suite plus a scheduler offload storm and the microbenchmarks; write results to this file")
 		tenants  = flag.Int("tenants", 32, "concurrent tenants in the -bench-json scheduler storm")
 		jobs     = flag.Int("jobs", 4, "offloads per tenant in the -bench-json scheduler storm")
-		micro    = flag.Bool("micro", false, "run only the Trivium/FTL/die-pipelining/queueing microbenchmarks and print a summary")
+		micro    = flag.Bool("micro", false, "run only the Trivium/FTL/die-pipelining/queueing/mee-traffic microbenchmarks and print a summary")
+		cpuprof  = flag.String("cpuprofile", "", "profile the serial evaluation suite: write a CPU pprof of one full All() pass to this file (make profile)")
 	)
 	flag.Parse()
+
+	if *cpuprof != "" {
+		if err := runProfile(*rows, *cpuprof); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	if *micro {
 		if _, err := runMicro(); err != nil {
@@ -101,6 +110,41 @@ func main() {
 	}
 }
 
+// runProfile records a CPU pprof of the serial evaluation suite: traces
+// are warmed first (so the profile measures replay, not trace recording),
+// then one full All() pass runs under the profiler — the ground truth
+// behind any hot-path claim (see make profile).
+func runProfile(rows int, outPath string) error {
+	sc := workload.SmallScale()
+	if rows > 0 {
+		sc.LineitemRows = rows
+	}
+	suite := experiments.NewSuite(sc, core.DefaultConfig()).SetMemoize(false)
+	fmt.Fprintf(os.Stderr, "recording workload traces...\n")
+	for _, name := range workload.Names() {
+		if _, err := suite.Trace(name); err != nil {
+			return err
+		}
+	}
+	f, err := os.Create(outPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	fmt.Fprintf(os.Stderr, "profiling one serial suite pass...\n")
+	start := time.Now()
+	if err := pprof.StartCPUProfile(f); err != nil {
+		return err
+	}
+	_, err = suite.All()
+	pprof.StopCPUProfile()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("profiled %.1fs of serial suite into %s\n", time.Since(start).Seconds(), outPath)
+	return nil
+}
+
 // benchResults is the machine-readable performance record. Methodology —
 // what each section measures, and why suite/FTL speedups sit near 1x on a
 // 1-CPU container — is documented in docs/BENCHMARKS.md.
@@ -132,6 +176,7 @@ type benchResults struct {
 	DieOverlap dieOverlapResults `json:"die_pipelining"`
 	Queueing   queueingResults   `json:"admission_queueing"`
 	WriteStorm writeStormResults `json:"write_storm"`
+	MEETraffic meeTrafficResults `json:"mee_traffic"`
 }
 
 // schedResults records the multi-tenant offload storm.
@@ -228,6 +273,7 @@ func runBench(sc workload.Scale, workers, tenants, jobs int, outPath string) err
 		DieOverlap:      mr.DieOverlap,
 		Queueing:        mr.Queueing,
 		WriteStorm:      mr.WriteStorm,
+		MEETraffic:      mr.MEETraffic,
 	}
 	data, err := json.MarshalIndent(res, "", "  ")
 	if err != nil {

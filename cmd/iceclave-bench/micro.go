@@ -8,6 +8,7 @@ import (
 
 	"iceclave/internal/flash"
 	"iceclave/internal/ftl"
+	"iceclave/internal/mee"
 	"iceclave/internal/sched"
 	"iceclave/internal/sim"
 	"iceclave/internal/trivium"
@@ -419,6 +420,141 @@ func benchQueueing() queueingResults {
 	}
 }
 
+// meeTrafficResults records the memory-traffic hot-path microbenchmark:
+// the same access streams driven per-line through mee.TrafficReference
+// (the pre-batching implementation, one Access call + map lookups per
+// 64-byte line) and in bulk through mee.TrafficModel (AccessSeq/
+// AccessMany over dense state). Two stream shapes are measured: "scan" is
+// the streaming input-page read (the sequential-run fast path's home
+// turf, gated at >= 3x in make bench-compare), and "mixed" is the
+// chargeMEE shape (sampled scan + skewed writable-heap batch). Both
+// models must land on identical TrafficStats and counter-cache stats —
+// the bulk APIs may not change a single reported statistic.
+type meeTrafficResults struct {
+	ScanAccesses   int64   `json:"scan_accesses"`
+	ScanPerLineNs  float64 `json:"scan_per_line_ns_per_access"`
+	ScanBatchedNs  float64 `json:"scan_batched_ns_per_access"`
+	ScanSpeedup    float64 `json:"scan_speedup"`
+	ScanMAccPerS   float64 `json:"scan_batched_maccesses_per_s"`
+	MixedAccesses  int64   `json:"mixed_accesses"`
+	MixedPerLineNs float64 `json:"mixed_per_line_ns_per_access"`
+	MixedBatchedNs float64 `json:"mixed_batched_ns_per_access"`
+	MixedSpeedup   float64 `json:"mixed_speedup"`
+	GateFloor      float64 `json:"scan_gate_floor"`
+	StatsIdentical bool    `json:"stats_identical"`
+}
+
+// meeScanGate is the bench-compare floor for the streaming-scan speedup.
+const meeScanGate = 3.0
+
+// benchMEETraffic times the two stream shapes on both implementations.
+// The per-line and batched passes consume byte-identical access streams
+// (same addresses, same order, same RNG draws), so any stats divergence
+// is a correctness bug, not noise.
+func benchMEETraffic() meeTrafficResults {
+	cfg := mee.TrafficConfig{Mode: mee.ModeHybrid, SampleWeight: 1}
+
+	// Scan: sequential read-only line scans over a 2048-page input, the
+	// stream every replayed read step feeds the model.
+	const scanPages = 2048
+	const scanPasses = 4
+	scanAccesses := int64(scanPages) * mee.LinesPerPage * scanPasses
+	ref := mee.NewTrafficReference(cfg)
+	t0 := time.Now()
+	for pass := 0; pass < scanPasses; pass++ {
+		for p := uint64(0); p < scanPages; p++ {
+			base := p * mee.PageSize
+			for l := uint64(0); l < mee.LinesPerPage; l++ {
+				ref.Access(base+l*mee.LineSize, false)
+			}
+		}
+	}
+	perLineScan := time.Since(t0)
+
+	model := mee.NewTrafficModel(cfg)
+	t1 := time.Now()
+	for pass := 0; pass < scanPasses; pass++ {
+		for p := uint64(0); p < scanPages; p++ {
+			model.AccessSeq(p*mee.PageSize, mee.LinesPerPage, false, mee.LineSize)
+		}
+	}
+	batchedScan := time.Since(t1)
+	identical := ref.Stats() == model.Stats() &&
+		ref.CounterCacheStats() == model.CounterCacheStats()
+
+	// Mixed: the chargeMEE step shape — a sampled input scan (weight 8,
+	// stride 8 lines) plus a skewed batch into the writable heap.
+	mixCfg := mee.TrafficConfig{Mode: mee.ModeHybrid, SampleWeight: 8}
+	const heapBase = uint64(1) << 22
+	const heapPages = 1024
+	const steps = 40000
+	const seqN, heapReads, heapWrites = 8, 14, 4
+	mixedAccesses := int64(steps) * (seqN + heapReads + heapWrites)
+
+	runMixed := func(perLine bool) (time.Duration, mee.TrafficStats) {
+		rng := sim.NewRNG(99)
+		var model *mee.TrafficModel
+		var ref *mee.TrafficReference
+		if perLine {
+			ref = mee.NewTrafficReference(mixCfg)
+			for p := uint64(0); p < heapPages; p++ {
+				ref.SetPageWritable(heapBase+p, true)
+			}
+		} else {
+			model = mee.NewTrafficModel(mixCfg)
+			for p := uint64(0); p < heapPages; p++ {
+				model.SetPageWritable(heapBase+p, true)
+			}
+		}
+		addrs := make([]uint64, heapReads+heapWrites)
+		start := time.Now()
+		for s := 0; s < steps; s++ {
+			base := uint64(s%scanPages) * mee.PageSize
+			for i := range addrs {
+				page := heapBase + uint64(rng.Zipf(heapPages, 0.85, 0.05))
+				addrs[i] = page*mee.PageSize + uint64(rng.Intn(mee.LinesPerPage))*mee.LineSize
+			}
+			if perLine {
+				for j := int64(0); j < seqN; j++ {
+					ref.Access(base+uint64(j)*8*mee.LineSize, false)
+				}
+				for _, a := range addrs[:heapReads] {
+					ref.Access(a, false)
+				}
+				for _, a := range addrs[heapReads:] {
+					ref.Access(a, true)
+				}
+			} else {
+				model.AccessSeq(base, seqN, false, 8*mee.LineSize)
+				model.AccessMany(addrs[:heapReads], false)
+				model.AccessMany(addrs[heapReads:], true)
+			}
+		}
+		elapsed := time.Since(start)
+		if perLine {
+			return elapsed, ref.Stats()
+		}
+		return elapsed, model.Stats()
+	}
+	perLineMixed, perStats := runMixed(true)
+	batchedMixed, batchStats := runMixed(false)
+	identical = identical && perStats == batchStats
+
+	return meeTrafficResults{
+		ScanAccesses:   scanAccesses,
+		ScanPerLineNs:  float64(perLineScan.Nanoseconds()) / float64(scanAccesses),
+		ScanBatchedNs:  float64(batchedScan.Nanoseconds()) / float64(scanAccesses),
+		ScanSpeedup:    float64(perLineScan) / float64(batchedScan),
+		ScanMAccPerS:   float64(scanAccesses) / batchedScan.Seconds() / 1e6,
+		MixedAccesses:  mixedAccesses,
+		MixedPerLineNs: float64(perLineMixed.Nanoseconds()) / float64(mixedAccesses),
+		MixedBatchedNs: float64(batchedMixed.Nanoseconds()) / float64(mixedAccesses),
+		MixedSpeedup:   float64(perLineMixed) / float64(batchedMixed),
+		GateFloor:      meeScanGate,
+		StatsIdentical: identical,
+	}
+}
+
 // microResults bundles the microbenchmark sections that -micro prints and
 // -bench-json embeds in the JSON record.
 type microResults struct {
@@ -427,6 +563,7 @@ type microResults struct {
 	DieOverlap dieOverlapResults
 	Queueing   queueingResults
 	WriteStorm writeStormResults
+	MEETraffic meeTrafficResults
 }
 
 // runMicro executes the cipher, FTL lock-sharding, die-pipelining,
@@ -446,6 +583,7 @@ func runMicro() (microResults, error) {
 	if mr.WriteStorm, err = benchWriteStorm(); err != nil {
 		return mr, err
 	}
+	mr.MEETraffic = benchMEETraffic()
 	tr, fr, dr, qr, wr := mr.Trivium, mr.FTL, mr.DieOverlap, mr.Queueing, mr.WriteStorm
 	fmt.Printf("trivium: bit-serial %s/page, word64 %s/page (%.1fx, %.0f MB/s)\n",
 		time.Duration(tr.BitserialNsPerPage), time.Duration(tr.Word64NsPerPage),
@@ -465,5 +603,11 @@ func runMicro() (microResults, error) {
 		wr.SerialPagesPerSec, wr.Channels, wr.ParallelPagesPerSec)
 	fmt.Printf("write-storm speedup %.3f gate %.2f (GOMAXPROCS=%d, wall-clock; see docs/BENCHMARKS.md)\n",
 		wr.ParallelSpeedup, wr.GateFloor, wr.GOMAXPROCS)
+	mt := mr.MEETraffic
+	fmt.Printf("mee traffic scan: per-line %.1f ns/acc, batched %.1f ns/acc, %.1f M acc/s, speedup %.2f\n",
+		mt.ScanPerLineNs, mt.ScanBatchedNs, mt.ScanMAccPerS, mt.ScanSpeedup)
+	fmt.Printf("mee traffic mixed: per-line %.1f ns/acc, batched %.1f ns/acc, speedup %.2f\n",
+		mt.MixedPerLineNs, mt.MixedBatchedNs, mt.MixedSpeedup)
+	fmt.Printf("mee traffic gate %.2f stats-identical %v\n", mt.GateFloor, mt.StatsIdentical)
 	return mr, nil
 }

@@ -55,6 +55,10 @@ type Cache struct {
 	lines    []line // sets*ways, set-major
 	tick     uint64
 	stats    Stats
+	// mru is the index into lines of the most recently touched line, or -1.
+	// Streaming callers (the MEE counter cache re-probing one counter line
+	// per data line) hit it far more often than not, skipping the set scan.
+	mru int
 }
 
 // New returns a cache with the given total capacity in bytes, line size in
@@ -78,6 +82,7 @@ func New(name string, capacity, lineSize uint64, ways int) *Cache {
 		sets:     sets,
 		ways:     ways,
 		lines:    make([]line, sets*ways),
+		mru:      -1,
 	}
 }
 
@@ -130,9 +135,33 @@ func (c *Cache) Contains(addr uint64) bool {
 // Access touches addr's line. write marks the line dirty. It returns
 // whether the access hit and, on a miss that displaced a valid line, the
 // eviction (otherwise ev.Addr is 0 and ev.Dirty is false with hit==false
-// meaning a cold fill).
+// meaning a cold fill). Access is the single-probe form of the batched
+// core below; AccessRun and AccessBatch amortize its per-call work.
 func (c *Cache) Access(addr uint64, write bool) (hit bool, ev Eviction, evicted bool) {
+	hit, ev, evicted, _ = c.access(addr, write)
+	return hit, ev, evicted
+}
+
+// access is the probe core shared by Access, AccessRun, and AccessBatch.
+// It additionally returns the touched line's index into c.lines so bulk
+// callers can extend the touch without re-resolving the set.
+func (c *Cache) access(addr uint64, write bool) (hit bool, ev Eviction, evicted bool, idx int) {
 	c.tick++
+	tag := addr / c.lineSize
+	// MRU shortcut: streaming scans re-probe one metadata line per data
+	// line, so the last touched line is the next probe's answer far more
+	// often than not. A tag match implies a set match (set = tag mod sets),
+	// so this is pure lookup elision — stats and LRU state are identical.
+	if c.mru >= 0 {
+		if ln := &c.lines[c.mru]; ln.valid && ln.tag == tag {
+			c.stats.Hits++
+			ln.lru = c.tick
+			if write {
+				ln.dirty = true
+			}
+			return true, Eviction{}, false, c.mru
+		}
+	}
 	setIdx, way := c.lookup(addr)
 	set := c.set(setIdx)
 	if way >= 0 {
@@ -141,7 +170,8 @@ func (c *Cache) Access(addr uint64, write bool) (hit bool, ev Eviction, evicted 
 		if write {
 			set[way].dirty = true
 		}
-		return true, Eviction{}, false
+		c.mru = setIdx*c.ways + way
+		return true, Eviction{}, false, c.mru
 	}
 	c.stats.Misses++
 	// Choose victim: first invalid way, else true-LRU.
@@ -163,8 +193,50 @@ func (c *Cache) Access(addr uint64, write bool) (hit bool, ev Eviction, evicted 
 			c.stats.Writebacks++
 		}
 	}
-	set[victim] = line{tag: addr / c.lineSize, valid: true, dirty: write, lru: c.tick}
-	return false, ev, evicted
+	set[victim] = line{tag: tag, valid: true, dirty: write, lru: c.tick}
+	c.mru = setIdx*c.ways + victim
+	return false, ev, evicted, c.mru
+}
+
+// AccessRun performs n back-to-back accesses to addr's line in one call —
+// the sequential-run fast path for streaming scans, where one metadata
+// line is re-touched once per data line. It is exactly equivalent to
+// calling Access(addr, write) n times: after the first probe the line is
+// resident, so accesses 2..n are hits by construction (hits never evict),
+// and the run is settled with one counter bump and one LRU stamp. The
+// first probe's result is returned; n <= 0 touches nothing.
+func (c *Cache) AccessRun(addr uint64, write bool, n int64) (hit bool, ev Eviction, evicted bool) {
+	if n <= 0 {
+		return false, Eviction{}, false
+	}
+	var idx int
+	hit, ev, evicted, idx = c.access(addr, write)
+	if n > 1 {
+		c.tick += uint64(n - 1)
+		c.stats.Hits += n - 1
+		c.lines[idx].lru = c.tick // dirty already set by the first probe
+	}
+	return hit, ev, evicted
+}
+
+// AccessResult is one Access outcome within an AccessBatch.
+type AccessResult struct {
+	Hit     bool
+	Ev      Eviction
+	Evicted bool
+}
+
+// AccessBatch probes every address in addrs in order, appending one result
+// per address to out (pass a reused slice to keep the batch
+// allocation-free) and returning the extended slice. It is exactly
+// equivalent to len(addrs) Access calls; the win is one call boundary and
+// a warm probe core across the whole batch.
+func (c *Cache) AccessBatch(addrs []uint64, write bool, out []AccessResult) []AccessResult {
+	for _, addr := range addrs {
+		hit, ev, evicted, _ := c.access(addr, write)
+		out = append(out, AccessResult{Hit: hit, Ev: ev, Evicted: evicted})
+	}
+	return out
 }
 
 // Invalidate drops addr's line if resident, returning whether it was dirty.

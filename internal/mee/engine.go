@@ -62,11 +62,22 @@ type counterSet struct {
 // lines, their MACs, and the in-memory copy of the page's counters. An
 // adversary with physical access can rewrite any of it — that is what the
 // tamper/replay methods simulate.
+//
+// Ciphertext and MACs live in dense per-page arrays (one contiguous 4 KB
+// ciphertext image plus a presence bitmap) rather than per-line maps:
+// page-granular operations touch all 64 lines, so the map probes were
+// pure overhead on the bulk path.
 type pageState struct {
 	readonly bool
 	ctr      counterSet
-	lines    map[int][]byte   // line index -> ciphertext
-	macs     map[int][32]byte // line index -> MAC over (ciphertext, counter, address)
+	present  [LinesPerPage]bool     // line written at least once
+	ct       [PageSize]byte         // dense ciphertext image
+	macs     [LinesPerPage][32]byte // MAC over (ciphertext, counter, address)
+}
+
+// lineCT returns the ciphertext of one line of the dense image.
+func (ps *pageState) lineCT(line int) []byte {
+	return ps.ct[line*LineSize : (line+1)*LineSize]
 }
 
 // Engine is the functional encrypted memory. It stores only ciphertext;
@@ -213,7 +224,7 @@ func (e *Engine) Roots() (ro, rw [32]byte) {
 func (e *Engine) page(p uint64) *pageState {
 	ps, ok := e.pages[p]
 	if !ok {
-		ps = &pageState{lines: make(map[int][]byte), macs: make(map[int][32]byte)}
+		ps = new(pageState)
 		e.pages[p] = ps
 		e.commitCounters(p, ps, [32]byte{}, false)
 	}
@@ -257,41 +268,50 @@ func (e *Engine) write(p uint64, line int, data []byte) error {
 		old = e.trusted[p]
 	}
 	ps.ctr.minors[line]++
-	pad := e.pad(p, line, ps.ctr.major, ps.ctr.minors[line])
-	ct := make([]byte, LineSize)
+	e.sealLine(p, ps, line, data)
+	e.commitCounters(p, ps, old, false)
+	return nil
+}
+
+// sealLine encrypts data under the line's current counters into the dense
+// ciphertext image and refreshes its MAC.
+func (e *Engine) sealLine(p uint64, ps *pageState, line int, data []byte) {
+	minor := ps.ctr.minors[line]
+	if ps.readonly {
+		minor = 0
+	}
+	pad := e.pad(p, line, ps.ctr.major, minor)
+	ct := ps.lineCT(line)
 	for i := range ct {
 		ct[i] = data[i] ^ pad[i]
 	}
-	ps.lines[line] = ct
-	ps.macs[line] = e.mac(p, line, ps.ctr.major, ps.ctr.minors[line], ct)
-	e.commitCounters(p, ps, old, false)
-	return nil
+	ps.present[line] = true
+	ps.macs[line] = e.mac(p, line, ps.ctr.major, minor, ct)
 }
 
 // reencryptPage handles minor-counter overflow: bump the major counter,
 // reset the minors, and re-encrypt every resident line under the new
 // counters.
 func (e *Engine) reencryptPage(p uint64, ps *pageState) error {
-	plain := make(map[int][]byte, len(ps.lines))
-	for line := range ps.lines {
+	var plain [PageSize]byte
+	for line := 0; line < LinesPerPage; line++ {
+		if !ps.present[line] {
+			continue
+		}
 		data, err := e.readLine(p, ps, line)
 		if err != nil {
 			return err
 		}
-		plain[line] = data
+		copy(plain[line*LineSize:], data)
 	}
 	old := e.trusted[p]
 	wasRO := ps.readonly
 	ps.ctr.major++
 	ps.ctr.minors = [LinesPerPage]uint8{}
-	for line, data := range plain {
-		pad := e.pad(p, line, ps.ctr.major, 0)
-		ct := make([]byte, LineSize)
-		for i := range ct {
-			ct[i] = data[i] ^ pad[i]
+	for line := 0; line < LinesPerPage; line++ {
+		if ps.present[line] {
+			e.sealLine(p, ps, line, plain[line*LineSize:(line+1)*LineSize])
 		}
-		ps.lines[line] = ct
-		ps.macs[line] = e.mac(p, line, ps.ctr.major, 0, ct)
 	}
 	e.commitCounters(p, ps, old, wasRO)
 	return nil
@@ -300,24 +320,33 @@ func (e *Engine) reencryptPage(p uint64, ps *pageState) error {
 // readLine decrypts and verifies one line's MAC (the caller verifies the
 // counter tree once per operation).
 func (e *Engine) readLine(p uint64, ps *pageState, line int) ([]byte, error) {
-	ct, ok := ps.lines[line]
-	if !ok {
-		return nil, fmt.Errorf("mee: read of unwritten line %d of page %d", line, p)
+	out := make([]byte, LineSize)
+	if err := e.readLineInto(p, ps, line, out); err != nil {
+		return nil, err
 	}
+	return out, nil
+}
+
+// readLineInto is readLine decrypting into a caller-owned buffer, the
+// allocation-free core ReadPage loops over.
+func (e *Engine) readLineInto(p uint64, ps *pageState, line int, out []byte) error {
+	if !ps.present[line] {
+		return fmt.Errorf("mee: read of unwritten line %d of page %d", line, p)
+	}
+	ct := ps.lineCT(line)
 	minor := ps.ctr.minors[line]
 	if ps.readonly {
 		minor = 0
 	}
 	want := e.mac(p, line, ps.ctr.major, minor, ct)
 	if want != ps.macs[line] {
-		return nil, fmt.Errorf("%w: MAC mismatch on page %d line %d", ErrIntegrity, p, line)
+		return fmt.Errorf("%w: MAC mismatch on page %d line %d", ErrIntegrity, p, line)
 	}
 	pad := e.pad(p, line, ps.ctr.major, minor)
-	out := make([]byte, LineSize)
-	for i := range out {
+	for i := range out[:LineSize] {
 		out[i] = ct[i] ^ pad[i]
 	}
-	return out, nil
+	return nil
 }
 
 // Read verifies and decrypts one line of page p: counter-tree check (which
@@ -360,27 +389,26 @@ func (e *Engine) SetReadOnly(p uint64, ro bool) error {
 	if err := e.verifyCounters(p, ps); err != nil {
 		return err
 	}
-	plain := make(map[int][]byte, len(ps.lines))
-	for line := range ps.lines {
+	var plain [PageSize]byte
+	for line := 0; line < LinesPerPage; line++ {
+		if !ps.present[line] {
+			continue
+		}
 		data, err := e.readLine(p, ps, line)
 		if err != nil {
 			return err
 		}
-		plain[line] = data
+		copy(plain[line*LineSize:], data)
 	}
 	old := e.trusted[p]
 	wasRO := ps.readonly
 	ps.ctr.major++
 	ps.ctr.minors = [LinesPerPage]uint8{}
 	ps.readonly = ro
-	for line, data := range plain {
-		pad := e.pad(p, line, ps.ctr.major, 0)
-		ct := make([]byte, LineSize)
-		for i := range ct {
-			ct[i] = data[i] ^ pad[i]
+	for line := 0; line < LinesPerPage; line++ {
+		if ps.present[line] {
+			e.sealLine(p, ps, line, plain[line*LineSize:(line+1)*LineSize])
 		}
-		ps.lines[line] = ct
-		ps.macs[line] = e.mac(p, line, ps.ctr.major, 0, ct)
 	}
 	e.commitCounters(p, ps, old, wasRO)
 	return nil
@@ -388,31 +416,66 @@ func (e *Engine) SetReadOnly(p uint64, ro bool) error {
 
 // WritePage writes a whole 4 KB page (used when loading decrypted flash
 // data into protected DRAM). The page must be writable.
+//
+// This is a true bulk operation: the engine mutex is taken once, every
+// line's minor is bumped and its ciphertext/MAC refreshed, and the page's
+// counter digest is committed to the verified tree once — not once per
+// line, which made the per-line loop pay 64 SHA-256 page digests. When
+// any line's minor counter is about to overflow, the page falls back to
+// the per-line path so the re-encryption sequence stays exactly the
+// 64-single-line-writes one (the equivalence test pins bulk == 64 x
+// Write in both regimes).
 func (e *Engine) WritePage(p uint64, data []byte) error {
 	if len(data) != PageSize {
 		return fmt.Errorf("mee: page write of %d bytes", len(data))
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	ps := e.page(p)
+	if ps.readonly {
+		return fmt.Errorf("%w: page %d", ErrReadOnly, p)
+	}
 	for line := 0; line < LinesPerPage; line++ {
-		if err := e.write(p, line, data[line*LineSize:(line+1)*LineSize]); err != nil {
-			return err
+		if ps.ctr.minors[line] >= MinorLimit-1 {
+			// Overflow mid-page: replay the per-line sequence exactly.
+			for l := 0; l < LinesPerPage; l++ {
+				if err := e.write(p, l, data[l*LineSize:(l+1)*LineSize]); err != nil {
+					return err
+				}
+			}
+			return nil
 		}
 	}
+	old := e.trusted[p]
+	for line := 0; line < LinesPerPage; line++ {
+		ps.ctr.minors[line]++
+		e.sealLine(p, ps, line, data[line*LineSize:(line+1)*LineSize])
+	}
+	// One digest commit covers all 64 counter bumps: the intermediate
+	// digests of the per-line sequence telescope out of the XOR roots.
+	e.commitCounters(p, ps, old, false)
 	return nil
 }
 
-// ReadPage reads a whole page; every line must verify.
+// ReadPage reads a whole page; every line must verify. The counter tree
+// is walked once for the page — the per-line loop re-verified the same
+// unchanged counters 64 times — and the 64 MAC checks and decryptions
+// write straight into the returned buffer.
 func (e *Engine) ReadPage(p uint64) ([]byte, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	ps, ok := e.pages[p]
+	if !ok {
+		return nil, fmt.Errorf("mee: read of unmapped page %d", p)
+	}
+	if err := e.verifyCounters(p, ps); err != nil {
+		return nil, err
+	}
 	out := make([]byte, PageSize)
 	for line := 0; line < LinesPerPage; line++ {
-		data, err := e.read(p, line)
-		if err != nil {
+		if err := e.readLineInto(p, ps, line, out[line*LineSize:(line+1)*LineSize]); err != nil {
 			return nil, err
 		}
-		copy(out[line*LineSize:], data)
 	}
 	return out, nil
 }
@@ -445,10 +508,10 @@ func (e *Engine) TamperCiphertext(p uint64, line int) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	ps, ok := e.pages[p]
-	if !ok || ps.lines[line] == nil {
+	if !ok || line < 0 || line >= LinesPerPage || !ps.present[line] {
 		return fmt.Errorf("mee: nothing to tamper at page %d line %d", p, line)
 	}
-	ps.lines[line][0] ^= 0x80
+	ps.ct[line*LineSize] ^= 0x80
 	return nil
 }
 
@@ -480,13 +543,13 @@ func (e *Engine) Snapshot(p uint64, line int) (Snapshot, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	ps, ok := e.pages[p]
-	if !ok || ps.lines[line] == nil {
+	if !ok || line < 0 || line >= LinesPerPage || !ps.present[line] {
 		return Snapshot{}, fmt.Errorf("mee: nothing to snapshot at page %d line %d", p, line)
 	}
 	return Snapshot{
 		page:  p,
 		line:  line,
-		ct:    append([]byte(nil), ps.lines[line]...),
+		ct:    append([]byte(nil), ps.lineCT(line)...),
 		mac:   ps.macs[line],
 		major: ps.ctr.major,
 		minor: ps.ctr.minors[line],
@@ -504,7 +567,8 @@ func (e *Engine) Replay(s Snapshot) error {
 	if !ok {
 		return fmt.Errorf("mee: replay of unmapped page %d", s.page)
 	}
-	ps.lines[s.line] = append([]byte(nil), s.ct...)
+	copy(ps.lineCT(s.line), s.ct)
+	ps.present[s.line] = true
 	ps.macs[s.line] = s.mac
 	ps.ctr.major = s.major
 	ps.ctr.minors[s.line] = s.minor

@@ -1,0 +1,224 @@
+package mee
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// pageData builds a distinctive 4 KB payload.
+func pageData(seed byte) []byte {
+	data := make([]byte, PageSize)
+	for i := range data {
+		data[i] = byte(i)*3 + seed
+	}
+	return data
+}
+
+// sameEngineState asserts two engines that consumed equivalent operation
+// sequences are observably identical on page p: roots, trusted digest,
+// major counter, per-line ciphertext and MACs, and read-backs.
+func sameEngineState(t *testing.T, bulk, ref *Engine, p uint64, ctx string) {
+	t.Helper()
+	bro, brw := bulk.Roots()
+	rro, rrw := ref.Roots()
+	if bro != rro || brw != rrw {
+		t.Fatalf("%s: tree roots diverge", ctx)
+	}
+	if bulk.trusted[p] != ref.trusted[p] {
+		t.Fatalf("%s: verified digests diverge", ctx)
+	}
+	if bulk.Major(p) != ref.Major(p) {
+		t.Fatalf("%s: major counters diverge: %d vs %d", ctx, bulk.Major(p), ref.Major(p))
+	}
+	bp, rp := bulk.pages[p], ref.pages[p]
+	if bp.ctr.minors != rp.ctr.minors {
+		t.Fatalf("%s: minor counters diverge", ctx)
+	}
+	if bp.present != rp.present || bp.ct != rp.ct || bp.macs != rp.macs {
+		t.Fatalf("%s: DRAM-side page images diverge", ctx)
+	}
+	bg, err := bulk.ReadPage(p)
+	if err != nil {
+		t.Fatalf("%s: bulk read back: %v", ctx, err)
+	}
+	rg, err := ref.ReadPage(p)
+	if err != nil {
+		t.Fatalf("%s: ref read back: %v", ctx, err)
+	}
+	if !bytes.Equal(bg, rg) {
+		t.Fatalf("%s: plaintext read-backs diverge", ctx)
+	}
+}
+
+// TestWritePageMatchesPerLineWrites pins the bulk contract on the fast
+// path: one WritePage (one digest commit) leaves the engine bit-identical
+// to 64 single-line Writes (64 digest commits).
+func TestWritePageMatchesPerLineWrites(t *testing.T) {
+	bulk, ref := testEngine(), testEngine()
+	const p = uint64(7)
+	for round := 0; round < 3; round++ {
+		data := pageData(byte(round))
+		if err := bulk.WritePage(p, data); err != nil {
+			t.Fatal(err)
+		}
+		for l := 0; l < LinesPerPage; l++ {
+			if err := ref.Write(p, l, data[l*LineSize:(l+1)*LineSize]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		sameEngineState(t, bulk, ref, p, "round")
+	}
+}
+
+// TestWritePageMatchesPerLineWritesOnOverflow drives both engines to the
+// minor-counter overflow boundary and pins that WritePage's re-encryption
+// fallback replays the exact per-line sequence: major bump, minors reset,
+// all lines re-sealed.
+func TestWritePageMatchesPerLineWritesOnOverflow(t *testing.T) {
+	bulk, ref := testEngine(), testEngine()
+	const p = uint64(3)
+	// Push one line to the boundary on both engines: after MinorLimit-1
+	// writes its minor sits at the limit, so the next write re-encrypts.
+	for i := 0; i < MinorLimit-1; i++ {
+		for _, e := range []*Engine{bulk, ref} {
+			if err := e.Write(p, 5, line(byte(i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	data := pageData(0x5A)
+	if err := bulk.WritePage(p, data); err != nil {
+		t.Fatal(err)
+	}
+	for l := 0; l < LinesPerPage; l++ {
+		if err := ref.Write(p, l, data[l*LineSize:(l+1)*LineSize]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if bulk.Major(p) == 0 {
+		t.Fatal("overflow path never re-encrypted the page")
+	}
+	sameEngineState(t, bulk, ref, p, "overflow")
+}
+
+// TestReadPageMatchesPerLineReads pins that bulk ReadPage (one counter
+// verification) returns what 64 single-line Reads (64 verifications) do,
+// and that both reject the same tampering.
+func TestReadPageMatchesPerLineReads(t *testing.T) {
+	e := testEngine()
+	const p = uint64(11)
+	data := pageData(0x21)
+	if err := e.WritePage(p, data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := e.ReadPage(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perLine := make([]byte, 0, PageSize)
+	for l := 0; l < LinesPerPage; l++ {
+		d, err := e.Read(p, l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		perLine = append(perLine, d...)
+	}
+	if !bytes.Equal(got, perLine) || !bytes.Equal(got, data) {
+		t.Fatal("bulk and per-line reads diverge")
+	}
+	// Tamper parity: both paths must reject the same corruption.
+	if err := e.TamperCiphertext(p, 17); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.ReadPage(p); !errors.Is(err, ErrIntegrity) {
+		t.Fatalf("bulk read of tampered page returned %v", err)
+	}
+	if _, err := e.Read(p, 17); !errors.Is(err, ErrIntegrity) {
+		t.Fatalf("per-line read of tampered line returned %v", err)
+	}
+	// Counter tamper is caught by the single bulk verification too.
+	e2 := testEngine()
+	if err := e2.WritePage(p, data); err != nil {
+		t.Fatal(err)
+	}
+	if err := e2.TamperCounter(p); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e2.ReadPage(p); !errors.Is(err, ErrIntegrity) {
+		t.Fatalf("bulk read of counter-tampered page returned %v", err)
+	}
+}
+
+// TestReadPageUnwrittenLine pins the partial-page behaviour: a page with
+// holes fails ReadPage exactly like the per-line loop did.
+func TestReadPageUnwrittenLine(t *testing.T) {
+	e := testEngine()
+	if err := e.Write(4, 0, line(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.ReadPage(4); err == nil {
+		t.Fatal("ReadPage of partially written page succeeded")
+	}
+	if _, err := e.ReadPage(99); err == nil {
+		t.Fatal("ReadPage of unmapped page succeeded")
+	}
+}
+
+// BenchmarkPageOps quantifies the satellite's claim: bulk page ops commit
+// the counter digest once instead of 64 times.
+func BenchmarkPageOps(b *testing.B) {
+	b.Run("write-bulk", func(b *testing.B) {
+		e := testEngine()
+		data := pageData(1)
+		b.SetBytes(PageSize)
+		for i := 0; i < b.N; i++ {
+			if err := e.WritePage(uint64(i%32), data); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("write-perline", func(b *testing.B) {
+		e := testEngine()
+		data := pageData(1)
+		b.SetBytes(PageSize)
+		for i := 0; i < b.N; i++ {
+			p := uint64(i % 32)
+			for l := 0; l < LinesPerPage; l++ {
+				if err := e.Write(p, l, data[l*LineSize:(l+1)*LineSize]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("read-bulk", func(b *testing.B) {
+		e := testEngine()
+		data := pageData(1)
+		if err := e.WritePage(0, data); err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(PageSize)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := e.ReadPage(0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("read-perline", func(b *testing.B) {
+		e := testEngine()
+		data := pageData(1)
+		if err := e.WritePage(0, data); err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(PageSize)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for l := 0; l < LinesPerPage; l++ {
+				if _, err := e.Read(0, l); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}

@@ -36,7 +36,7 @@ func TestWriteReadRoundTrip(t *testing.T) {
 func TestCiphertextDiffersFromPlaintext(t *testing.T) {
 	e := testEngine()
 	e.Write(0, 0, line(0x00))
-	ct := e.pages[0].lines[0]
+	ct := e.pages[0].lineCT(0)
 	if bytes.Equal(ct, line(0x00)) {
 		t.Fatal("memory stores plaintext")
 	}
@@ -51,9 +51,9 @@ func TestSameDataDifferentLinesDifferentCiphertext(t *testing.T) {
 	e.Write(0, 0, line(0x77))
 	e.Write(0, 1, line(0x77))
 	e.Write(1, 0, line(0x77))
-	ct00 := e.pages[0].lines[0]
-	ct01 := e.pages[0].lines[1]
-	ct10 := e.pages[1].lines[0]
+	ct00 := e.pages[0].lineCT(0)
+	ct01 := e.pages[0].lineCT(1)
+	ct10 := e.pages[1].lineCT(0)
 	if bytes.Equal(ct00, ct01) || bytes.Equal(ct00, ct10) {
 		t.Fatal("spatially distinct lines share ciphertext (pad reuse)")
 	}
@@ -62,9 +62,9 @@ func TestSameDataDifferentLinesDifferentCiphertext(t *testing.T) {
 func TestRewriteChangesCiphertext(t *testing.T) {
 	e := testEngine()
 	e.Write(0, 0, line(0x42))
-	ct1 := append([]byte(nil), e.pages[0].lines[0]...)
+	ct1 := append([]byte(nil), e.pages[0].lineCT(0)...)
 	e.Write(0, 0, line(0x42)) // same plaintext again
-	ct2 := e.pages[0].lines[0]
+	ct2 := e.pages[0].lineCT(0)
 	if bytes.Equal(ct1, ct2) {
 		t.Fatal("temporal pad reuse: rewrite of same data produced same ciphertext")
 	}

@@ -78,6 +78,27 @@ func DefaultTrafficConfig(mode Mode) TrafficConfig {
 	}
 }
 
+// withDefaults fills zero fields with the paper parameters for cfg.Mode.
+func (cfg TrafficConfig) withDefaults() TrafficConfig {
+	def := DefaultTrafficConfig(cfg.Mode)
+	if cfg.CounterCacheBytes == 0 {
+		cfg.CounterCacheBytes = def.CounterCacheBytes
+	}
+	if cfg.DRAMLatency == 0 {
+		cfg.DRAMLatency = def.DRAMLatency
+	}
+	if cfg.EncryptLatency == 0 {
+		cfg.EncryptLatency = def.EncryptLatency
+	}
+	if cfg.VerifyLatency == 0 {
+		cfg.VerifyLatency = def.VerifyLatency
+	}
+	if cfg.SampleWeight < 1 {
+		cfg.SampleWeight = 1
+	}
+	return cfg
+}
+
 // TrafficStats separates regular DRAM traffic from the extra accesses
 // caused by encryption counters and by integrity metadata — the two
 // columns of Table 6.
@@ -114,44 +135,132 @@ func (s TrafficStats) VerificationOverhead() float64 {
 	return float64(s.VerExtraReads+s.VerExtraWrites) / float64(s.DataAccesses())
 }
 
+// wrChunkPages is the page span of one writable-bitmap chunk: 1<<15 pages
+// (128 MB of protected address space) per 4 KB chunk. The TEE heap and any
+// one workload's input region each fit in one or two chunks, so the
+// hot-path lookup is a memoized pointer chase, not a map probe.
+const wrChunkPages = 1 << 15
+
+type wrChunk [wrChunkPages / 64]uint64
+
+// pageBitmap is the page-granular writability store: a sparse directory of
+// dense bitmap chunks with a last-chunk memo. It replaces the
+// map[uint64]bool of TrafficReference on the hot path.
+type pageBitmap struct {
+	chunks  map[uint64]*wrChunk
+	lastIdx uint64
+	last    *wrChunk // nil = chunk known absent (memoized negative)
+	lastOk  bool
+}
+
+func (b *pageBitmap) init() {
+	b.chunks = make(map[uint64]*wrChunk)
+	b.lastOk = false
+}
+
+func (b *pageBitmap) lookup(page uint64) *wrChunk {
+	ci := page / wrChunkPages
+	if b.lastOk && ci == b.lastIdx {
+		return b.last
+	}
+	c := b.chunks[ci]
+	b.lastIdx, b.last, b.lastOk = ci, c, true
+	return c
+}
+
+func (b *pageBitmap) get(page uint64) bool {
+	c := b.lookup(page)
+	if c == nil {
+		return false
+	}
+	off := page % wrChunkPages
+	return c[off/64]>>(off%64)&1 != 0
+}
+
+func (b *pageBitmap) set(page uint64, v bool) {
+	c := b.lookup(page)
+	if c == nil {
+		if !v {
+			return // clearing an absent page is a no-op
+		}
+		c = new(wrChunk)
+		b.chunks[page/wrChunkPages] = c
+		b.lastIdx, b.last, b.lastOk = page/wrChunkPages, c, true
+	}
+	off := page % wrChunkPages
+	if v {
+		c[off/64] |= 1 << (off % 64)
+	} else {
+		c[off/64] &^= 1 << (off % 64)
+	}
+}
+
+// minorPage is the dense minor-counter store of one 4 KB page.
+type minorPage [LinesPerPage]uint8
+
+// minorStore maps pages to their minor-counter arrays with a last-page
+// memo; a page re-encryption resets the whole array in one assignment
+// instead of 64 map deletes.
+type minorStore struct {
+	pages   map[uint64]*minorPage
+	lastIdx uint64
+	last    *minorPage
+}
+
+func (m *minorStore) init() {
+	m.pages = make(map[uint64]*minorPage)
+	m.last = nil
+}
+
+// page returns page's minor array, creating it on first use.
+func (m *minorStore) page(page uint64) *minorPage {
+	if m.last != nil && m.lastIdx == page {
+		return m.last
+	}
+	p := m.pages[page]
+	if p == nil {
+		p = new(minorPage)
+		m.pages[page] = p
+	}
+	m.lastIdx, m.last = page, p
+	return p
+}
+
 // TrafficModel is the statistical counter-cache simulation driven by the
 // timing experiments. Feed it the stream of DRAM accesses an in-storage
 // program makes; it simulates the 128 KB counter cache over counter
 // blocks, line MACs, and tree nodes, and reports the extra traffic and
 // latency the protection scheme costs.
+//
+// This is the batched production engine: page permissions live in a
+// chunked bitmap, minor counters in dense per-page arrays, and the bulk
+// entry points (AccessSeq for streaming scans, AccessMany for address
+// batches) collapse the per-call overhead the per-line loop pays. Batch
+// boundaries are invisible in the results: any way of slicing an access
+// stream across Access/AccessSeq/AccessMany calls yields bit-identical
+// TrafficStats, counter-cache statistics, and latency sums to the per-line
+// TrafficReference oracle, pinned by the differential fuzz in this
+// package.
 type TrafficModel struct {
-	cfg      TrafficConfig
-	meta     *cache.Cache     // shared metadata cache (counters, MACs, tree nodes)
-	writable map[uint64]bool  // page index -> writable (default read-only)
-	minors   map[uint64]uint8 // data line index -> write count within major epoch
-	stats    TrafficStats
+	cfg    TrafficConfig
+	meta   *cache.Cache // shared metadata cache (counters, MACs, tree nodes)
+	wr     pageBitmap   // page index -> writable (default read-only)
+	minors minorStore   // page index -> per-line write counts within major epoch
+	stats  TrafficStats
+	steady [10]uint64 // scratch for the group fast path's metadata-line list
 }
 
 // NewTrafficModel builds a model from cfg, applying defaults for zero
 // fields.
 func NewTrafficModel(cfg TrafficConfig) *TrafficModel {
-	def := DefaultTrafficConfig(cfg.Mode)
-	if cfg.CounterCacheBytes == 0 {
-		cfg.CounterCacheBytes = def.CounterCacheBytes
+	cfg = cfg.withDefaults()
+	t := &TrafficModel{
+		cfg:  cfg,
+		meta: cache.New("counter-cache", cfg.CounterCacheBytes, LineSize, 8),
 	}
-	if cfg.DRAMLatency == 0 {
-		cfg.DRAMLatency = def.DRAMLatency
-	}
-	if cfg.EncryptLatency == 0 {
-		cfg.EncryptLatency = def.EncryptLatency
-	}
-	if cfg.VerifyLatency == 0 {
-		cfg.VerifyLatency = def.VerifyLatency
-	}
-	if cfg.SampleWeight < 1 {
-		cfg.SampleWeight = 1
-	}
-	return &TrafficModel{
-		cfg:      cfg,
-		meta:     cache.New("counter-cache", cfg.CounterCacheBytes, LineSize, 8),
-		writable: make(map[uint64]bool),
-		minors:   make(map[uint64]uint8),
-	}
+	t.wr.init()
+	t.minors.init()
+	return t
 }
 
 // Mode returns the protection scheme in effect.
@@ -168,11 +277,7 @@ func (t *TrafficModel) CounterCacheStats() cache.Stats { return t.meta.Stats() }
 // regions writable; transitions mid-run are allowed (§4.4 dynamic
 // permission changes).
 func (t *TrafficModel) SetPageWritable(page uint64, w bool) {
-	if w {
-		t.writable[page] = true
-	} else {
-		delete(t.writable, page)
-	}
+	t.wr.set(page, w)
 }
 
 // pageWritable reports whether a page currently takes the split-counter
@@ -181,7 +286,7 @@ func (t *TrafficModel) pageWritable(page uint64) bool {
 	if t.cfg.Mode == ModeSplit64 {
 		return true
 	}
-	return t.writable[page]
+	return t.wr.get(page)
 }
 
 // touchMeta accesses one metadata line through the counter cache and
@@ -208,10 +313,10 @@ func (t *TrafficModel) touchMeta(addr uint64, write, enc bool) (extra sim.Durati
 	return extra
 }
 
-// counterLine returns the metadata address of the counter block covering
-// page under the current scheme.
-func (t *TrafficModel) counterLine(page uint64) uint64 {
-	if t.cfg.Mode == ModeHybrid && !t.pageWritable(page) {
+// counterLineFor returns the metadata address of the counter block
+// covering page, given its already-resolved writability.
+func (t *TrafficModel) counterLineFor(page uint64, wrPage bool) uint64 {
+	if t.cfg.Mode == ModeHybrid && !wrPage {
 		// Major-only: 8 read-only pages share one counter line.
 		return ctrBase + page/roPagesPerCounterLine*LineSize
 	}
@@ -219,13 +324,25 @@ func (t *TrafficModel) counterLine(page uint64) uint64 {
 	return ctrBase + page*LineSize
 }
 
-// treeWalk touches the BMT path above a counter line, stopping early on a
-// cache hit the way a real verifier stops at a verified ancestor.
-func (t *TrafficModel) treeWalk(ctrAddr uint64, write bool) (extra sim.Duration) {
+// treePath appends the BMT node addresses above ctrAddr — the full
+// write-path walk, innermost level first. It is the single source of the
+// tree geometry for both treeWalk (which may stop early on reads) and
+// accessGroup's steady-set builder. buf should have capacity 8 (the level
+// cap) so the append never escapes to the heap.
+func treePath(ctrAddr uint64, buf []uint64) []uint64 {
 	idx := (ctrAddr - ctrBase) / LineSize
 	for level := 0; idx > 0 && level < 8; level++ {
 		idx /= treeFanout
-		nodeAddr := treeBase + uint64(level)<<36 + idx*LineSize
+		buf = append(buf, treeBase+uint64(level)<<36+idx*LineSize)
+	}
+	return buf
+}
+
+// treeWalk touches the BMT path above a counter line, stopping early on a
+// cache hit the way a real verifier stops at a verified ancestor.
+func (t *TrafficModel) treeWalk(ctrAddr uint64, write bool) (extra sim.Duration) {
+	var nodes [8]uint64
+	for _, nodeAddr := range treePath(ctrAddr, nodes[:0]) {
 		hit, ev, evicted := t.meta.Access(nodeAddr, write)
 		if evicted && ev.Dirty {
 			t.stats.VerExtraWrites++
@@ -242,11 +359,35 @@ func (t *TrafficModel) treeWalk(ctrAddr uint64, write bool) (extra sim.Duration)
 	return extra
 }
 
+// bumpMinor advances one line's minor counter by the sample weight and
+// charges any re-encryption events (minor overflow: read+write every line
+// of the page). The returned latency excludes the per-access crypto
+// pipeline charge, which the caller adds once per access.
+func (t *TrafficModel) bumpMinor(mp *minorPage, li uint64, w uint8) (extra sim.Duration) {
+	m := int(mp[li]) + int(w)
+	for m >= MinorLimit-1 {
+		m -= MinorLimit - 1
+		t.stats.Reencryptions++
+		t.stats.EncExtraReads += LinesPerPage
+		t.stats.EncExtraWrites += LinesPerPage
+		extra += sim.Duration(2*LinesPerPage) * t.cfg.DRAMLatency
+		*mp = minorPage{} // reset the page's minors
+	}
+	mp[li] = uint8(m)
+	return extra
+}
+
 // Access records one 64-byte data access by the protected program and
 // returns the extra latency the protection scheme adds to it. addr is the
 // data address; write selects the encrypt (write-back) or verify (fill)
-// path.
-func (t *TrafficModel) Access(addr uint64, write bool) (extra sim.Duration) {
+// path. Access is the single-probe form of the bulk APIs below.
+func (t *TrafficModel) Access(addr uint64, write bool) sim.Duration {
+	return t.accessOne(addr, write)
+}
+
+// accessOne is the full per-line path shared by Access, AccessMany, and
+// the first probe of every AccessSeq group.
+func (t *TrafficModel) accessOne(addr uint64, write bool) (extra sim.Duration) {
 	w := uint8(t.cfg.SampleWeight)
 	if write {
 		t.stats.DataWrites += int64(w)
@@ -257,11 +398,10 @@ func (t *TrafficModel) Access(addr uint64, write bool) (extra sim.Duration) {
 		return 0
 	}
 	page := addr / PageSize
-	line := addr / LineSize
 	wrPage := t.pageWritable(page)
 
 	// Counter fetch (encryption metadata).
-	ctrAddr := t.counterLine(page)
+	ctrAddr := t.counterLineFor(page, wrPage)
 	extra += t.touchMeta(ctrAddr, write, true)
 
 	// Integrity tree walk over the counter space.
@@ -271,28 +411,14 @@ func (t *TrafficModel) Access(addr uint64, write bool) (extra sim.Duration) {
 	// per metadata line). Read-only pages under the hybrid scheme fold
 	// verification into the counter tree at page granularity (Figure 7a),
 	// so they need no per-line MAC fetch.
+	line := addr / LineSize
 	if wrPage {
 		macAddr := macBase + line/macsPerLine*LineSize
 		extra += t.touchMeta(macAddr, write, false)
 	}
 
-	// Minor-counter overflow on writes: the 6-bit counter wraps after 63
-	// bumps, forcing a page re-encryption (read+write every line).
 	if write && wrPage {
-		m := int(t.minors[line]) + int(w)
-		for m >= MinorLimit-1 {
-			m -= MinorLimit - 1
-			t.stats.Reencryptions++
-			t.stats.EncExtraReads += LinesPerPage
-			t.stats.EncExtraWrites += LinesPerPage
-			extra += sim.Duration(2*LinesPerPage) * t.cfg.DRAMLatency
-			// Reset the page's minors.
-			base := page * LinesPerPage
-			for i := uint64(0); i < LinesPerPage; i++ {
-				delete(t.minors, base+i)
-			}
-		}
-		t.minors[line] = uint8(m)
+		extra += t.bumpMinor(t.minors.page(page), line%LinesPerPage, w)
 	}
 
 	// Exposed latency of the crypto units: the AES pad generation and MAC
@@ -309,10 +435,143 @@ func (t *TrafficModel) Access(addr uint64, write bool) (extra sim.Duration) {
 	return extra
 }
 
+// AccessSeq records n data accesses at base, base+stride, base+2*stride,
+// ... — the streaming-scan bulk entry point (an input-page scan is
+// AccessSeq(pageAddr, lines, false, LineSize); a sampled scan passes the
+// sampling stride). A zero stride defaults to LineSize. The result is
+// bit-identical to n Access calls: consecutive accesses that share one
+// steady metadata-line set (same page, and same packed MAC line when the
+// page takes the split-counter path) are settled as one full probe plus
+// bulk cache.AccessRun touches for the guaranteed hits.
+func (t *TrafficModel) AccessSeq(base uint64, n int64, write bool, stride uint64) sim.Duration {
+	if n <= 0 {
+		return 0
+	}
+	if stride == 0 {
+		stride = LineSize
+	}
+	if t.cfg.Mode == ModeNone {
+		w := int64(uint8(t.cfg.SampleWeight))
+		if write {
+			t.stats.DataWrites += n * w
+		} else {
+			t.stats.DataReads += n * w
+		}
+		return 0
+	}
+	var extra sim.Duration
+	addr := base
+	for n > 0 {
+		k := t.groupLen(addr, stride, n)
+		extra += t.accessGroup(addr, write, stride, k)
+		addr += uint64(k) * stride
+		n -= k
+	}
+	return extra
+}
+
+// AccessMany records one data access per address in addrs — the bulk
+// entry point for scattered (heap) traffic. Equivalent to one Access call
+// per element, in order.
+func (t *TrafficModel) AccessMany(addrs []uint64, write bool) sim.Duration {
+	var extra sim.Duration
+	for _, a := range addrs {
+		extra += t.accessOne(a, write)
+	}
+	return extra
+}
+
+// groupLen returns how many accesses of the strided stream starting at
+// addr share one steady metadata-line set: they stay within one page, and
+// — when the page takes the split-counter path — within one packed MAC
+// line (8 data lines).
+func (t *TrafficModel) groupLen(addr, stride uint64, n int64) int64 {
+	span := uint64(PageSize) - addr%PageSize
+	if t.pageWritable(addr / PageSize) {
+		const macSpan = macsPerLine * LineSize
+		if s := uint64(macSpan) - addr%macSpan; s < span {
+			span = s
+		}
+	}
+	k := int64((span + stride - 1) / stride)
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	return k
+}
+
+// accessGroup replays k accesses sharing one steady metadata-line set.
+// The first access runs the full per-line path. Every steady line is then
+// resident (the first access just touched them, and hits never evict), so
+// accesses 2..k are pure metadata hits: they are settled with one bulk
+// AccessRun per steady line — in per-access touch order, so relative LRU
+// order matches the interleaved per-line loop — plus the per-line
+// minor-counter work for writes. If the first access evicted one of its
+// own metadata lines (possible only on degenerate cache geometries where
+// one access touches more lines than a set holds), the group falls back
+// to the per-line loop.
+func (t *TrafficModel) accessGroup(addr uint64, write bool, stride uint64, k int64) (extra sim.Duration) {
+	extra = t.accessOne(addr, write)
+	if k <= 1 {
+		return extra
+	}
+	page := addr / PageSize
+	wrPage := t.pageWritable(page)
+	ctrAddr := t.counterLineFor(page, wrPage)
+
+	// The steady metadata lines, in per-access touch order: counter line,
+	// tree path (reads stop at the first — now verified — ancestor; writes
+	// walk the full path), then the MAC line for split-counter pages.
+	steady := t.steady[:0]
+	steady = append(steady, ctrAddr)
+	if write {
+		steady = treePath(ctrAddr, steady)
+	} else if path := treePath(ctrAddr, steady[1:]); len(path) > 0 {
+		steady = steady[:2] // reads stop at the first (verified) ancestor
+	}
+	if wrPage {
+		line := addr / LineSize
+		steady = append(steady, macBase+line/macsPerLine*LineSize)
+	}
+	for _, a := range steady {
+		if !t.meta.Contains(a) {
+			for j := int64(1); j < k; j++ {
+				extra += t.accessOne(addr+uint64(j)*stride, write)
+			}
+			return extra
+		}
+	}
+
+	// Accesses 2..k: guaranteed hits on every steady line, charged in
+	// bulk. Hits add no latency, so only write minors can add charges.
+	for _, a := range steady {
+		t.meta.AccessRun(a, write, k-1)
+	}
+	w := uint8(t.cfg.SampleWeight)
+	if write {
+		t.stats.DataWrites += (k - 1) * int64(w)
+	} else {
+		t.stats.DataReads += (k - 1) * int64(w)
+	}
+	if write && wrPage {
+		mp := t.minors.page(page)
+		for j := int64(1); j < k; j++ {
+			li := ((addr + uint64(j)*stride) / LineSize) % LinesPerPage
+			if e := t.bumpMinor(mp, li, w); e > 0 {
+				extra += e + t.cfg.EncryptLatency
+			}
+		}
+	}
+	return extra
+}
+
 // Reset clears all model state and statistics.
 func (t *TrafficModel) Reset() {
 	t.meta = cache.New("counter-cache", t.cfg.CounterCacheBytes, LineSize, 8)
-	t.writable = make(map[uint64]bool)
-	t.minors = make(map[uint64]uint8)
+	t.wr.init()
+	t.minors.init()
 	t.stats = TrafficStats{}
 }

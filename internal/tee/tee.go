@@ -275,7 +275,17 @@ type Runtime struct {
 	heapFree uint64 // total free bytes across freeHeap
 	stats    Stats
 
-	lastBusPage []byte // ciphertext most recently observed on the bus
+	// lastBusPage is the ciphertext most recently observed on the bus. It
+	// is a persistent buffer overwritten in place under r.mu on every data
+	// transfer (LastBusTransfer hands out copies), so recording bus
+	// traffic allocates nothing per read.
+	lastBusPage []byte
+
+	// pageScratch pools keystream/ciphertext working buffers for the data
+	// path: ReadPage borrows one page-sized buffer per call outside the
+	// runtime lock, so concurrent TEEs share a small steady-state pool
+	// instead of allocating two pages per read.
+	pageScratch sync.Pool
 }
 
 // Layout constants for the three-region physical memory map (Figure 4).
@@ -343,6 +353,11 @@ func NewRuntime(f *ftl.FTL, opts Options) (*Runtime, error) {
 		tees:       make(map[ftl.TEEID]*TEE),
 		freeHeap:   []span{{base: normalBase, size: opts.DRAMBytes - normalBase}},
 		heapFree:   opts.DRAMBytes - normalBase,
+	}
+	pageSize := int(f.Device().Geometry().PageSize)
+	rt.pageScratch.New = func() any {
+		buf := make([]byte, pageSize)
+		return &buf
 	}
 	// The runtime itself executes in the normal world between service
 	// calls; boot hand-off to the normal world happens here.
@@ -654,22 +669,31 @@ func (r *Runtime) ReadPage(t *TEE, lpa ftl.LPA) ([]byte, error) {
 	// same keystream. Both sides derive the identical PPA-bound pad, so
 	// the runtime generates it once through the bulk API and applies it
 	// twice instead of paying the cipher warm-up per side.
+	//
+	// The only per-read allocation is the returned plaintext (the caller
+	// owns it): the keystream buffer — which becomes the bus ciphertext
+	// in place — is pooled, and the bus snapshot is copied into the
+	// persistent lastBusPage buffer under the lock.
 	pageSize := r.ftl.Device().Geometry().PageSize
 	page := make([]byte, pageSize)
 	copy(page, data)
-	ks := make([]byte, pageSize)
+	ksp := r.pageScratch.Get().(*[]byte)
+	ks := *ksp
 	r.cipher.KeystreamPage(uint32(ppa), ks)
-	ct := make([]byte, pageSize)
 	for i := range page {
-		ct[i] = page[i] ^ ks[i] // flash-side encryption onto the bus
+		ks[i] ^= page[i] // flash-side encryption onto the bus, in place
 	}
 	r.mu.Lock()
 	if done > r.now {
 		r.now = done
 	}
-	r.lastBusPage = ct
+	if len(r.lastBusPage) != int(pageSize) {
+		r.lastBusPage = make([]byte, pageSize)
+	}
+	copy(r.lastBusPage, ks)
 	r.stats.BusPages++
 	r.mu.Unlock()
+	r.pageScratch.Put(ksp)
 	return page, nil
 }
 
