@@ -84,6 +84,10 @@ profile:
 #     per-line TrafficReference and the batched TrafficModel) must show
 #     >= 3x on the scan AND identical stats — the bulk hot path may be
 #     fast only if it changes nothing.
+#   - The -micro replay-setup section (the same replay repeated with the
+#     core resource pool off and on) must show >= 2x faster setup on the
+#     pooled leg AND identical run Results — a recycled, reset stack may
+#     be cheap only if it is indistinguishable from a fresh one.
 # With benchstat installed and a saved baseline (cp bench_new.txt
 # bench_old.txt before a change), it also prints an old-vs-new statistical
 # comparison. See docs/BENCHMARKS.md.
@@ -118,6 +122,13 @@ bench-compare:
 	        printf "mee batched-traffic scan speedup: %.2fx (gate %.2fx, stats identical: %s)\n", scan, gate, id; \
 	        if (id != "true") { print "FAIL: batched traffic model diverged from the per-line reference"; exit 1 } \
 	        if (scan+0 < gate+0) { print "FAIL: batched memory-traffic scan below its gate - the sequential-run fast path has regressed toward the per-line loop"; exit 1 } \
+	      }' micro_new.txt
+	@awk '/^replay setup gate/ { gate=$$4; sp=$$6; id=$$8 } \
+	      END { \
+	        if (gate == "") { print "bench-compare: missing replay-setup output"; exit 1 } \
+	        printf "pooled replay-setup speedup: %.2fx (gate %.2fx, stats identical: %s)\n", sp, gate, id; \
+	        if (id != "true") { print "FAIL: pooled replay stack diverged from fresh allocation"; exit 1 } \
+	        if (sp+0 < gate+0) { print "FAIL: pooled replay setup below its gate - the reset path has regressed toward full reconstruction"; exit 1 } \
 	      }' micro_new.txt
 	@if command -v benchstat >/dev/null 2>&1 && [ -f bench_old.txt ]; then \
 		benchstat bench_old.txt bench_new.txt; \

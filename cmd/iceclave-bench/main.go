@@ -170,13 +170,25 @@ type benchResults struct {
 	SuiteSpeedup    float64 `json:"suite_speedup"`
 	OutputIdentical bool    `json:"output_identical"`
 
-	Scheduler  schedResults      `json:"scheduler"`
-	Trivium    triviumResults    `json:"trivium_keystream"`
-	FTL        ftlResults        `json:"ftl_sharded_locks"`
-	DieOverlap dieOverlapResults `json:"die_pipelining"`
-	Queueing   queueingResults   `json:"admission_queueing"`
-	WriteStorm writeStormResults `json:"write_storm"`
-	MEETraffic meeTrafficResults `json:"mee_traffic"`
+	Scheduler    schedResults        `json:"scheduler"`
+	Trivium      triviumResults      `json:"trivium_keystream"`
+	FTL          ftlResults          `json:"ftl_sharded_locks"`
+	DieOverlap   dieOverlapResults   `json:"die_pipelining"`
+	Queueing     queueingResults     `json:"admission_queueing"`
+	WriteStorm   writeStormResults   `json:"write_storm"`
+	MEETraffic   meeTrafficResults   `json:"mee_traffic"`
+	ResourcePool resourcePoolResults `json:"resource_pool"`
+}
+
+// resourcePoolResults records the replay-stack pool's activity across the
+// timed suite passes — how many replay setups recycled a pooled stack
+// versus allocated fresh, and the total wall time spent in setup — plus
+// the controlled fresh-vs-pooled setup microbenchmark from -micro.
+type resourcePoolResults struct {
+	SuiteHits    int64              `json:"suite_hits"`
+	SuiteMisses  int64              `json:"suite_misses"`
+	SuiteSetupNs int64              `json:"suite_setup_ns"`
+	ReplaySetup  replaySetupResults `json:"replay_setup"`
 }
 
 // schedResults records the multi-tenant offload storm.
@@ -203,6 +215,7 @@ func runBench(sc workload.Scale, workers, tenants, jobs int, outPath string) err
 			return err
 		}
 	}
+	core.ResetPool() // count only the timed passes' pool traffic
 	fmt.Fprintf(os.Stderr, "timing serial suite (memoization off)...\n")
 	t0 := time.Now()
 	serialTables, err := suite.All()
@@ -242,6 +255,10 @@ func runBench(sc workload.Scale, workers, tenants, jobs int, outPath string) err
 		}
 	}
 
+	// Snapshot the suite passes' pool traffic before the microbenchmarks
+	// reset the counters for their own controlled legs.
+	suitePool := core.PoolSnapshot()
+
 	st, err := runSchedulerStorm(tenants, jobs, workers)
 	if err != nil {
 		return err
@@ -274,6 +291,12 @@ func runBench(sc workload.Scale, workers, tenants, jobs int, outPath string) err
 		Queueing:        mr.Queueing,
 		WriteStorm:      mr.WriteStorm,
 		MEETraffic:      mr.MEETraffic,
+		ResourcePool: resourcePoolResults{
+			SuiteHits:    suitePool.Hits,
+			SuiteMisses:  suitePool.Misses,
+			SuiteSetupNs: suitePool.SetupNs,
+			ReplaySetup:  mr.ReplaySetup,
+		},
 	}
 	data, err := json.MarshalIndent(res, "", "  ")
 	if err != nil {
@@ -288,6 +311,8 @@ func runBench(sc workload.Scale, workers, tenants, jobs int, outPath string) err
 		float64(parallelNs)/1e9, res.SuiteSpeedup, workers, identical)
 	fmt.Printf("scheduler: %d tenants x %d offloads in %.2fs (%.1f offloads/s, %d failed)\n",
 		tenants, jobs, float64(st.WallNs)/1e9, st.OffloadsPerSec, st.Failed)
+	fmt.Printf("resource pool: %d hits, %d misses across timed passes (%.2fs in setup)\n",
+		suitePool.Hits, suitePool.Misses, float64(suitePool.SetupNs)/1e9)
 	fmt.Printf("wrote %s\n", outPath)
 	return nil
 }

@@ -6,12 +6,14 @@ import (
 	"sync"
 	"time"
 
+	"iceclave/internal/core"
 	"iceclave/internal/flash"
 	"iceclave/internal/ftl"
 	"iceclave/internal/mee"
 	"iceclave/internal/sched"
 	"iceclave/internal/sim"
 	"iceclave/internal/trivium"
+	"iceclave/internal/workload"
 )
 
 // triviumResults records the cipher microbenchmark: one encrypted-page
@@ -555,15 +557,98 @@ func benchMEETraffic() meeTrafficResults {
 	}
 }
 
+// replaySetupResults records the resource-pool microbenchmark: the same
+// replay run repeated with pooling off (every setup allocates a device,
+// FTL, CMT, and page cache from scratch) and with pooling on (every setup
+// after the first recycles a reset stack). Setup time is what the core
+// pool accounts per run — acquire/build, reset, and prepopulation — so
+// the speedup isolates exactly the cost the pool exists to remove.
+// StatsIdentical compares the full Result structs of the two legs; the
+// pool may be fast only if it changes nothing.
+type replaySetupResults struct {
+	Runs           int     `json:"runs_per_leg"`
+	FreshNsPerRun  int64   `json:"fresh_setup_ns_per_run"`
+	PooledNsPerRun int64   `json:"pooled_setup_ns_per_run"`
+	SetupSpeedup   float64 `json:"setup_speedup"`
+	PoolHits       int64   `json:"pool_hits"`
+	PoolMisses     int64   `json:"pool_misses"`
+	StatsIdentical bool    `json:"stats_identical"`
+	GateFloor      float64 `json:"gate_floor"`
+}
+
+// replaySetupGate is the bench-compare floor for the pooled-setup
+// speedup on memo-miss-heavy runs.
+const replaySetupGate = 2.0
+
+// benchReplaySetup records one trace, then times the per-run setup cost
+// of repeated replays with the resource pool disabled and enabled. The
+// pooled leg performs one unmeasured warm run first, so every measured
+// setup travels the recycle-and-reset path.
+func benchReplaySetup() (replaySetupResults, error) {
+	const runs = 6
+	w, err := workload.ByName("Filter")
+	if err != nil {
+		return replaySetupResults{}, err
+	}
+	tr, err := workload.Record(w, workload.TinyScale(), 4096)
+	if err != nil {
+		return replaySetupResults{}, err
+	}
+	cfg := core.DefaultConfig()
+	defer func() {
+		core.SetPooling(true)
+		core.ResetPool()
+	}()
+
+	leg := func(pooled bool) (nsPerRun int64, st core.PoolStats, last core.Result, err error) {
+		core.SetPooling(pooled)
+		core.ResetPool()
+		if pooled {
+			// Warm run: builds the stack the measured runs recycle.
+			if _, err = core.Run(tr, core.ModeIceClave, cfg); err != nil {
+				return
+			}
+		}
+		before := core.PoolSnapshot()
+		for i := 0; i < runs; i++ {
+			if last, err = core.Run(tr, core.ModeIceClave, cfg); err != nil {
+				return
+			}
+		}
+		st = core.PoolSnapshot()
+		nsPerRun = (st.SetupNs - before.SetupNs) / runs
+		return
+	}
+	freshNs, _, freshRes, err := leg(false)
+	if err != nil {
+		return replaySetupResults{}, err
+	}
+	pooledNs, st, pooledRes, err := leg(true)
+	if err != nil {
+		return replaySetupResults{}, err
+	}
+	return replaySetupResults{
+		Runs:           runs,
+		FreshNsPerRun:  freshNs,
+		PooledNsPerRun: pooledNs,
+		SetupSpeedup:   float64(freshNs) / float64(pooledNs),
+		PoolHits:       st.Hits,
+		PoolMisses:     st.Misses,
+		StatsIdentical: pooledRes == freshRes,
+		GateFloor:      replaySetupGate,
+	}, nil
+}
+
 // microResults bundles the microbenchmark sections that -micro prints and
 // -bench-json embeds in the JSON record.
 type microResults struct {
-	Trivium    triviumResults
-	FTL        ftlResults
-	DieOverlap dieOverlapResults
-	Queueing   queueingResults
-	WriteStorm writeStormResults
-	MEETraffic meeTrafficResults
+	Trivium     triviumResults
+	FTL         ftlResults
+	DieOverlap  dieOverlapResults
+	Queueing    queueingResults
+	WriteStorm  writeStormResults
+	MEETraffic  meeTrafficResults
+	ReplaySetup replaySetupResults
 }
 
 // runMicro executes the cipher, FTL lock-sharding, die-pipelining,
@@ -584,6 +669,9 @@ func runMicro() (microResults, error) {
 		return mr, err
 	}
 	mr.MEETraffic = benchMEETraffic()
+	if mr.ReplaySetup, err = benchReplaySetup(); err != nil {
+		return mr, err
+	}
 	tr, fr, dr, qr, wr := mr.Trivium, mr.FTL, mr.DieOverlap, mr.Queueing, mr.WriteStorm
 	fmt.Printf("trivium: bit-serial %s/page, word64 %s/page (%.1fx, %.0f MB/s)\n",
 		time.Duration(tr.BitserialNsPerPage), time.Duration(tr.Word64NsPerPage),
@@ -609,5 +697,11 @@ func runMicro() (microResults, error) {
 	fmt.Printf("mee traffic mixed: per-line %.1f ns/acc, batched %.1f ns/acc, speedup %.2f\n",
 		mt.MixedPerLineNs, mt.MixedBatchedNs, mt.MixedSpeedup)
 	fmt.Printf("mee traffic gate %.2f stats-identical %v\n", mt.GateFloor, mt.StatsIdentical)
+	rs := mr.ReplaySetup
+	fmt.Printf("replay setup: fresh %s/run, pooled %s/run over %d runs (pool hits %d, misses %d)\n",
+		time.Duration(rs.FreshNsPerRun), time.Duration(rs.PooledNsPerRun),
+		rs.Runs, rs.PoolHits, rs.PoolMisses)
+	fmt.Printf("replay setup gate %.2f speedup %.2f stats-identical %v\n",
+		rs.GateFloor, rs.SetupSpeedup, rs.StatsIdentical)
 	return mr, nil
 }

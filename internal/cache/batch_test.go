@@ -28,7 +28,7 @@ func NewFromGeometry(name string, lineSize uint64, sets, ways int) *Cache {
 func snapshot(c *Cache) (Stats, map[uint64]bool) {
 	resident := make(map[uint64]bool)
 	for i := range c.lines {
-		if c.lines[i].valid {
+		if c.lines[i].gen == c.gen {
 			resident[c.lines[i].tag*c.lineSize] = c.lines[i].dirty
 		}
 	}

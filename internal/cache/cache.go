@@ -40,10 +40,15 @@ func (s Stats) HitRate() float64 {
 }
 
 type line struct {
-	tag   uint64
-	valid bool
+	tag uint64
+	lru uint64 // last-touch tick; larger is more recent
+	// gen is the cache generation the line was filled in. The line is
+	// resident only while gen matches the cache's current generation; a
+	// zero gen (the zero value, or an explicit invalidation) never
+	// matches, since the cache generation starts at 1. This is what makes
+	// Reset O(1) instead of O(lines).
+	gen   uint32
 	dirty bool
-	lru   uint64 // last-touch tick; larger is more recent
 }
 
 // Cache is a set-associative cache. Create instances with New.
@@ -53,6 +58,7 @@ type Cache struct {
 	sets     int
 	ways     int
 	lines    []line // sets*ways, set-major
+	gen      uint32 // current generation; lines with a different gen are empty
 	tick     uint64
 	stats    Stats
 	// mru is the index into lines of the most recently touched line, or -1.
@@ -82,6 +88,7 @@ func New(name string, capacity, lineSize uint64, ways int) *Cache {
 		sets:     sets,
 		ways:     ways,
 		lines:    make([]line, sets*ways),
+		gen:      1,
 		mru:      -1,
 	}
 }
@@ -118,7 +125,7 @@ func (c *Cache) lookup(addr uint64) (setIdx, way int) {
 	tag := addr / c.lineSize
 	setIdx = c.setFor(addr)
 	for w, ln := range c.set(setIdx) {
-		if ln.valid && ln.tag == tag {
+		if ln.gen == c.gen && ln.tag == tag {
 			return setIdx, w
 		}
 	}
@@ -153,7 +160,7 @@ func (c *Cache) access(addr uint64, write bool) (hit bool, ev Eviction, evicted 
 	// often than not. A tag match implies a set match (set = tag mod sets),
 	// so this is pure lookup elision — stats and LRU state are identical.
 	if c.mru >= 0 {
-		if ln := &c.lines[c.mru]; ln.valid && ln.tag == tag {
+		if ln := &c.lines[c.mru]; ln.gen == c.gen && ln.tag == tag {
 			c.stats.Hits++
 			ln.lru = c.tick
 			if write {
@@ -177,7 +184,7 @@ func (c *Cache) access(addr uint64, write bool) (hit bool, ev Eviction, evicted 
 	// Choose victim: first invalid way, else true-LRU.
 	victim := 0
 	for w := range set {
-		if !set[w].valid {
+		if set[w].gen != c.gen {
 			victim = w
 			break
 		}
@@ -185,7 +192,7 @@ func (c *Cache) access(addr uint64, write bool) (hit bool, ev Eviction, evicted 
 			victim = w
 		}
 	}
-	if set[victim].valid {
+	if set[victim].gen == c.gen {
 		ev = Eviction{Addr: set[victim].tag * c.lineSize, Dirty: set[victim].dirty}
 		evicted = true
 		c.stats.Evictions++
@@ -193,7 +200,7 @@ func (c *Cache) access(addr uint64, write bool) (hit bool, ev Eviction, evicted 
 			c.stats.Writebacks++
 		}
 	}
-	set[victim] = line{tag: tag, valid: true, dirty: write, lru: c.tick}
+	set[victim] = line{tag: tag, gen: c.gen, dirty: write, lru: c.tick}
 	c.mru = setIdx*c.ways + victim
 	return false, ev, evicted, c.mru
 }
@@ -257,7 +264,7 @@ func (c *Cache) Invalidate(addr uint64) (wasDirty bool) {
 func (c *Cache) Flush() []Eviction {
 	var dirty []Eviction
 	for i := range c.lines {
-		if c.lines[i].valid && c.lines[i].dirty {
+		if c.lines[i].gen == c.gen && c.lines[i].dirty {
 			dirty = append(dirty, Eviction{Addr: c.lines[i].tag * c.lineSize, Dirty: true})
 		}
 		c.lines[i] = line{}
@@ -269,7 +276,7 @@ func (c *Cache) Flush() []Eviction {
 func (c *Cache) Resident() int {
 	n := 0
 	for i := range c.lines {
-		if c.lines[i].valid {
+		if c.lines[i].gen == c.gen {
 			n++
 		}
 	}
@@ -278,3 +285,20 @@ func (c *Cache) Resident() int {
 
 // ResetStats clears the activity counters but keeps cache contents.
 func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+// Reset returns the cache to its post-New state — empty, clean, zero
+// stats — without touching the line array: advancing the generation stamp
+// orphans every resident line at once, so resetting a multi-megabyte
+// cache costs the same as resetting a tiny one. Only when the 32-bit
+// generation wraps (once per ~4 billion resets) could a stale line alias
+// the new generation, and that one reset clears the array for real.
+func (c *Cache) Reset() {
+	c.gen++
+	if c.gen == 0 {
+		clear(c.lines)
+		c.gen = 1
+	}
+	c.tick = 0
+	c.stats = Stats{}
+	c.mru = -1
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"iceclave/internal/cpu"
 	"iceclave/internal/dram"
@@ -61,9 +62,12 @@ func (r Result) SpeedupOver(other Result) float64 {
 }
 
 // resources is the shared hardware one replay run executes against.
-// Tenants contend on everything here.
+// Tenants contend on everything here. A resources instance is owned by
+// exactly one run at a time; between runs it may rest in the resource
+// pool keyed by key, and reset recycles it (see pool.go).
 type resources struct {
 	cfg       Config
+	key       poolKey
 	dev       *flash.Device
 	ftl       *ftl.FTL
 	cmt       *ftl.MappingCache
@@ -73,9 +77,99 @@ type resources struct {
 	pcie      *host.PCIe
 }
 
+// pageCacheBytes returns the page cache capacity cfg sizes for page size
+// ps: the DRAM fraction rounded down to a power-of-two set count (cache
+// geometry requires one). The pool keys recyclable page caches by this
+// value.
+func pageCacheBytes(cfg Config, ps uint64) uint64 {
+	sets := uint64(float64(cfg.DRAMBytes)*cfg.PageCacheFraction) / (ps * 8)
+	for sets&(sets-1) != 0 {
+		sets &= sets - 1
+	}
+	if sets == 0 {
+		sets = 1
+	}
+	return sets * ps * 8
+}
+
+// buildResources assembles a replay stack for cfg over geo, pulling each
+// component from its pool when a compatible one is idle (reset on
+// acquire) and allocating only what is missing. The page cache — the
+// single most expensive allocation in setup — depends only on the
+// configuration, so it recycles across workloads whose flash geometries
+// differ.
+func buildResources(cfg Config, key poolKey) (*resources, error) {
+	ps := uint64(key.geo.PageSize)
+	df, ok := pool.acquireDev(devKey{key.geo, cfg.FlashTiming})
+	if ok {
+		df.dev.Reset()
+		df.f.Reset()
+	} else {
+		dev, err := flash.NewDevice(key.geo, cfg.FlashTiming)
+		if err != nil {
+			return nil, err
+		}
+		df = devFTL{dev, ftl.New(dev, ftl.Config{})}
+	}
+	pcBytes := pageCacheBytes(cfg, ps)
+	pc := pool.acquirePage(cacheKey{pcBytes, ps})
+	if pc != nil {
+		pc.Reset()
+	} else {
+		pc = dram.NewPageCache(pcBytes, ps)
+	}
+	cmt := pool.acquireCMT(cacheKey{cfg.CMTBytes, ps})
+	if cmt != nil {
+		cmt.Reset()
+	} else {
+		cmt = ftl.NewMappingCache(cfg.CMTBytes, ps)
+	}
+	return &resources{
+		cfg:       cfg,
+		key:       key,
+		dev:       df.dev,
+		ftl:       df.f,
+		cmt:       cmt,
+		pageCache: pc,
+		storage:   cpu.NewComplex(cfg.StorageCore, cfg.StorageCores),
+		hostCPU:   cpu.NewComplex(cfg.HostCore, 1),
+		pcie:      host.NewPCIe(cfg.PCIe),
+	}, nil
+}
+
+// reset returns every layer of a recycled stack to its post-construction
+// state — the full reset contract of ARCHITECTURE.md: device page states,
+// payloads, and erase bookkeeping; FTL mapping table, free pools, and
+// in-flight markers; both caches; CPU, and PCIe servers. After reset the
+// stack is indistinguishable from buildResources output.
+func (r *resources) reset() {
+	r.dev.Reset()
+	r.ftl.Reset()
+	r.cmt.Reset()
+	r.pageCache.Reset()
+	r.storage.Reset()
+	r.hostCPU.Reset()
+	r.pcie.Reset()
+}
+
+// sealSetup is the single post-setup reset point between prepopulation
+// and the measured replay: it clears device timing reservations and
+// device stats AND the FTL's activity counters, so setup writes leak into
+// neither layer's reported figures. (Mapping and page state intentionally
+// survive — they are the dataset.) It replaces the bare dev.ResetTiming()
+// this path used to call, which left FTL-side erase/GC/write counters
+// from prepopulation visible to the measured run.
+func (r *resources) sealSetup() {
+	r.dev.ResetTiming()
+	r.ftl.ResetStats()
+}
+
 // newResources sizes and populates the device for the given traces: each
-// tenant's logical pages are placed at a disjoint LPA offset.
+// tenant's logical pages are placed at a disjoint LPA offset. The stack
+// comes from the resource pool when a matching idle one exists (reset on
+// acquire), otherwise from a fresh build.
 func newResources(cfg Config, traces []*workload.Trace) (*resources, []uint32, error) {
+	start := time.Now()
 	stride := int64(0)
 	for _, tr := range traces {
 		s := int64(tr.SetupPages) + int64(tr.Meter.PagesWritten) + 1024
@@ -88,11 +182,14 @@ func newResources(cfg Config, traces []*workload.Trace) (*resources, []uint32, e
 	if err != nil {
 		return nil, nil, err
 	}
-	dev, err := flash.NewDevice(geo, cfg.FlashTiming)
-	if err != nil {
+	key := poolKey{cfg: cfg, geo: geo}
+	res := pool.acquire(key)
+	if res != nil {
+		res.reset()
+	} else if res, err = buildResources(cfg, key); err != nil {
 		return nil, nil, err
 	}
-	f := ftl.New(dev, ftl.Config{})
+	f := res.ftl
 	if f.LogicalPages() < totalPages {
 		return nil, nil, fmt.Errorf("core: sized %d logical pages, need %d", f.LogicalPages(), totalPages)
 	}
@@ -109,28 +206,9 @@ func newResources(cfg Config, traces []*workload.Trace) (*resources, []uint32, e
 			at = done
 		}
 	}
-	dev.ResetTiming()
-
-	pcBytes := uint64(float64(cfg.DRAMBytes) * cfg.PageCacheFraction)
-	// Cache geometry needs a power-of-two set count; round down.
-	ps := uint64(geo.PageSize)
-	sets := pcBytes / (ps * 8)
-	for sets&(sets-1) != 0 {
-		sets &= sets - 1
-	}
-	if sets == 0 {
-		sets = 1
-	}
-	return &resources{
-		cfg:       cfg,
-		dev:       dev,
-		ftl:       f,
-		cmt:       ftl.NewMappingCache(cfg.CMTBytes, ps),
-		pageCache: dram.NewPageCache(sets*ps*8, ps),
-		storage:   cpu.NewComplex(cfg.StorageCore, cfg.StorageCores),
-		hostCPU:   cpu.NewComplex(cfg.HostCore, 1),
-		pcie:      host.NewPCIe(cfg.PCIe),
-	}, offsets, nil
+	res.sealSetup()
+	pool.addSetup(time.Since(start).Nanoseconds())
+	return res, offsets, nil
 }
 
 // tenant replays one trace against shared resources.
@@ -541,5 +619,7 @@ func RunMulti(traces []*workload.Trace, mode Mode, cfg Config) ([]Result, error)
 	for i, tn := range tenants {
 		out[i] = tn.finish()
 	}
+	// All derived statistics are extracted; the stack can be recycled.
+	pool.release(res)
 	return out, nil
 }

@@ -226,3 +226,10 @@ func (pc *PageCache) Capacity() uint64 { return pc.c.Capacity() }
 
 // ResetStats clears counters while keeping residency.
 func (pc *PageCache) ResetStats() { pc.c.ResetStats() }
+
+// Reset empties the cache and zeroes its counters, returning it to the
+// post-NewPageCache state. The underlying line array — half a million
+// entries for a multi-gigabyte cache, the dominant allocation of a fresh
+// replay stack — is invalidated by generation stamp, not re-zeroed, so
+// Reset is O(1) (part of the pool reset contract).
+func (pc *PageCache) Reset() { pc.c.Reset() }

@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"testing"
+
+	"iceclave/internal/core"
+	"iceclave/internal/workload"
+)
+
+// TestPooledSuiteOutputIdentical is the suite-level differential oracle
+// for the core resource pool, on the rows the pool's post-setup seal
+// could corrupt: Table 6 (MEE traffic accounting) and Figure 8 (MEE mode
+// comparison). It renders both with pooling disabled, then twice with
+// pooling enabled — the second enabled pass replays entirely on recycled,
+// reset stacks — and requires byte-identical output.
+func TestPooledSuiteOutputIdentical(t *testing.T) {
+	t.Cleanup(func() { core.SetPooling(true); core.ResetPool() })
+	sc := workload.TinyScale()
+	render := func() (string, string) {
+		s := NewSuite(sc, core.DefaultConfig())
+		t6, err := s.Table6()
+		if err != nil {
+			t.Fatal(err)
+		}
+		f8, err := s.Figure8()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return t6.String(), f8.String()
+	}
+
+	core.SetPooling(false)
+	core.ResetPool()
+	freshT6, freshF8 := render()
+
+	core.SetPooling(true)
+	core.ResetPool()
+	warmT6, warmF8 := render() // builds the stacks, then pools them
+	poolT6, poolF8 := render() // replays on recycled stacks
+	if st := core.PoolSnapshot(); st.Hits == 0 {
+		t.Fatalf("second pooled pass never hit the pool: %+v", st)
+	}
+
+	for _, c := range []struct{ name, got, want string }{
+		{"Table6/warm", warmT6, freshT6},
+		{"Figure8/warm", warmF8, freshF8},
+		{"Table6/pooled", poolT6, freshT6},
+		{"Figure8/pooled", poolF8, freshF8},
+	} {
+		if c.got != c.want {
+			t.Errorf("%s diverges from fresh-alloc output:\n--- fresh ---\n%s\n--- got ---\n%s",
+				c.name, c.want, c.got)
+		}
+	}
+}

@@ -76,6 +76,14 @@ type channelState struct {
 	eraseCount []int32        // channel-local block index
 	data       map[PPA][]byte // sparse payload store, keyed by global PPA
 
+	// touched marks the channel-local blocks whose page states or erase
+	// counts have diverged from factory-fresh (any program or erase);
+	// touchedList holds their indices in first-touch order. Reset walks
+	// the list instead of the whole channel, so resetting a lightly-used
+	// device costs O(blocks written), not O(geometry).
+	touched     []bool
+	touchedList []int64
+
 	dies  []*sim.Server // array reads, one unit per die
 	diesW []*sim.Server // programs/erases; modern controllers suspend
 	// in-flight programs for reads, so the read path does not queue
@@ -108,6 +116,7 @@ type Device struct {
 	blocksPerChannel int64
 	diesPerChannel   int
 	pagesPerDie      int64
+	pagesPerBlock    int64
 
 	stats counters
 }
@@ -129,12 +138,14 @@ func NewDevice(geo Geometry, timing Timing) (*Device, error) {
 		blocksPerChannel: geo.BlocksPerChannel(),
 		diesPerChannel:   geo.DiesPerChannel(),
 		pagesPerDie:      int64(geo.PlanesPerDie) * geo.PagesPerPlane(),
+		pagesPerBlock:    int64(geo.PagesPerBlock),
 	}
 	for ch := range d.chans {
 		cs := &d.chans[ch]
 		cs.state = make([]PageState, d.pagesPerChannel)
 		cs.eraseCount = make([]int32, d.blocksPerChannel)
 		cs.data = make(map[PPA][]byte)
+		cs.touched = make([]bool, d.blocksPerChannel)
 		cs.dies = make([]*sim.Server, d.diesPerChannel)
 		cs.diesW = make([]*sim.Server, d.diesPerChannel)
 		for i := range cs.dies {
@@ -161,6 +172,15 @@ func (d *Device) Snapshot() Stats {
 		Erases:       d.stats.erases.Load(),
 		BytesRead:    d.stats.bytesRead.Load(),
 		BytesWritten: d.stats.bytesWritten.Load(),
+	}
+}
+
+// markTouched records that block lb's page states or erase count have
+// diverged from fresh. Caller holds cs.mu.
+func (cs *channelState) markTouched(lb int64) {
+	if !cs.touched[lb] {
+		cs.touched[lb] = true
+		cs.touchedList = append(cs.touchedList, lb)
 	}
 }
 
@@ -259,6 +279,7 @@ func (d *Device) Program(at sim.Time, p PPA, data []byte) (done sim.Time, err er
 	_, busDone := cs.bus.Acquire(at, d.transferTime())
 	_, done = cs.diesW[d.localDie(lp)].Acquire(busDone, d.timing.ProgramLatency)
 	cs.state[lp] = PageValid
+	cs.markTouched(lp / d.pagesPerBlock)
 	if data != nil {
 		cs.data[p] = append([]byte(nil), data...)
 	}
@@ -307,6 +328,7 @@ func (d *Device) Erase(at sim.Time, b BlockID) (done sim.Time, err error) {
 	}
 	_, done = cs.diesW[d.localDie(lfirst)].Acquire(at, d.timing.EraseLatency)
 	cs.eraseCount[lb]++
+	cs.markTouched(lb)
 	d.stats.erases.Add(1)
 	return done, nil
 }
@@ -349,15 +371,48 @@ func (d *Device) ResetTiming() {
 	for ch := range d.chans {
 		cs := &d.chans[ch]
 		cs.mu.Lock()
-		for _, s := range cs.dies {
-			s.Reset()
-		}
-		for _, s := range cs.diesW {
-			s.Reset()
-		}
-		cs.bus.Reset()
+		cs.resetTiming()
 		cs.mu.Unlock()
 	}
+	d.resetStats()
+}
+
+// Reset returns the device to its factory-fresh state: every page free,
+// every erase count zero, no payloads, idle servers, zero stats. The cost
+// is proportional to the blocks actually touched since construction (or
+// the last Reset), not to the geometry — the reuse-aware half of the pool
+// reset contract. Like ResetTiming it locks one channel at a time, so the
+// caller must quiesce concurrent operations first; on the replay path the
+// pool's exclusive resource handoff guarantees that.
+func (d *Device) Reset() {
+	for ch := range d.chans {
+		cs := &d.chans[ch]
+		cs.mu.Lock()
+		for _, lb := range cs.touchedList {
+			clear(cs.state[lb*d.pagesPerBlock : (lb+1)*d.pagesPerBlock])
+			cs.eraseCount[lb] = 0
+			cs.touched[lb] = false
+		}
+		cs.touchedList = cs.touchedList[:0]
+		clear(cs.data)
+		cs.resetTiming()
+		cs.mu.Unlock()
+	}
+	d.resetStats()
+}
+
+// resetTiming returns the channel's servers to idle. Caller holds cs.mu.
+func (cs *channelState) resetTiming() {
+	for _, s := range cs.dies {
+		s.Reset()
+	}
+	for _, s := range cs.diesW {
+		s.Reset()
+	}
+	cs.bus.Reset()
+}
+
+func (d *Device) resetStats() {
 	d.stats.reads.Store(0)
 	d.stats.programs.Store(0)
 	d.stats.erases.Store(0)

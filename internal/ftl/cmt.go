@@ -65,6 +65,10 @@ func (m *MappingCache) Stats() cache.Stats { return m.c.Stats() }
 // ResetStats clears counters while keeping residency.
 func (m *MappingCache) ResetStats() { m.c.ResetStats() }
 
+// Reset empties the cache and zeroes its counters in O(1), returning it
+// to the post-NewMappingCache state (part of the pool reset contract).
+func (m *MappingCache) Reset() { m.c.Reset() }
+
 // MissCost bundles the latency components charged on a CMT miss.
 type MissCost struct {
 	WorldSwitch sim.Duration // normal->secure->normal round trip (IceClave mode only)

@@ -43,11 +43,15 @@ const MaxTEEID TEEID = 15
 const IDNone TEEID = 0
 
 // entry packs a mapping-table entry the way the paper describes its 8-byte
-// entries: physical page address, 4 ID bits, and a valid bit.
+// entries: physical page address, 4 ID bits, and a valid bit. dirty is
+// bookkeeping outside the paper's format: it marks entries that have
+// diverged from the zero value since construction (mapping, ID bits, or
+// both), so Reset clears only those instead of sweeping the whole table.
 type entry struct {
 	ppa   flash.PPA
 	id    TEEID
 	valid bool
+	dirty bool
 }
 
 // ErrUnmapped is returned when reading an LPA that was never written.
@@ -147,6 +151,9 @@ type channelShard struct {
 	dies     []dieState
 	rr       int
 	inflight int // programs staged on this channel, not yet committed
+	// usedList holds this channel's blocks ever taken from a free pool
+	// (see FTL.usedBlocks), in first-use order.
+	usedList []flash.BlockID
 }
 
 func (cs *channelShard) freeTotal() int {
@@ -159,10 +166,13 @@ func (cs *channelShard) freeTotal() int {
 
 // mappingStripe is one lock stripe of the mapping table, padded out so
 // adjacent stripes do not share a cache line (the striped-lock layout
-// conventional in sharded stores).
+// conventional in sharded stores). dirty lists the stripe's table entries
+// that have diverged from the zero value, in first-dirty order; Reset
+// walks it so a reset costs O(entries written), not O(logical pages).
 type mappingStripe struct {
-	mu sync.Mutex
-	_  [56]byte
+	mu    sync.Mutex
+	dirty []LPA
+	_     [32]byte
 }
 
 // FTL is the flash translation layer. It owns the device's block
@@ -216,6 +226,11 @@ type FTL struct {
 	// a victim (its pages look free or lack reverse mappings until the
 	// writer commits). Guarded by the block's channel shard.
 	pending []int32
+	// usedBlocks[b] marks blocks ever taken from a free pool — only their
+	// reverse-map slots and pending counts can have diverged from fresh.
+	// Guarded by the block's channel shard, like reverse and pending; the
+	// per-shard usedList drives Reset.
+	usedBlocks []bool
 
 	logicalPages int64
 	stats        counters
@@ -243,24 +258,40 @@ func New(dev *flash.Device, cfg Config) *FTL {
 		reverse:      make([]LPA, geo.TotalPages()),
 		chans:        make([]channelShard, geo.Channels),
 		pending:      make([]int32, geo.TotalBlocks()),
+		usedBlocks:   make([]bool, geo.TotalBlocks()),
 		logicalPages: logical,
 	}
 	for i := range f.reverse {
 		f.reverse[i] = invalidLPA
 	}
-	// Distribute blocks to per-die pools within their channels.
 	diesPerChannel := geo.ChipsPerChannel * geo.DiesPerChip
 	for ch := range f.chans {
 		f.chans[ch].dies = make([]dieState, diesPerChannel)
 	}
-	for b := flash.BlockID(0); int64(b) < geo.TotalBlocks(); b++ {
-		first := geo.FirstPage(b)
-		ch := geo.ChannelOf(first)
-		die := geo.DieIndex(first) % diesPerChannel
+	f.distributeBlocks()
+	return f
+}
+
+// distributeBlocks fills every die's free-block pool with the full block
+// population in ascending BlockID order — the allocation order New
+// establishes, reproduced exactly on Reset so a recycled FTL allocates
+// block-for-block like a fresh one. Pool slices are reused in place.
+// Caller must own the FTL exclusively (construction or a quiesced Reset).
+func (f *FTL) distributeBlocks() {
+	for ch := range f.chans {
+		cs := &f.chans[ch]
+		for i := range cs.dies {
+			cs.dies[i].freeBlocks = cs.dies[i].freeBlocks[:0]
+		}
+	}
+	diesPerChannel := f.geo.ChipsPerChannel * f.geo.DiesPerChip
+	for b := flash.BlockID(0); int64(b) < f.geo.TotalBlocks(); b++ {
+		first := f.geo.FirstPage(b)
+		ch := f.geo.ChannelOf(first)
+		die := f.geo.DieIndex(first) % diesPerChannel
 		ds := &f.chans[ch].dies[die]
 		ds.freeBlocks = append(ds.freeBlocks, b)
 	}
-	return f
 }
 
 // LogicalPages returns the number of LPAs exposed.
@@ -362,6 +393,7 @@ func (f *FTL) SetID(l LPA, id TEEID) error {
 	st := f.stripeOf(l)
 	st.mu.Lock()
 	defer st.mu.Unlock()
+	f.markDirty(st, l)
 	f.table[l].id = id
 	return nil
 }
@@ -383,6 +415,7 @@ func (f *FTL) ClaimID(l LPA, id TEEID) error {
 	if cur := f.table[l].id; cur != IDNone && cur != id {
 		return fmt.Errorf("%w: LPA %d held by ID %d", ErrOwned, l, cur)
 	}
+	f.markDirty(st, l)
 	f.table[l].id = id
 	return nil
 }
@@ -617,6 +650,16 @@ func (f *FTL) commitFor(l LPA, ch int, ppa flash.PPA, id TEEID) (owner TEEID, ad
 	return owner, adopted, nil
 }
 
+// markDirty records that l's table entry has diverged from the zero
+// value, entering it in its stripe's reset list once. Caller holds st,
+// which must be l's stripe.
+func (f *FTL) markDirty(st *mappingStripe, l LPA) {
+	if !f.table[l].dirty {
+		f.table[l].dirty = true
+		st.dirty = append(st.dirty, l)
+	}
+}
+
 // remap points l at its freshly programmed page and retires the old one.
 // Caller holds ch's shard and l's stripe.
 func (f *FTL) remap(l LPA, ppa flash.PPA) error {
@@ -627,7 +670,8 @@ func (f *FTL) remap(l LPA, ppa flash.PPA) error {
 		}
 		f.reverse[old.ppa] = invalidLPA
 	}
-	f.table[l] = entry{ppa: ppa, id: old.id, valid: true}
+	f.markDirty(f.stripeOf(l), l)
+	f.table[l] = entry{ppa: ppa, id: old.id, valid: true, dirty: true}
 	f.reverse[ppa] = l
 	f.stats.hostWrites.Add(1)
 	return nil
@@ -657,6 +701,10 @@ func (f *FTL) allocate(ch int) (flash.PPA, error) {
 			ds.freeBlocks = append(ds.freeBlocks[:idx], ds.freeBlocks[idx+1:]...)
 			ds.nextPage = 0
 			ds.hasActive = true
+			if !f.usedBlocks[ds.activeBlock] {
+				f.usedBlocks[ds.activeBlock] = true
+				cs.usedList = append(cs.usedList, ds.activeBlock)
+			}
 		}
 		ppa := f.geo.FirstPage(ds.activeBlock) + flash.PPA(ds.nextPage)
 		ds.nextPage++
@@ -830,6 +878,66 @@ func (f *FTL) FreeBlocks(ch int) int {
 	cs.mu.Lock()
 	defer cs.mu.Unlock()
 	return cs.freeTotal()
+}
+
+// ResetStats zeroes the activity counters while keeping all mapping and
+// allocator state — the FTL half of the replay engine's post-setup seal,
+// paired with flash.Device.ResetTiming so prepopulation writes leak into
+// neither layer's measured statistics.
+func (f *FTL) ResetStats() {
+	f.stats.hostWrites.Store(0)
+	f.stats.gcWrites.Store(0)
+	f.stats.gcRuns.Store(0)
+	f.stats.erases.Store(0)
+	f.stats.translations.Store(0)
+}
+
+// Reset returns the FTL to its post-New state: an empty mapping table,
+// full per-die free pools in construction order, no reverse mappings, no
+// in-flight program markers, zero stats. The cost is proportional to the
+// entries written and blocks used since construction (or the last Reset),
+// not to the logical or physical capacity. The device below is NOT reset
+// — pair with flash.Device.Reset, as the pool's recycle path does.
+//
+// Reset takes each stripe and shard lock in turn, but a concurrent
+// operation could still observe a half-reset FTL, so the caller must own
+// the FTL exclusively (quiesced); on the replay path the pool's
+// exclusive resource handoff guarantees that.
+func (f *FTL) Reset() {
+	for s := range f.stripes {
+		st := &f.stripes[s]
+		st.mu.Lock()
+		for _, l := range st.dirty {
+			f.table[l] = entry{}
+		}
+		st.dirty = st.dirty[:0]
+		st.mu.Unlock()
+	}
+	ppb := flash.PPA(f.geo.PagesPerBlock)
+	for ch := range f.chans {
+		cs := &f.chans[ch]
+		cs.mu.Lock()
+		for _, b := range cs.usedList {
+			first := f.geo.FirstPage(b)
+			for p := first; p < first+ppb; p++ {
+				f.reverse[p] = invalidLPA
+			}
+			f.pending[b] = 0
+			f.usedBlocks[b] = false
+		}
+		cs.usedList = cs.usedList[:0]
+		for i := range cs.dies {
+			ds := &cs.dies[i]
+			ds.activeBlock = 0
+			ds.nextPage = 0
+			ds.hasActive = false
+		}
+		cs.rr = 0
+		cs.inflight = 0
+		cs.mu.Unlock()
+	}
+	f.distributeBlocks()
+	f.ResetStats()
 }
 
 // MaxEraseSpread returns max-min block erase counts, a wear-leveling
