@@ -4,7 +4,7 @@ GO ?= go
 # for significance when comparing against a saved baseline).
 BENCH_COUNT ?= 1
 
-.PHONY: all build fmt-check vet test race race-shard ci bench bench-compare micro fuzz profile
+.PHONY: all build fmt-check vet test race race-shard trace-tests ci bench bench-compare micro fuzz profile
 
 all: build
 
@@ -37,12 +37,23 @@ race-shard:
 		-run 'CrossChannelNoSharedLock|SnapshotRaceWithPrograms|CrossChannelWriteStormIntegrity|GCChannelIsolationUnderWriteStorm|GCOnHostageChannelDoesNotBlockOthers' \
 		./internal/flash ./internal/ftl
 
+# trace-tests runs the trace-replay differential layer explicitly (and
+# verbosely) under the race detector: the golden-fixture and fuzz-seed
+# reader tests, the open-loop playback pins at the sim/sched gates, the
+# core zero-schedule bit-compatibility and QueueDelay-from-arrival pins,
+# and the suite-level byte-identical rerun check. `race` runs them too,
+# but a trace-replay regression should fail loudly and by name.
+trace-tests:
+	$(GO) test -race -count 1 -v \
+		-run 'Trace|Playback|Golden|Malformed|Schedule|EqualArrivals|BurstyFixture' \
+		./internal/trace ./internal/sim ./internal/sched ./internal/core ./internal/experiments
+
 # ci is the gate future PRs must keep green: gofmt-clean tree, clean
-# build, clean vet, the named channel-sharding race tests, and the full
-# test suite (including the 32-tenant offload stress, the FTL
-# stripe-contention tests, and the Trivium differential suite) under the
-# race detector.
-ci: fmt-check build vet race-shard race
+# build, clean vet, the named channel-sharding race tests, the
+# trace-replay differential layer, and the full test suite (including the
+# 32-tenant offload stress, the FTL stripe-contention tests, and the
+# Trivium differential suite) under the race detector.
+ci: fmt-check build vet race-shard trace-tests race
 
 # bench regenerates the committed machine-readable performance record:
 # serial vs parallel experiment-suite wall time, the scheduler offload
@@ -88,6 +99,10 @@ profile:
 #     core resource pool off and on) must show >= 2x faster setup on the
 #     pooled leg AND identical run Results — a recycled, reset stack may
 #     be cheap only if it is indistinguishable from a fresh one.
+#   - The -micro trace-replay section (the Timing 2 open-loop scenario run
+#     cold, memoized, and on a fresh suite) must report identical: true —
+#     the trace-mode table must be byte-identical across memoized reruns
+#     and schedule re-parses.
 # With benchstat installed and a saved baseline (cp bench_new.txt
 # bench_old.txt before a change), it also prints an old-vs-new statistical
 # comparison. See docs/BENCHMARKS.md.
@@ -130,20 +145,29 @@ bench-compare:
 	        if (id != "true") { print "FAIL: pooled replay stack diverged from fresh allocation"; exit 1 } \
 	        if (sp+0 < gate+0) { print "FAIL: pooled replay setup below its gate - the reset path has regressed toward full reconstruction"; exit 1 } \
 	      }' micro_new.txt
+	@awk '/^trace replay identical:/ { id=$$4 } \
+	      END { \
+	        if (id == "") { print "bench-compare: missing trace-replay output"; exit 1 } \
+	        printf "trace-replay suite output identical across reruns: %s\n", id; \
+	        if (id != "true") { print "FAIL: trace-mode suite output changed across memoized reruns or schedule re-parses"; exit 1 } \
+	      }' micro_new.txt
 	@if command -v benchstat >/dev/null 2>&1 && [ -f bench_old.txt ]; then \
 		benchstat bench_old.txt bench_new.txt; \
 	else \
 		echo "(install benchstat and save bench_old.txt for old-vs-new deltas)"; \
 	fi
 
-# fuzz gives each cipher/MEE fuzz target a short budget beyond the
+# fuzz gives each cipher/MEE/trace fuzz target a short budget beyond the
 # committed regression corpus in testdata/fuzz. The Trivium targets
 # differentially check the word-parallel engine against the bit-serial
 # reference on every input; the traffic target does the same for the
-# batched traffic model against its per-line TrafficReference oracle.
+# batched traffic model against its per-line TrafficReference oracle; the
+# trace target pins that arbitrary CSV input parses to a typed error or a
+# well-formed schedule, never a panic or a silent row drop.
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzKeystreamRoundTrip -fuzztime=20s ./internal/trivium
 	$(GO) test -run='^$$' -fuzz=FuzzEnginePageRoundTrip -fuzztime=20s ./internal/trivium
 	$(GO) test -run='^$$' -fuzz=FuzzEngineWriteReadMAC -fuzztime=20s ./internal/mee
 	$(GO) test -run='^$$' -fuzz=FuzzEngineCounterReplay -fuzztime=20s ./internal/mee
 	$(GO) test -run='^$$' -fuzz=FuzzTrafficBatchedVsReference -fuzztime=20s ./internal/mee
+	$(GO) test -run='^$$' -fuzz=FuzzTraceReader -fuzztime=20s ./internal/trace

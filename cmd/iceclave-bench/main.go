@@ -177,6 +177,7 @@ type benchResults struct {
 	Queueing     queueingResults     `json:"admission_queueing"`
 	WriteStorm   writeStormResults   `json:"write_storm"`
 	MEETraffic   meeTrafficResults   `json:"mee_traffic"`
+	TraceReplay  traceReplayResults  `json:"trace_replay"`
 	ResourcePool resourcePoolResults `json:"resource_pool"`
 }
 
@@ -291,6 +292,7 @@ func runBench(sc workload.Scale, workers, tenants, jobs int, outPath string) err
 		Queueing:        mr.Queueing,
 		WriteStorm:      mr.WriteStorm,
 		MEETraffic:      mr.MEETraffic,
+		TraceReplay:     mr.TraceReplay,
 		ResourcePool: resourcePoolResults{
 			SuiteHits:    suitePool.Hits,
 			SuiteMisses:  suitePool.Misses,
@@ -421,6 +423,8 @@ func one(s *experiments.Suite, name string) (*stats.Table, error) {
 		return s.Figure18()
 	case "timing", "timing 1":
 		return s.AdmissionTiming()
+	case "trace", "timing 2":
+		return s.TraceTiming()
 	}
 	return nil, fmt.Errorf("unknown experiment %q", name)
 }

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"iceclave/internal/core"
+	"iceclave/internal/experiments"
 	"iceclave/internal/flash"
 	"iceclave/internal/ftl"
 	"iceclave/internal/mee"
@@ -557,6 +558,91 @@ func benchMEETraffic() meeTrafficResults {
 	}
 }
 
+// traceBandResults is one priority band of the trace-replay record.
+type traceBandResults struct {
+	Band          string `json:"band"`
+	Tenants       int    `json:"tenants"`
+	MeanQueueNs   int64  `json:"mean_queue_ns"`
+	MaxQueueNs    int64  `json:"max_queue_ns"`
+	MeanSojournNs int64  `json:"mean_sojourn_ns"`
+	MaxSojournNs  int64  `json:"max_sojourn_ns"`
+	T0MeanQueueNs int64  `json:"t0_mean_queue_ns"`
+}
+
+// traceReplayResults records the trace-driven open-loop replay scenario:
+// the committed bursty fixture's arrival schedule driven through the
+// admission gate, with per-band queue-delay and sojourn statistics in
+// SIMULATED time against the same work submitted at t=0. Identical is the
+// differential gate bench-compare checks: the memoized rerun and a fresh
+// suite (which re-parses the fixture into a new schedule instance) must
+// emit byte-identical Timing 2 tables.
+type traceReplayResults struct {
+	Fixture         string             `json:"fixture"`
+	Tenants         int                `json:"tenants"`
+	Slots           int                `json:"slots"`
+	SpanNs          int64              `json:"span_ns"`
+	OpenMeanQueueNs int64              `json:"open_mean_queue_ns"`
+	T0MeanQueueNs   int64              `json:"t0_mean_queue_ns"`
+	Bands           []traceBandResults `json:"bands"`
+	Identical       bool               `json:"identical"`
+}
+
+// benchTraceReplay runs the Timing 2 scenario three ways — cold, memoized
+// rerun on the same suite, and cold again on a fresh suite with
+// memoization off — and verifies all three render byte-identically. The
+// fresh suite parses its own copy of the fixture, so the comparison also
+// pins that replay timing depends on schedule contents, not instance
+// identity. Virtual-time statistics, deterministic by construction.
+func benchTraceReplay() (traceReplayResults, error) {
+	sc := workload.TinyScale()
+	s1 := experiments.NewSuite(sc, core.DefaultConfig())
+	cold, err := s1.TraceTiming()
+	if err != nil {
+		return traceReplayResults{}, err
+	}
+	memo, err := s1.TraceTiming()
+	if err != nil {
+		return traceReplayResults{}, err
+	}
+	s2 := experiments.NewSuite(sc, core.DefaultConfig()).SetMemoize(false)
+	fresh, err := s2.TraceTiming()
+	if err != nil {
+		return traceReplayResults{}, err
+	}
+	identical := cold.String() == memo.String() && cold.String() == fresh.String()
+
+	sum, err := s1.TraceReplaySummary()
+	if err != nil {
+		return traceReplayResults{}, err
+	}
+	out := traceReplayResults{
+		Fixture:   sum.Fixture,
+		Tenants:   sum.Tenants,
+		Slots:     sum.Slots,
+		SpanNs:    int64(sum.Span),
+		Identical: identical,
+	}
+	var open, t0 int64
+	for _, b := range sum.Bands {
+		out.Bands = append(out.Bands, traceBandResults{
+			Band:          b.Band,
+			Tenants:       b.Tenants,
+			MeanQueueNs:   int64(b.MeanQueue),
+			MaxQueueNs:    int64(b.MaxQueue),
+			MeanSojournNs: int64(b.MeanSojourn),
+			MaxSojournNs:  int64(b.MaxSojourn),
+			T0MeanQueueNs: int64(b.T0MeanQueue),
+		})
+		open += int64(b.MeanQueue) * int64(b.Tenants)
+		t0 += int64(b.T0MeanQueue) * int64(b.Tenants)
+	}
+	if sum.Tenants > 0 {
+		out.OpenMeanQueueNs = open / int64(sum.Tenants)
+		out.T0MeanQueueNs = t0 / int64(sum.Tenants)
+	}
+	return out, nil
+}
+
 // replaySetupResults records the resource-pool microbenchmark: the same
 // replay run repeated with pooling off (every setup allocates a device,
 // FTL, CMT, and page cache from scratch) and with pooling on (every setup
@@ -648,6 +734,7 @@ type microResults struct {
 	Queueing    queueingResults
 	WriteStorm  writeStormResults
 	MEETraffic  meeTrafficResults
+	TraceReplay traceReplayResults
 	ReplaySetup replaySetupResults
 }
 
@@ -669,6 +756,9 @@ func runMicro() (microResults, error) {
 		return mr, err
 	}
 	mr.MEETraffic = benchMEETraffic()
+	if mr.TraceReplay, err = benchTraceReplay(); err != nil {
+		return mr, err
+	}
 	if mr.ReplaySetup, err = benchReplaySetup(); err != nil {
 		return mr, err
 	}
@@ -697,6 +787,11 @@ func runMicro() (microResults, error) {
 	fmt.Printf("mee traffic mixed: per-line %.1f ns/acc, batched %.1f ns/acc, speedup %.2f\n",
 		mt.MixedPerLineNs, mt.MixedBatchedNs, mt.MixedSpeedup)
 	fmt.Printf("mee traffic gate %.2f stats-identical %v\n", mt.GateFloor, mt.StatsIdentical)
+	rr := mr.TraceReplay
+	fmt.Printf("trace replay: %d tenants / %d slots over %s of arrivals, open-loop mean queue %s vs %s at t=0\n",
+		rr.Tenants, rr.Slots, time.Duration(rr.SpanNs),
+		time.Duration(rr.OpenMeanQueueNs), time.Duration(rr.T0MeanQueueNs))
+	fmt.Printf("trace replay identical: %v\n", rr.Identical)
 	rs := mr.ReplaySetup
 	fmt.Printf("replay setup: fresh %s/run, pooled %s/run over %d runs (pool hits %d, misses %d)\n",
 		time.Duration(rs.FreshNsPerRun), time.Duration(rs.PooledNsPerRun),

@@ -19,6 +19,7 @@ import (
 	"iceclave/internal/mee"
 	"iceclave/internal/sim"
 	"iceclave/internal/tee"
+	"iceclave/internal/trace"
 )
 
 // Mode is an execution scheme from the §6.1 comparison.
@@ -128,6 +129,18 @@ type Config struct {
 	// tick admits everything capacity allows. Ignored unless
 	// AdmissionQuantum is set.
 	AdmissionBatch int
+	// ArrivalSchedule, when non-nil, switches RunMulti to open-loop
+	// playback: tenant i submits at Submissions[i].At with that entry's
+	// priority band and tenant key (the trace name when the entry's key is
+	// empty), instead of every tenant at t=0 with PriorityNormal. The
+	// schedule must have exactly one submission per trace. Each tenant's
+	// QueueDelay and Total then count from its scheduled arrival — the
+	// pre-arrival idle of a late arrival is not queueing delay. The zero
+	// value (nil) reproduces the t=0 semantics exactly. A pointer keeps
+	// Config comparable for the experiment suite's memo keys: two configs
+	// share a key only when they share the schedule instance, which is
+	// also the only way the replays are guaranteed identical.
+	ArrivalSchedule *trace.Schedule
 	// Seed feeds address-synthesis randomness.
 	Seed uint64
 }

@@ -20,11 +20,15 @@ type Result struct {
 	Workload string
 	Mode     Mode
 
-	// Total is the end-to-end simulated time, including QueueDelay.
+	// Total is the end-to-end simulated time from the tenant's arrival
+	// (t=0, or its scheduled submission instant under
+	// Config.ArrivalSchedule) to its completion, including QueueDelay.
 	Total sim.Duration
 	// QueueDelay is the simulated time the tenant waited for admission
-	// before its replay began — nonzero only under RunMulti with
-	// Config.AdmissionSlots / AdmissionTenantSlots caps set.
+	// between its arrival and its grant — nonzero only under RunMulti
+	// with Config.AdmissionSlots / AdmissionTenantSlots caps set. Under
+	// an ArrivalSchedule the wait counts from the scheduled arrival, so a
+	// late arrival's pre-arrival idle is never queueing delay.
 	QueueDelay sim.Duration
 	// LoadTime is time stalled on storage I/O (flash and, on the host
 	// path, PCIe).
@@ -220,6 +224,9 @@ type tenant struct {
 	rng    *sim.RNG
 	meeM   *mee.TrafficModel
 
+	// arrival is the tenant's scheduled submission instant; zero without
+	// an ArrivalSchedule. QueueDelay and Total count from it.
+	arrival       sim.Time
 	now           sim.Time
 	step          int
 	lastWrite     sim.Time
@@ -535,7 +542,7 @@ func (t *tenant) writePhase(st workload.Step, lpa ftl.LPA) {
 
 // finish computes the derived statistics.
 func (t *tenant) finish() Result {
-	t.result.Total = sim.Duration(t.now)
+	t.result.Total = sim.Duration(t.now - t.arrival)
 	if t.cmtHit+t.cmtMiss > 0 {
 		t.result.CMTMissRate = float64(t.cmtMiss) / float64(t.cmtHit+t.cmtMiss)
 	}
@@ -556,11 +563,11 @@ func Run(tr *workload.Trace, mode Mode, cfg Config) (Result, error) {
 }
 
 // begin opens the tenant's replay at its admission time: the clock starts
-// at the grant (so queueing delay is part of Total) and the Table 5
-// creation cost is charged.
+// at the grant (so queueing delay is part of Total), the wait is measured
+// from the tenant's arrival, and the Table 5 creation cost is charged.
 func (t *tenant) begin(granted sim.Time) {
 	t.now = granted
-	t.result.QueueDelay = sim.Duration(granted)
+	t.result.QueueDelay = sim.Duration(granted - t.arrival)
 	if t.mode == ModeIceClave {
 		t.now += t.res.cfg.Costs.Create
 		t.result.TEETime += t.res.cfg.Costs.Create
@@ -587,12 +594,23 @@ func (t *tenant) stepEvent(eng *sim.Engine, adm *sched.VirtualAdmission, ticket 
 // RunMulti replays several traces concurrently against shared hardware —
 // the multi-tenant experiments of Figures 17 and 18. One discrete-event
 // virtual-time backbone spans the whole run: tenants submit to the sched
-// package's simulated-time admission gate at time zero, grants and replay
-// steps are engine events in virtual-time order, and tenants contend for
-// channels, dies, cores, the mapping cache, and the page cache through the
-// same clock. With admission caps configured, the wait for a slot appears
-// in each Result's QueueDelay (and in its Total).
+// package's simulated-time admission gate, grants and replay steps are
+// engine events in virtual-time order, and tenants contend for channels,
+// dies, cores, the mapping cache, and the page cache through the same
+// clock. With admission caps configured, the wait for a slot appears in
+// each Result's QueueDelay (and in its Total).
+//
+// Submission timing is closed-loop by default — every tenant submits at
+// time zero with PriorityNormal, the saturation regime. A non-nil
+// cfg.ArrivalSchedule switches to open-loop trace playback: tenant i
+// enters the gate at Submissions[i].At in its entry's priority band, with
+// its entry's tenant key, and its QueueDelay/Total count from that
+// arrival instant.
 func RunMulti(traces []*workload.Trace, mode Mode, cfg Config) ([]Result, error) {
+	if cfg.ArrivalSchedule != nil && len(cfg.ArrivalSchedule.Submissions) != len(traces) {
+		return nil, fmt.Errorf("core: arrival schedule has %d submissions for %d traces",
+			len(cfg.ArrivalSchedule.Submissions), len(traces))
+	}
 	res, offsets, err := newResources(cfg, traces)
 	if err != nil {
 		return nil, err
@@ -605,14 +623,42 @@ func RunMulti(traces []*workload.Trace, mode Mode, cfg Config) ([]Result, error)
 		GrantBatch:        cfg.AdmissionBatch,
 	})
 	tenants := make([]*tenant, len(traces))
-	for i, tr := range traces {
-		tn := newTenant(res, tr, mode, offsets[i], cfg.Seed+uint64(i)*7919)
-		tenants[i] = tn
-		var ticket *sim.Ticket
-		ticket = adm.Submit(0, tr.Name, sched.PriorityNormal, func(granted sim.Time) {
-			tn.begin(granted)
-			tn.stepEvent(eng, adm, ticket)
-		})
+	if cfg.ArrivalSchedule == nil {
+		for i, tr := range traces {
+			tn := newTenant(res, tr, mode, offsets[i], cfg.Seed+uint64(i)*7919)
+			tenants[i] = tn
+			var ticket *sim.Ticket
+			ticket = adm.Submit(0, tr.Name, sched.PriorityNormal, func(granted sim.Time) {
+				tn.begin(granted)
+				tn.stepEvent(eng, adm, ticket)
+			})
+		}
+	} else {
+		entries := make([]sched.ScheduledArrival, len(traces))
+		tickets := make([]*sim.Ticket, len(traces))
+		for i, tr := range traces {
+			sub := cfg.ArrivalSchedule.Submissions[i]
+			tn := newTenant(res, tr, mode, offsets[i], cfg.Seed+uint64(i)*7919)
+			tn.arrival = sub.At
+			tenants[i] = tn
+			key := sub.Tenant
+			if key == "" {
+				key = tr.Name
+			}
+			i := i
+			entries[i] = sched.ScheduledArrival{
+				At:       sub.At,
+				Tenant:   key,
+				Priority: sched.Priority(sub.Band),
+				Fn: func(granted sim.Time) {
+					tn.begin(granted)
+					tn.stepEvent(eng, adm, tickets[i])
+				},
+			}
+		}
+		// Grants fire only once the engine runs, so the tickets slice is
+		// fully populated before any callback dereferences it.
+		copy(tickets, adm.Playback(entries))
 	}
 	eng.Run()
 	out := make([]Result, len(tenants))

@@ -27,6 +27,7 @@ import (
 
 	"iceclave/internal/core"
 	"iceclave/internal/stats"
+	"iceclave/internal/trace"
 	"iceclave/internal/workload"
 )
 
@@ -44,6 +45,14 @@ type Suite struct {
 	mu      sync.Mutex
 	traces  map[string]*traceEntry
 	results map[runKey]*resultEntry
+
+	// The trace-replay scenario (Timing 2): the embedded bursty fixture's
+	// schedule and workload mix, parsed once per suite so every rerun
+	// shares one schedule pointer — the identity the memo keys use.
+	traceOnce  sync.Once
+	traceSched *trace.Schedule
+	traceMix   []string
+	traceErr   error
 
 	memoHits, memoMisses atomic.Int64
 }
@@ -355,6 +364,7 @@ func (s *Suite) generators() []struct {
 		{"Figure 17", s.Figure17},
 		{"Figure 18", s.Figure18},
 		{"Timing 1", s.AdmissionTiming},
+		{"Timing 2", s.TraceTiming},
 	}
 }
 

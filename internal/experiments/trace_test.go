@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"testing"
+
+	"iceclave/internal/sched"
+)
+
+// TestTraceTimingMemoizedRerunByteIdentical is the suite-level
+// differential pin: the Timing 2 table must render byte-identically on a
+// memoized rerun (served from the result cache through the shared schedule
+// pointer) and on a completely fresh suite with memoization off (which
+// re-parses the fixture into a new schedule instance) — replay timing
+// depends on schedule contents, never on instance identity or cache state.
+func TestTraceTimingMemoizedRerunByteIdentical(t *testing.T) {
+	s := testSuite()
+	cold, err := s.TraceTiming()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits0, _ := s.MemoStats()
+	memo, err := s.TraceTiming()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits1, _ := s.MemoStats()
+	if hits1 <= hits0 {
+		t.Fatalf("rerun recorded no memo hits (%d -> %d)", hits0, hits1)
+	}
+	if memo.String() != cold.String() {
+		t.Fatalf("memoized rerun diverges:\n%s\nvs\n%s", memo.String(), cold.String())
+	}
+
+	fresh := testSuite().SetMemoize(false)
+	uncached, err := fresh.TraceTiming()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uncached.String() != cold.String() {
+		t.Fatalf("fresh unmemoized suite diverges:\n%s\nvs\n%s", uncached.String(), cold.String())
+	}
+}
+
+// TestTraceReplaySummaryCoversAllBands pins the band-coverage property at
+// the experiment level: the committed bursty fixture populates every
+// priority band, the high band's open-loop queueing never exceeds the low
+// band's, and queue delays stay within each band's sojourn times.
+func TestTraceReplaySummaryCoversAllBands(t *testing.T) {
+	s := testSuite()
+	sum, err := s.TraceReplaySummary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Slots != TraceReplaySlots {
+		t.Fatalf("summary slots = %d, want %d", sum.Slots, TraceReplaySlots)
+	}
+	if len(sum.Bands) != 3 {
+		t.Fatalf("summary has %d bands, want 3", len(sum.Bands))
+	}
+	total := 0
+	byName := map[string]TraceBandStat{}
+	for _, b := range sum.Bands {
+		if b.Tenants == 0 {
+			t.Fatalf("band %s has no tenants — fixture lost band coverage", b.Band)
+		}
+		total += b.Tenants
+		if b.MaxQueue < b.MeanQueue || b.MaxSojourn < b.MeanSojourn {
+			t.Fatalf("band %s: max below mean: %+v", b.Band, b)
+		}
+		if b.MeanSojourn < b.MeanQueue {
+			t.Fatalf("band %s: sojourn %v below queue delay %v", b.Band, b.MeanSojourn, b.MeanQueue)
+		}
+		byName[b.Band] = b
+	}
+	if total != sum.Tenants {
+		t.Fatalf("band tenants sum to %d, summary says %d", total, sum.Tenants)
+	}
+	high := byName[sched.PriorityHigh.String()]
+	low := byName[sched.PriorityLow.String()]
+	if high.MeanQueue > low.MeanQueue {
+		t.Fatalf("high band queues longer than low under contention: %v > %v",
+			high.MeanQueue, low.MeanQueue)
+	}
+}

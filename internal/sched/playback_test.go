@@ -1,0 +1,64 @@
+package sched
+
+import (
+	"testing"
+
+	"iceclave/internal/sim"
+)
+
+// TestVirtualPlaybackClampsPriorities pins the sched-level playback
+// wrapper: out-of-range priorities clamp to PriorityNormal (matching
+// Submit), and in-range priorities keep their bands — under a one-slot
+// cap, the high entry is granted before both clamped-to-normal entries,
+// which then follow schedule order.
+func TestVirtualPlaybackClampsPriorities(t *testing.T) {
+	eng := &sim.Engine{}
+	va := NewVirtualAdmission(eng, VirtualConfig{MaxInFlight: 1})
+	const service = 50 * sim.Microsecond
+	var order []string
+	var tks []*sim.Ticket
+	entry := func(i int, name string, prio Priority) ScheduledArrival {
+		return ScheduledArrival{At: 0, Tenant: name, Priority: prio, Fn: func(g sim.Time) {
+			order = append(order, name)
+			eng.At(g+sim.Time(service), func(now sim.Time) { va.Release(tks[i], now) })
+		}}
+	}
+	tks = va.Playback([]ScheduledArrival{
+		entry(0, "underflow", Priority(-3)),
+		entry(1, "high", PriorityHigh),
+		entry(2, "overflow", Priority(99)),
+	})
+	eng.Run()
+	want := []string{"high", "underflow", "overflow"}
+	for i := range want {
+		if i >= len(order) || order[i] != want[i] {
+			t.Fatalf("grant order = %v, want %v", order, want)
+		}
+	}
+	if tks[0].Band != int(PriorityNormal) || tks[2].Band != int(PriorityNormal) {
+		t.Fatalf("clamped bands = %d, %d; want both %d",
+			tks[0].Band, tks[2].Band, int(PriorityNormal))
+	}
+	if tks[1].Band != int(PriorityHigh) {
+		t.Fatalf("high entry landed in band %d", tks[1].Band)
+	}
+}
+
+// TestVirtualPlaybackSchedulesAtArrival pins that the wrapper preserves
+// scheduled arrival instants and tenant keys through to the gate.
+func TestVirtualPlaybackSchedulesAtArrival(t *testing.T) {
+	eng := &sim.Engine{}
+	va := NewVirtualAdmission(eng, VirtualConfig{})
+	var granted sim.Time = -1
+	tks := va.Playback([]ScheduledArrival{
+		{At: 7 * sim.Millisecond, Tenant: "t0", Priority: PriorityLow,
+			Fn: func(g sim.Time) { granted = g }},
+	})
+	eng.Run()
+	if granted != 7*sim.Millisecond {
+		t.Fatalf("granted at %v, want the 7ms arrival", granted)
+	}
+	if tks[0].Key != "t0" || tks[0].Submitted != 7*sim.Millisecond || tks[0].Waited() != 0 {
+		t.Fatalf("ticket = %+v, want key t0 submitted at 7ms with zero wait", tks[0])
+	}
+}

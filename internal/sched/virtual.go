@@ -71,6 +71,37 @@ func (v *VirtualAdmission) Submit(at sim.Time, tenant string, prio Priority, fn 
 	return v.adm.Submit(at, tenant, int(prio), fn)
 }
 
+// ScheduledArrival is one entry of a fixed open-loop submission schedule:
+// the virtual instant the tenant's request reaches the gate, plus the
+// tenant key, priority, and grant callback Submit would take. Out-of-range
+// priorities clamp to PriorityNormal, matching Submit.
+type ScheduledArrival struct {
+	At       sim.Time
+	Tenant   string
+	Priority Priority
+	Fn       func(granted sim.Time)
+}
+
+// Playback is the gate's open-loop mode: each entry enters the gate as an
+// engine event at its scheduled virtual time (rather than when the caller
+// gets around to Submit), and entries sharing an instant are granted by
+// one dispatch pass — highest band first — so simultaneous arrivals
+// contend by priority, not schedule position. Tickets are returned in
+// entry order; their Waited and the gate's statistics count from each
+// scheduled arrival, never including pre-arrival idle. This is how
+// core.RunMulti replays a trace.Schedule.
+func (v *VirtualAdmission) Playback(entries []ScheduledArrival) []*sim.Ticket {
+	arrivals := make([]sim.Arrival, len(entries))
+	for i, e := range entries {
+		p := e.Priority
+		if p < PriorityLow || p >= numPriorities {
+			p = PriorityNormal
+		}
+		arrivals[i] = sim.Arrival{At: e.At, Key: e.Tenant, Band: int(p), Fn: e.Fn}
+	}
+	return v.adm.Playback(arrivals)
+}
+
 // Release retires a granted job at its virtual completion time, admitting
 // whatever the freed capacity now allows.
 func (v *VirtualAdmission) Release(t *sim.Ticket, at sim.Time) { v.adm.Release(t, at) }

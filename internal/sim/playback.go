@@ -1,0 +1,87 @@
+package sim
+
+import "sort"
+
+// This file is the admission gate's open-loop mode. Submit is closed-loop
+// vocabulary: the caller decides when to call it, typically reacting to
+// grants and releases (work-conserving backpressure). Playback instead
+// takes a fixed arrival schedule — the replay of a recorded trace — and
+// posts each submission as an engine event at its scheduled virtual time,
+// whether or not the gate has caught up. Queueing delay measured this way
+// is the open-loop quantity: time from scheduled arrival to grant, never
+// counting pre-arrival idle.
+
+// Arrival is one entry in a fixed open-loop submission schedule: the
+// virtual instant the request reaches the gate, plus the key, band, and
+// grant callback that Submit would take.
+type Arrival struct {
+	At   Time
+	Key  string
+	Band int
+	Fn   func(granted Time)
+}
+
+// Playback posts a fixed arrival schedule onto the engine and returns the
+// tickets in schedule order (granted once the engine runs; Waited and the
+// admission statistics count from each ticket's scheduled arrival, so
+// pre-arrival idle never appears as queueing delay). Arrivals sharing one
+// virtual instant enter the gate together and are granted by one dispatch
+// pass — highest band first, FIFO within a band — so simultaneous
+// arrivals contend by priority, not by schedule position; arrivals need
+// not be sorted. It panics on an out-of-range band or a negative arrival
+// time, matching Submit's posture that scheduling bugs must not pass
+// silently.
+func (a *Admission) Playback(arrivals []Arrival) []*Ticket {
+	tickets := make([]*Ticket, len(arrivals))
+	order := make([]int, len(arrivals))
+	for i, ar := range arrivals {
+		if ar.Band < 0 || ar.Band >= len(a.bands) {
+			panic("sim: admission band out of range")
+		}
+		tickets[i] = &Ticket{Key: ar.Key, Band: ar.Band, Submitted: ar.At, fn: ar.Fn}
+		order[i] = i
+	}
+	// Stable on arrival time only: same-instant arrivals keep schedule
+	// order within their band queues.
+	sort.SliceStable(order, func(x, y int) bool {
+		return arrivals[order[x]].At < arrivals[order[y]].At
+	})
+	for start := 0; start < len(order); {
+		at := arrivals[order[start]].At
+		end := start
+		for end < len(order) && arrivals[order[end]].At == at {
+			end++
+		}
+		group := make([]*Ticket, end-start)
+		for k, oi := range order[start:end] {
+			group[k] = tickets[oi]
+		}
+		a.eng.At(at, func(now Time) { a.arrive(group, now) })
+		start = end
+	}
+	return tickets
+}
+
+// arrive enqueues one instant's scheduled arrivals together, then runs a
+// single grant pass — the property that makes equal-time grants follow
+// band order under a tight slot cap. The queue high-water mark is taken
+// after the pass, so arrivals the same instant admits never count as
+// queued.
+func (a *Admission) arrive(group []*Ticket, now Time) {
+	for _, t := range group {
+		a.bands[t.Band] = append(a.bands[t.Band], t)
+		a.queued++
+	}
+	if a.quantum > 0 {
+		// Batched mode: the whole group waits for the scheduler tick,
+		// exactly as Submit-queued tickets do.
+		if a.anyAdmissible() {
+			a.scheduleTick(a.nextTick(now))
+		}
+	} else {
+		a.dispatch(now)
+	}
+	if a.queued > a.maxQueued {
+		a.maxQueued = a.queued
+	}
+}

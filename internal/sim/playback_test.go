@@ -1,0 +1,156 @@
+package sim
+
+import "testing"
+
+// TestPlaybackGrantsInBandOrderAtEqualArrival pins the open-loop gate's
+// simultaneous-arrival contract: arrivals sharing one virtual instant
+// enter the gate as a group, so under a one-slot cap they are granted in
+// band order — high, normal, low — regardless of schedule position (the
+// low-band arrival is listed first here).
+func TestPlaybackGrantsInBandOrderAtEqualArrival(t *testing.T) {
+	eng := &Engine{}
+	a := NewAdmission(eng, 3, 1, 0)
+	const service = Duration(100)
+	var order []int
+	mk := func(i int) func(Time) { return func(Time) { order = append(order, i) } }
+	var tks []*Ticket
+	tks = a.Playback([]Arrival{
+		{At: 0, Key: "low", Band: 0, Fn: func(g Time) { mk(0)(g); eng.At(g+service, func(now Time) { a.Release(tks[0], now) }) }},
+		{At: 0, Key: "normal", Band: 1, Fn: func(g Time) { mk(1)(g); eng.At(g+service, func(now Time) { a.Release(tks[1], now) }) }},
+		{At: 0, Key: "high", Band: 2, Fn: func(g Time) { mk(2)(g); eng.At(g+service, func(now Time) { a.Release(tks[2], now) }) }},
+	})
+	eng.Run()
+	if len(order) != 3 || order[0] != 2 || order[1] != 1 || order[2] != 0 {
+		t.Fatalf("grant order = %v, want [2 1 0] (high, normal, low)", order)
+	}
+	// Grants chain at service boundaries: high at 0, normal at 100, low at 200.
+	if tks[2].Granted != 0 || tks[1].Granted != 100 || tks[0].Granted != 200 {
+		t.Fatalf("grant times = high %v, normal %v, low %v; want 0, 100, 200",
+			tks[2].Granted, tks[1].Granted, tks[0].Granted)
+	}
+}
+
+// TestPlaybackWaitExcludesPreArrivalIdle pins the open-loop queueing
+// definition: a late arrival finding free capacity is granted at its own
+// arrival instant with zero wait — the idle gate time before it arrived is
+// not queueing delay.
+func TestPlaybackWaitExcludesPreArrivalIdle(t *testing.T) {
+	eng := &Engine{}
+	a := NewAdmission(eng, 3, 2, 0)
+	var granted Time = -1
+	tks := a.Playback([]Arrival{
+		{At: 5 * Millisecond, Key: "late", Band: 1, Fn: func(g Time) { granted = g }},
+	})
+	eng.Run()
+	if granted != 5*Millisecond {
+		t.Fatalf("granted at %v, want the 5ms arrival instant", granted)
+	}
+	if w := tks[0].Waited(); w != 0 {
+		t.Fatalf("ticket waited %v, want 0 — pre-arrival idle counted as queueing", w)
+	}
+	if w := a.Waited(); w != 0 {
+		t.Fatalf("gate accumulated %v wait, want 0", w)
+	}
+}
+
+// TestPlaybackQueuedWaitCountsFromArrival pins the other half of the same
+// definition: a blocked arrival's wait runs from its scheduled arrival to
+// its grant, not from time zero.
+func TestPlaybackQueuedWaitCountsFromArrival(t *testing.T) {
+	eng := &Engine{}
+	a := NewAdmission(eng, 3, 1, 0)
+	var tks []*Ticket
+	tks = a.Playback([]Arrival{
+		{At: 0, Key: "first", Band: 1, Fn: func(g Time) {
+			eng.At(g+10*Millisecond, func(now Time) { a.Release(tks[0], now) })
+		}},
+		{At: 4 * Millisecond, Key: "second", Band: 1, Fn: func(Time) {}},
+	})
+	eng.Run()
+	if tks[1].Granted != 10*Millisecond {
+		t.Fatalf("second granted at %v, want the 10ms release", tks[1].Granted)
+	}
+	if w := tks[1].Waited(); w != 6*Millisecond {
+		t.Fatalf("second waited %v, want 6ms (10ms grant - 4ms arrival)", w)
+	}
+	if w := a.Waited(); w != 6*Millisecond {
+		t.Fatalf("gate total wait %v, want 6ms", w)
+	}
+}
+
+// TestPlaybackUnsortedArrivalsAndTicketOrder pins that the schedule need
+// not be sorted: events are posted per instant, every arrival fires at its
+// own time, and the returned tickets stay in schedule order.
+func TestPlaybackUnsortedArrivalsAndTicketOrder(t *testing.T) {
+	eng := &Engine{}
+	a := NewAdmission(eng, 3, 0, 0)
+	var grants []Time
+	tks := a.Playback([]Arrival{
+		{At: 20, Key: "later", Band: 1, Fn: func(g Time) { grants = append(grants, g) }},
+		{At: 0, Key: "earlier", Band: 1, Fn: func(g Time) { grants = append(grants, g) }},
+	})
+	eng.Run()
+	if len(grants) != 2 || grants[0] != 0 || grants[1] != 20 {
+		t.Fatalf("grants fired at %v, want [0 20]", grants)
+	}
+	if tks[0].Key != "later" || tks[1].Key != "earlier" {
+		t.Fatalf("tickets reordered: %q, %q", tks[0].Key, tks[1].Key)
+	}
+	if tks[0].Submitted != 20 || tks[1].Submitted != 0 {
+		t.Fatalf("submitted times = %v, %v; want 20, 0", tks[0].Submitted, tks[1].Submitted)
+	}
+}
+
+// TestPlaybackBatchedModeAlignsToTicks pins playback under the
+// batched-grant policy: a scheduled arrival waits for the next quantum
+// tick exactly as a Submit-queued ticket would.
+func TestPlaybackBatchedModeAlignsToTicks(t *testing.T) {
+	eng := &Engine{}
+	const quantum = Duration(300 * Microsecond)
+	a := NewAdmissionWithPolicy(eng, 3, Policy{Slots: 1, Quantum: quantum, Batch: 1})
+	var granted Time = -1
+	a.Playback([]Arrival{
+		{At: 1000 * Microsecond, Key: "a", Band: 1, Fn: func(g Time) { granted = g }},
+	})
+	eng.Run()
+	if granted < 1000*Microsecond {
+		t.Fatalf("granted at %v, before the arrival", granted)
+	}
+	if Duration(granted)%quantum != 0 {
+		t.Fatalf("granted at %v, not on a %v tick", granted, quantum)
+	}
+	if granted-1000*Microsecond >= Time(quantum) {
+		t.Fatalf("granted at %v, more than one quantum past the 1000us arrival", granted)
+	}
+}
+
+// TestPlaybackRejectsBadBand pins the same must-not-pass-silently posture
+// Submit has: an out-of-range band is a scheduling bug, not data.
+func TestPlaybackRejectsBadBand(t *testing.T) {
+	eng := &Engine{}
+	a := NewAdmission(eng, 3, 0, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Playback accepted an out-of-range band")
+		}
+	}()
+	a.Playback([]Arrival{{At: 0, Key: "x", Band: 3, Fn: func(Time) {}}})
+}
+
+// TestPlaybackMaxQueuedExcludesImmediateGrants pins the high-water mark
+// semantics: arrivals admitted in their own arrival pass never count as
+// queued, while genuinely blocked arrivals do.
+func TestPlaybackMaxQueuedExcludesImmediateGrants(t *testing.T) {
+	eng := &Engine{}
+	a := NewAdmission(eng, 3, 2, 0)
+	var tks []*Ticket
+	tks = a.Playback([]Arrival{
+		{At: 0, Key: "a", Band: 1, Fn: func(g Time) { eng.At(g+100, func(now Time) { a.Release(tks[0], now) }) }},
+		{At: 0, Key: "b", Band: 1, Fn: func(g Time) { eng.At(g+100, func(now Time) { a.Release(tks[1], now) }) }},
+		{At: 10, Key: "c", Band: 1, Fn: func(Time) {}},
+	})
+	eng.Run()
+	if mq := a.MaxQueued(); mq != 1 {
+		t.Fatalf("max queued = %d, want 1 (only the blocked third arrival)", mq)
+	}
+}

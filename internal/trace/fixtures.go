@@ -1,0 +1,17 @@
+package trace
+
+import _ "embed"
+
+// FixtureBursty is the committed bursty arrival trace (native schema) the
+// trace-replay experiment, benchmarks, and tests replay: three bursts and
+// a straggler over a 20 ms span, eight submissions from six tenants (two
+// tenants submit twice), covering all three latency classes. Keeping the
+// fixture embedded makes the Timing 2 table and the trace_replay bench
+// section hermetic — no working-directory dependence.
+//
+//go:embed fixtures/bursty_native.csv
+var FixtureBursty []byte
+
+// FixtureBurstyName names the embedded fixture in table titles and the
+// bench record.
+const FixtureBurstyName = "bursty_native.csv"

@@ -1,0 +1,260 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+
+	"iceclave/internal/sim"
+)
+
+// Format identifies a sniffed trace schema.
+type Format int
+
+// Known trace schemas. Sniffing happens on the header row: the native
+// schema names its columns directly; the Azure schema is the column
+// layout of the public Azure Functions invocation traces.
+const (
+	FormatUnknown Format = iota
+	FormatNative
+	FormatAzure
+)
+
+// String names the format.
+func (f Format) String() string {
+	switch f {
+	case FormatNative:
+		return "native"
+	case FormatAzure:
+		return "azure-functions"
+	default:
+		return "unknown"
+	}
+}
+
+// Column layouts the sniffer recognizes (lower-cased, space-trimmed).
+var (
+	nativeHeader = []string{"arrival_us", "tenant", "workload", "class"}
+	azureHeader  = []string{"app", "func", "end_timestamp", "duration"}
+)
+
+// Azure-schema classification thresholds: the invocation's duration is
+// the only latency signal the schema carries, so short functions classify
+// as interactive (they are what a user is waiting on), long ones as
+// batch, the rest as normal.
+const (
+	AzureInteractiveMaxSeconds = 1.0
+	AzureNormalMaxSeconds      = 60.0
+)
+
+// Azure timestamps are seconds (possibly relative to the trace's own
+// epoch, possibly Unix time); anything beyond this magnitude would
+// overflow the nanosecond virtual clock.
+const maxAzureSeconds = 4e9
+
+// Read parses a CSV arrival trace from r, sniffing the schema from the
+// header row. It returns the parsed entries in file order (BuildSchedule
+// sorts), the sniffed format, and the first error encountered — a
+// *ParseError for a malformed row, a wrapped ErrUnknownFormat for an
+// unrecognized header, or r's own read error.
+func Read(r io.Reader) ([]Entry, Format, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, FormatUnknown, err
+	}
+	return ReadBytes(data)
+}
+
+// ReadBytes is Read over an in-memory trace.
+func ReadBytes(data []byte) ([]Entry, Format, error) {
+	lines := strings.Split(string(data), "\n")
+	// The header is the first non-blank line; everything before it must be
+	// blank (a trace with leading garbage fails the sniff, not the rows).
+	head := 0
+	for head < len(lines) && blank(lines[head]) {
+		head++
+	}
+	if head == len(lines) {
+		return nil, FormatUnknown, fmt.Errorf("%w: empty input", ErrUnknownFormat)
+	}
+	format := sniff(lines[head])
+	if format == FormatUnknown {
+		return nil, FormatUnknown, fmt.Errorf("%w: %q", ErrUnknownFormat, strings.TrimRight(lines[head], "\r"))
+	}
+	var entries []Entry
+	for i := head + 1; i < len(lines); i++ {
+		if blank(lines[i]) {
+			continue
+		}
+		fields, err := splitRow(lines[i], i+1, format)
+		if err != nil {
+			return nil, format, err
+		}
+		var e Entry
+		if format == FormatNative {
+			e, err = parseNative(fields, i+1)
+		} else {
+			e, err = parseAzure(fields, i+1)
+		}
+		if err != nil {
+			return nil, format, err
+		}
+		entries = append(entries, e)
+	}
+	return entries, format, nil
+}
+
+// blank reports whether a line carries no row (empty or CR/whitespace
+// only) — the only lines a reader may skip.
+func blank(line string) bool { return strings.TrimSpace(line) == "" }
+
+// sniff matches the header row against the known column layouts.
+func sniff(header string) Format {
+	cols := strings.Split(strings.TrimRight(header, "\r"), ",")
+	for i, c := range cols {
+		cols[i] = strings.ToLower(strings.TrimSpace(c))
+	}
+	switch {
+	case equalCols(cols, nativeHeader):
+		return FormatNative
+	case equalCols(cols, azureHeader):
+		return FormatAzure
+	default:
+		return FormatUnknown
+	}
+}
+
+func equalCols(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// splitRow splits one data row and rejects ragged rows (every schema here
+// has exactly four columns). Field values are space-trimmed; the trace
+// schemas carry no quoting or embedded commas.
+func splitRow(line string, lineNo int, f Format) ([]string, error) {
+	fields := strings.Split(strings.TrimRight(line, "\r"), ",")
+	if len(fields) != 4 {
+		return nil, &ParseError{Line: lineNo, Format: f, Field: "row",
+			Reason: fmt.Sprintf("has %d fields, want 4", len(fields))}
+	}
+	for i := range fields {
+		fields[i] = strings.TrimSpace(fields[i])
+	}
+	return fields, nil
+}
+
+// parseNative parses one arrival_us,tenant,workload,class row.
+func parseNative(fields []string, lineNo int) (Entry, error) {
+	us, err := strconv.ParseInt(fields[0], 10, 64)
+	if err != nil {
+		return Entry{}, &ParseError{Line: lineNo, Format: FormatNative, Field: "arrival_us",
+			Reason: fmt.Sprintf("not an integer: %q", fields[0])}
+	}
+	if us < 0 {
+		return Entry{}, &ParseError{Line: lineNo, Format: FormatNative, Field: "arrival_us",
+			Reason: fmt.Sprintf("negative arrival %d", us)}
+	}
+	if us > int64(sim.MaxTime)/int64(sim.Microsecond) {
+		return Entry{}, &ParseError{Line: lineNo, Format: FormatNative, Field: "arrival_us",
+			Reason: fmt.Sprintf("arrival %d overflows the virtual clock", us)}
+	}
+	if fields[1] == "" {
+		return Entry{}, &ParseError{Line: lineNo, Format: FormatNative, Field: "tenant", Reason: "empty"}
+	}
+	if fields[2] == "" {
+		return Entry{}, &ParseError{Line: lineNo, Format: FormatNative, Field: "workload", Reason: "empty"}
+	}
+	class, ok := parseClass(fields[3])
+	if !ok {
+		return Entry{}, &ParseError{Line: lineNo, Format: FormatNative, Field: "class",
+			Reason: fmt.Sprintf("unknown class %q (want interactive|normal|batch)", fields[3])}
+	}
+	return Entry{
+		Arrival:  sim.Time(us) * sim.Microsecond,
+		Tenant:   fields[1],
+		Workload: fields[2],
+		Class:    class,
+	}, nil
+}
+
+// parseClass maps the native schema's class column (and its common
+// aliases) onto a Class.
+func parseClass(s string) (Class, bool) {
+	switch strings.ToLower(s) {
+	case "interactive", "high":
+		return ClassInteractive, true
+	case "normal", "default":
+		return ClassNormal, true
+	case "batch", "background", "low":
+		return ClassBatch, true
+	default:
+		return 0, false
+	}
+}
+
+// parseAzure parses one app,func,end_timestamp,duration row. The arrival
+// instant is end_timestamp - duration (both in seconds); the class comes
+// from the duration thresholds above.
+func parseAzure(fields []string, lineNo int) (Entry, error) {
+	if fields[0] == "" {
+		return Entry{}, &ParseError{Line: lineNo, Format: FormatAzure, Field: "app", Reason: "empty"}
+	}
+	if fields[1] == "" {
+		return Entry{}, &ParseError{Line: lineNo, Format: FormatAzure, Field: "func", Reason: "empty"}
+	}
+	end, err := parseSeconds(fields[2])
+	if err != nil {
+		return Entry{}, &ParseError{Line: lineNo, Format: FormatAzure, Field: "end_timestamp",
+			Reason: err.Error()}
+	}
+	dur, err := parseSeconds(fields[3])
+	if err != nil {
+		return Entry{}, &ParseError{Line: lineNo, Format: FormatAzure, Field: "duration",
+			Reason: err.Error()}
+	}
+	if dur < 0 {
+		return Entry{}, &ParseError{Line: lineNo, Format: FormatAzure, Field: "duration",
+			Reason: fmt.Sprintf("negative duration %v", fields[3])}
+	}
+	class := ClassBatch
+	switch {
+	case dur <= AzureInteractiveMaxSeconds:
+		class = ClassInteractive
+	case dur <= AzureNormalMaxSeconds:
+		class = ClassNormal
+	}
+	return Entry{
+		// The invocation *started* at end - duration; that start is the
+		// arrival. It may precede the trace's own epoch (a long function
+		// ending just after the capture began) — BuildSchedule renormalizes.
+		Arrival:  sim.Time(math.Round((end - dur) * float64(sim.Second))),
+		Tenant:   fields[0],
+		Workload: fields[1],
+		Class:    class,
+	}, nil
+}
+
+// parseSeconds parses a finite, clock-representable seconds value.
+func parseSeconds(s string) (float64, error) {
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("not a number: %q", s)
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, fmt.Errorf("not finite: %q", s)
+	}
+	if math.Abs(v) > maxAzureSeconds {
+		return 0, fmt.Errorf("%v seconds overflows the virtual clock", s)
+	}
+	return v, nil
+}

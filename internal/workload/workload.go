@@ -14,6 +14,7 @@ package workload
 
 import (
 	"fmt"
+	"hash/fnv"
 
 	"iceclave/internal/query"
 )
@@ -140,6 +141,18 @@ func ByName(name string) (*Workload, error) {
 		}
 	}
 	return nil, fmt.Errorf("workload: unknown workload %q", name)
+}
+
+// ByTraceKey deterministically maps an opaque trace identifier — an Azure
+// function hash, a block-trace stream ID — onto one of the standard
+// workloads via FNV-1a, so a real trace whose entries don't name repo
+// workloads still replays a stable, reproducible program mix: the same
+// trace always maps to the same workloads, on any machine.
+func ByTraceKey(key string) *Workload {
+	ws := Standard()
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return ws[int(h.Sum32()%uint32(len(ws)))]
 }
 
 // Names lists the standard workload names in figure order.
