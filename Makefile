@@ -32,10 +32,22 @@ race:
 # stress, and the lock-free stats snapshot race. These are the tests that
 # protect the per-channel flash.Device sharding; `race` runs them too,
 # but a sharding regression should fail loudly and by name.
+#
+# It then runs the sharded-engine differential layer (serial-vs-sharded
+# transcript and Result equality) across a GOMAXPROCS matrix — 1 core
+# (dispatch and barriers fully interleaved), 2 cores, and the machine
+# default — because engine ordering bugs hide behind scheduler timing the
+# race detector only explores when real parallelism varies.
 race-shard:
 	$(GO) test -race -count 1 -v \
 		-run 'CrossChannelNoSharedLock|SnapshotRaceWithPrograms|CrossChannelWriteStormIntegrity|GCChannelIsolationUnderWriteStorm|GCOnHostageChannelDoesNotBlockOthers' \
 		./internal/flash ./internal/ftl
+	GOMAXPROCS=1 $(GO) test -race -count 1 \
+		-run 'Sharded|EngineWorkers|AdaptiveQuantum' ./internal/sim ./internal/core
+	GOMAXPROCS=2 $(GO) test -race -count 1 \
+		-run 'Sharded|EngineWorkers|AdaptiveQuantum' ./internal/sim ./internal/core
+	$(GO) test -race -count 1 \
+		-run 'Sharded|EngineWorkers|AdaptiveQuantum' ./internal/sim ./internal/core ./internal/experiments
 
 # trace-tests runs the trace-replay differential layer explicitly (and
 # verbosely) under the race detector: the golden-fixture and fuzz-seed
@@ -73,10 +85,13 @@ micro:
 # profile grounds hot-path claims in data: it records a CPU pprof of one
 # full serial suite pass (traces pre-warmed, so the profile is replay
 # work, ~7-30 s depending on scale) and prints the top-10 functions.
-# Inspect interactively with: go tool pprof cpu.pprof
+# Scratch outputs live under the gitignored out/ so profiling never
+# litters the repo root. Inspect interactively with:
+# go tool pprof out/cpu.pprof
 profile:
-	$(GO) run ./cmd/iceclave-bench -cpuprofile cpu.pprof
-	$(GO) tool pprof -top -nodecount=10 cpu.pprof
+	@mkdir -p out
+	$(GO) run ./cmd/iceclave-bench -cpuprofile out/cpu.pprof
+	$(GO) tool pprof -top -nodecount=10 out/cpu.pprof
 
 # bench-compare checks the performance claims instead of asserting them:
 #   - BenchmarkKeystream (bit-serial oracle vs word64 production engine,
@@ -103,12 +118,21 @@ profile:
 #     cold, memoized, and on a fresh suite) must report identical: true —
 #     the trace-mode table must be byte-identical across memoized reruns
 #     and schedule re-parses.
-# With benchstat installed and a saved baseline (cp bench_new.txt
-# bench_old.txt before a change), it also prints an old-vs-new statistical
-# comparison. See docs/BENCHMARKS.md.
+#   - The -micro parallel-replay section (the same multi-tenant RunMulti
+#     replay on the serial and the sharded virtual-time engine, wall
+#     clock) must beat the GOMAXPROCS-aware gate the micro prints —
+#     >= 1.5x with 4+ cores, >= 0.9x on fewer (where the gate only
+#     rejects sharded-engine overhead swamping the event loop) — AND
+#     report identical: true, because the sharded engine may spend cores
+#     only if it changes nothing.
+# Scratch outputs land under the gitignored out/. With benchstat
+# installed and a saved baseline (cp out/bench_new.txt out/bench_old.txt
+# before a change), it also prints an old-vs-new statistical comparison.
+# See docs/BENCHMARKS.md.
 bench-compare:
+	@mkdir -p out
 	$(GO) test -run '^$$' -bench BenchmarkKeystream -benchmem -count $(BENCH_COUNT) \
-		./internal/trivium | tee bench_new.txt
+		./internal/trivium | tee out/bench_new.txt
 	@awk '/BenchmarkKeystream\/bitserial/ {bit+=$$3; nbit++} \
 	      /BenchmarkKeystream\/word64/    {word+=$$3; nword++} \
 	      END { \
@@ -116,20 +140,20 @@ bench-compare:
 	        ratio = (bit/nbit) / (word/nword); \
 	        printf "trivium word64 speedup over bit-serial: %.1fx\n", ratio; \
 	        if (ratio < 10) { print "FAIL: speedup below the 10x floor"; exit 1 } \
-	      }' bench_new.txt
-	@$(GO) run ./cmd/iceclave-bench -micro | tee micro_new.txt
+	      }' out/bench_new.txt
+	@$(GO) run ./cmd/iceclave-bench -micro | tee out/micro_new.txt
 	@awk -F'[()x]' '/^die pipelining:/ { ratio=$$2 } \
 	      END { \
 	        if (ratio == "") { print "bench-compare: missing die-pipelining output"; exit 1 } \
 	        printf "die-pipelined program overlap: %.2fx\n", ratio; \
 	        if (ratio+0 < 2) { print "FAIL: multi-die program throughput regressed toward the serialized baseline"; exit 1 } \
-	      }' micro_new.txt
+	      }' out/micro_new.txt
 	@awk '/^write-storm speedup/ { ratio=$$3; gate=$$5 } \
 	      END { \
 	        if (ratio == "") { print "bench-compare: missing write-storm output"; exit 1 } \
 	        printf "cross-channel write-storm speedup: %.2fx (gate %.2fx)\n", ratio, gate; \
 	        if (ratio+0 < gate+0) { print "FAIL: cross-channel write storm below its gate - device channels are contending on a shared lock"; exit 1 } \
-	      }' micro_new.txt
+	      }' out/micro_new.txt
 	@awk '/^mee traffic scan:/ { scan=$$NF } \
 	      /^mee traffic gate/ { gate=$$4; id=$$6 } \
 	      END { \
@@ -137,33 +161,44 @@ bench-compare:
 	        printf "mee batched-traffic scan speedup: %.2fx (gate %.2fx, stats identical: %s)\n", scan, gate, id; \
 	        if (id != "true") { print "FAIL: batched traffic model diverged from the per-line reference"; exit 1 } \
 	        if (scan+0 < gate+0) { print "FAIL: batched memory-traffic scan below its gate - the sequential-run fast path has regressed toward the per-line loop"; exit 1 } \
-	      }' micro_new.txt
+	      }' out/micro_new.txt
 	@awk '/^replay setup gate/ { gate=$$4; sp=$$6; id=$$8 } \
 	      END { \
 	        if (gate == "") { print "bench-compare: missing replay-setup output"; exit 1 } \
 	        printf "pooled replay-setup speedup: %.2fx (gate %.2fx, stats identical: %s)\n", sp, gate, id; \
 	        if (id != "true") { print "FAIL: pooled replay stack diverged from fresh allocation"; exit 1 } \
 	        if (sp+0 < gate+0) { print "FAIL: pooled replay setup below its gate - the reset path has regressed toward full reconstruction"; exit 1 } \
-	      }' micro_new.txt
+	      }' out/micro_new.txt
 	@awk '/^trace replay identical:/ { id=$$4 } \
 	      END { \
 	        if (id == "") { print "bench-compare: missing trace-replay output"; exit 1 } \
 	        printf "trace-replay suite output identical across reruns: %s\n", id; \
 	        if (id != "true") { print "FAIL: trace-mode suite output changed across memoized reruns or schedule re-parses"; exit 1 } \
-	      }' micro_new.txt
-	@if command -v benchstat >/dev/null 2>&1 && [ -f bench_old.txt ]; then \
-		benchstat bench_old.txt bench_new.txt; \
+	      }' out/micro_new.txt
+	@awk '/^parallel replay speedup/ { ratio=$$4; gate=$$6 } \
+	      /^parallel replay identical:/ { id=$$4 } \
+	      END { \
+	        if (ratio == "" || id == "") { print "bench-compare: missing parallel-replay output"; exit 1 } \
+	        printf "sharded-engine replay speedup: %.2fx (gate %.2fx, results identical: %s)\n", ratio, gate, id; \
+	        if (id != "true") { print "FAIL: sharded engine diverged from the serial engine - parallel replay is not bit-identical"; exit 1 } \
+	        if (ratio+0 < gate+0) { print "FAIL: sharded replay below its gate - engine dispatch or barrier overhead is swamping the event loop"; exit 1 } \
+	      }' out/micro_new.txt
+	@if command -v benchstat >/dev/null 2>&1 && [ -f out/bench_old.txt ]; then \
+		benchstat out/bench_old.txt out/bench_new.txt; \
 	else \
-		echo "(install benchstat and save bench_old.txt for old-vs-new deltas)"; \
+		echo "(install benchstat and save out/bench_old.txt for old-vs-new deltas)"; \
 	fi
 
-# fuzz gives each cipher/MEE/trace fuzz target a short budget beyond the
-# committed regression corpus in testdata/fuzz. The Trivium targets
-# differentially check the word-parallel engine against the bit-serial
-# reference on every input; the traffic target does the same for the
-# batched traffic model against its per-line TrafficReference oracle; the
-# trace target pins that arbitrary CSV input parses to a typed error or a
-# well-formed schedule, never a panic or a silent row drop.
+# fuzz gives each cipher/MEE/trace/engine fuzz target a short budget
+# beyond the committed regression corpus in testdata/fuzz. The Trivium
+# targets differentially check the word-parallel engine against the
+# bit-serial reference on every input; the traffic target does the same
+# for the batched traffic model against its per-line TrafficReference
+# oracle; the trace target pins that arbitrary CSV input parses to a
+# typed error or a well-formed schedule, never a panic or a silent row
+# drop; the sharded-engine target decodes arbitrary bytes into an event
+# program and requires the serial and sharded engines to produce
+# identical execution transcripts at several worker counts.
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzKeystreamRoundTrip -fuzztime=20s ./internal/trivium
 	$(GO) test -run='^$$' -fuzz=FuzzEnginePageRoundTrip -fuzztime=20s ./internal/trivium
@@ -171,3 +206,4 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzEngineCounterReplay -fuzztime=20s ./internal/mee
 	$(GO) test -run='^$$' -fuzz=FuzzTrafficBatchedVsReference -fuzztime=20s ./internal/mee
 	$(GO) test -run='^$$' -fuzz=FuzzTraceReader -fuzztime=20s ./internal/trace
+	$(GO) test -run='^$$' -fuzz=FuzzShardedEngineTranscript -fuzztime=20s ./internal/sim

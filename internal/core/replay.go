@@ -215,6 +215,81 @@ func newResources(cfg Config, traces []*workload.Trace) (*resources, []uint32, e
 	return res, offsets, nil
 }
 
+// Parallel-replay prepare pipeline sizing: each tenant's MEE charge
+// stream may run up to prepDepth steps ahead of its commits, computed
+// prepBatch steps per shard event so dispatch overhead amortizes. The
+// pipe channel holds prepDepth/prepBatch batches, so a prepare event can
+// never block on a full channel (at most prepDepth scheduled-unconsumed
+// steps exist by the pump invariant) — which is what keeps shard workers
+// from ever waiting on the coordinator.
+const (
+	prepDepth = 4096
+	prepBatch = 256
+)
+
+// prepPipe carries one tenant's precomputed MEE charges from its shard
+// worker to the commit loop on the coordinator. Everything except ch,
+// free, and workerNext is coordinator-owned. free recycles fully-consumed
+// batch buffers back to the worker, so the steady-state pipeline
+// allocates nothing — the sharded leg must not generate garbage (and
+// therefore GC debt) the serial leg does not.
+type prepPipe struct {
+	ch        chan []sim.Duration
+	free      chan []sim.Duration
+	buf       []sim.Duration
+	bufIdx    int
+	nextBatch int
+	nBatches  int
+	consumed  int
+
+	// workerNext is the next batch index the shard worker will compute.
+	// It is worker-owned: prepare events for one tenant all land on one
+	// shard, execute FIFO in dispatch order, and dispatch order is batch
+	// order, so a single reusable prepare closure can track the index
+	// itself instead of capturing it (one closure per batch is garbage the
+	// hot path doesn't need).
+	workerNext int
+}
+
+func newPrepPipe(totalSteps int) *prepPipe {
+	return &prepPipe{
+		ch:       make(chan []sim.Duration, prepDepth/prepBatch),
+		free:     make(chan []sim.Duration, prepDepth/prepBatch),
+		nBatches: (totalSteps + prepBatch - 1) / prepBatch,
+	}
+}
+
+// next returns the charge for the next step in order, blocking until its
+// batch's prepare event (always dispatched before the consuming commit by
+// the pump ordering) has completed on the shard worker.
+func (p *prepPipe) next() sim.Duration {
+	if p.bufIdx == len(p.buf) {
+		if p.buf != nil {
+			select {
+			case p.free <- p.buf:
+			default:
+			}
+		}
+		p.buf = <-p.ch
+		p.bufIdx = 0
+	}
+	v := p.buf[p.bufIdx]
+	p.bufIdx++
+	p.consumed++
+	return v
+}
+
+// getBuf returns a recycled batch buffer, or a fresh one while the
+// pipeline warms up. Worker-side.
+func (p *prepPipe) getBuf() []sim.Duration {
+	select {
+	case b := <-p.free:
+		return b[:0]
+	default:
+		return make([]sim.Duration, 0, prepBatch)
+	}
+}
+
 // tenant replays one trace against shared resources.
 type tenant struct {
 	res    *resources
@@ -223,6 +298,20 @@ type tenant struct {
 	offset uint32
 	rng    *sim.RNG
 	meeM   *mee.TrafficModel
+
+	// shard and pre are set only on the sharded engine (EngineWorkers >
+	// 1) for modes with an MEE model: the tenant's charge stream is
+	// precomputed on event shard `shard` (its channel by FTL affinity)
+	// and consumed through pre in exact step order. The charge
+	// computation is timing-independent — it reads only static step
+	// fields and tenant-private model state (meeM, rng, heapScratch) — so
+	// moving it off the commit path cannot change any Result bit.
+	shard int
+	pre   *prepPipe
+	// prepFn is the single reusable prepare-event callback (see
+	// prepPipe.workerNext); scheduling it repeatedly avoids a closure
+	// allocation per batch.
+	prepFn func(sim.Time)
 
 	// arrival is the tenant's scheduled submission instant; zero without
 	// an ArrivalSchedule. QueueDelay and Total count from it.
@@ -372,8 +461,18 @@ func (t *tenant) computePhase(st workload.Step) {
 		}
 	}
 	// MEE charges for the compute window's memory traffic (IceClave only).
-	if t.meeM != nil && (st.PreMemReads > 0 || st.PreMemWrites > 0) {
-		t.chargeMEE(st)
+	// On the sharded engine the charge was precomputed on the tenant's
+	// event shard; consuming it here in step order applies the identical
+	// sequence of exposures (steps without memory traffic carry a zero,
+	// preserving the RNG and model state stream exactly).
+	if t.meeM != nil {
+		if t.pre != nil {
+			exposed := t.pre.next()
+			t.now += exposed
+			t.result.SecurityTime += exposed
+		} else if st.PreMemReads > 0 || st.PreMemWrites > 0 {
+			t.chargeMEE(st)
+		}
 	}
 }
 
@@ -394,6 +493,17 @@ func (t *tenant) computePhase(st workload.Step) {
 // (mee's differential suite pins the model side; the suite's
 // output_identical check pins end to end).
 func (t *tenant) chargeMEE(st workload.Step) {
+	exposed := t.chargeCost(st)
+	t.now += exposed
+	t.result.SecurityTime += exposed
+}
+
+// chargeCost is chargeMEE's computation half: it advances the tenant's
+// MEE model, RNG, and scratch state and returns the exposed duration
+// without applying it to the clock. It touches no shared or
+// timing-dependent state, which is what lets the sharded engine run it
+// ahead on a parallel worker.
+func (t *tenant) chargeCost(st workload.Step) sim.Duration {
 	sampling := int64(t.res.cfg.MEESampling)
 	if sampling < 1 {
 		sampling = 1
@@ -429,9 +539,59 @@ func (t *tenant) chargeMEE(st workload.Step) {
 	}
 	extra += t.meeM.AccessMany(addrs[:nr], false)
 	extra += t.meeM.AccessMany(addrs[nr:], true)
-	exposed := sim.Duration(float64(extra) * t.res.cfg.MEEExposure)
-	t.now += exposed
-	t.result.SecurityTime += exposed
+	return sim.Duration(float64(extra) * t.res.cfg.MEEExposure)
+}
+
+// stepAt returns step k of the replay's step sequence; index len(Steps)
+// is the tail compute, matching advance.
+func (t *tenant) stepAt(k int) workload.Step {
+	if k == len(t.trace.Steps) {
+		return t.trace.Tail
+	}
+	return t.trace.Steps[k]
+}
+
+// prepareNextBatch computes the MEE charges for the worker's next prepare
+// batch (workerNext — see prepPipe; dispatch order is batch order, so the
+// worker can track the index itself). It runs on the tenant's event shard
+// and touches only tenant-private state; steps without memory traffic
+// contribute a zero without touching the model, exactly mirroring the
+// serial chargeMEE guard.
+func (t *tenant) prepareNextBatch() {
+	p := t.pre
+	b := p.workerNext
+	p.workerNext++
+	start := b * prepBatch
+	end := start + prepBatch
+	if total := len(t.trace.Steps) + 1; end > total {
+		end = total
+	}
+	out := p.getBuf()
+	for k := start; k < end; k++ {
+		st := t.stepAt(k)
+		var d sim.Duration
+		if st.PreMemReads > 0 || st.PreMemWrites > 0 {
+			d = t.chargeCost(st)
+		}
+		out = append(out, d)
+	}
+	p.ch <- out
+}
+
+// pumpPrepares schedules prepare batches on the tenant's shard until the
+// stream is prepDepth steps ahead of consumption. Coordinator-only. The
+// ordering invariant the pipeline rests on: a batch is always scheduled
+// (at the current instant, with a smaller seq) before the commit event
+// that first consumes it is scheduled, so in the engine's global
+// (time, seq) order the prepare is dispatched to its worker before the
+// consuming commit runs — the blocking receive in prepPipe.next can only
+// ever wait on in-flight work, never on an unscheduled batch.
+func (t *tenant) pumpPrepares(eng sim.Backbone) {
+	p := t.pre
+	for p.nextBatch < p.nBatches && p.nextBatch*prepBatch < p.consumed+prepDepth {
+		p.nextBatch++
+		eng.AtShard(t.shard, eng.Now(), t.prepFn)
+	}
 }
 
 // issueAhead issues queued read steps until the prefetch window is full,
@@ -578,7 +738,15 @@ func (t *tenant) begin(granted sim.Time) {
 // tenant's advanced clock. A drained trace charges the deletion cost and
 // releases the admission slot — which is what lets a queued tenant's grant
 // fire at this tenant's virtual completion time.
-func (t *tenant) stepEvent(eng *sim.Engine, adm *sched.VirtualAdmission, ticket *sim.Ticket) {
+//
+// Commits are AtOverlap events: on the sharded engine they run on the
+// coordinator in exact global order but without the barrier, because the
+// only state they share with in-flight shard work is the prepare pipe —
+// whose channel is the synchronization. Everything else a commit touches
+// (servers, caches, FTL, device) is coordinator-confined during a
+// parallel run. On the serial engine AtOverlap is At, so this is the
+// pre-sharding behaviour verbatim.
+func (t *tenant) stepEvent(eng sim.Backbone, adm *sched.VirtualAdmission, ticket *sim.Ticket) {
 	if t.done() {
 		if t.mode == ModeIceClave {
 			t.now += t.res.cfg.Costs.Delete
@@ -588,7 +756,10 @@ func (t *tenant) stepEvent(eng *sim.Engine, adm *sched.VirtualAdmission, ticket 
 		return
 	}
 	t.advance()
-	eng.At(t.now, func(sim.Time) { t.stepEvent(eng, adm, ticket) })
+	if t.pre != nil {
+		t.pumpPrepares(eng)
+	}
+	eng.AtOverlap(t.now, func(sim.Time) { t.stepEvent(eng, adm, ticket) })
 }
 
 // RunMulti replays several traces concurrently against shared hardware —
@@ -607,26 +778,79 @@ func (t *tenant) stepEvent(eng *sim.Engine, adm *sched.VirtualAdmission, ticket 
 // its entry's tenant key, and its QueueDelay/Total count from that
 // arrival instant.
 func RunMulti(traces []*workload.Trace, mode Mode, cfg Config) ([]Result, error) {
+	out, _, err := RunMultiStats(traces, mode, cfg)
+	return out, err
+}
+
+// RunStats are whole-run statistics that have no per-tenant home.
+type RunStats struct {
+	// AdmissionTicks counts the admission gate's batched grant-scheduling
+	// passes (zero in per-release mode) — the firmware-work side of the
+	// quantum/queue-delay trade the Timing 1 table plots.
+	AdmissionTicks int64
+}
+
+// RunMultiStats is RunMulti returning whole-run statistics alongside the
+// per-tenant Results.
+func RunMultiStats(traces []*workload.Trace, mode Mode, cfg Config) ([]Result, RunStats, error) {
 	if cfg.ArrivalSchedule != nil && len(cfg.ArrivalSchedule.Submissions) != len(traces) {
-		return nil, fmt.Errorf("core: arrival schedule has %d submissions for %d traces",
+		return nil, RunStats{}, fmt.Errorf("core: arrival schedule has %d submissions for %d traces",
 			len(cfg.ArrivalSchedule.Submissions), len(traces))
 	}
 	res, offsets, err := newResources(cfg, traces)
 	if err != nil {
-		return nil, err
+		return nil, RunStats{}, err
 	}
-	eng := &sim.Engine{}
-	adm := sched.NewVirtualAdmission(eng, sched.VirtualConfig{
+	// Engine selection: the exact serial loop by default, the sharded
+	// parallel engine (one event shard per flash channel) when the
+	// configuration asks for workers. Everything downstream is written
+	// against the Backbone interface and produces bit-identical Results
+	// either way.
+	var eng sim.Backbone
+	if cfg.EngineWorkers > 1 {
+		eng = sim.NewShardedEngine(res.dev.Geometry().Channels, cfg.EngineWorkers)
+	} else {
+		eng = &sim.Engine{}
+	}
+	vcfg := sched.VirtualConfig{
 		MaxInFlight:       cfg.AdmissionSlots,
 		TenantMaxInFlight: cfg.AdmissionTenantSlots,
 		GrantQuantum:      cfg.AdmissionQuantum,
 		GrantBatch:        cfg.AdmissionBatch,
-	})
+	}
+	if cfg.AdmissionQuantum > 0 && cfg.AdmissionQuantumFloor > 0 {
+		floor := cfg.AdmissionQuantumFloor
+		vcfg.GrantAdaptive = func(queued int, base sim.Duration) sim.Duration {
+			q := base / sim.Duration(1+queued)
+			if q < floor {
+				q = floor
+			}
+			return q
+		}
+	}
+	adm := sched.NewVirtualAdmission(eng, vcfg)
+	// Build every tenant (and, on the sharded engine, seed its prepare
+	// pipeline on its channel's event shard) before any submission: the
+	// initial prepare events must precede every grant in the engine's
+	// (time, seq) order so a commit can never consume a batch that was not
+	// yet dispatched.
 	tenants := make([]*tenant, len(traces))
+	for i, tr := range traces {
+		tn := newTenant(res, tr, mode, offsets[i], cfg.Seed+uint64(i)*7919)
+		if cfg.ArrivalSchedule != nil {
+			tn.arrival = cfg.ArrivalSchedule.Submissions[i].At
+		}
+		if cfg.EngineWorkers > 1 && tn.meeM != nil {
+			tn.shard = res.ftl.ChannelOf(ftl.LPA(offsets[i]))
+			tn.pre = newPrepPipe(len(tr.Steps) + 1)
+			tn.prepFn = func(sim.Time) { tn.prepareNextBatch() }
+			tn.pumpPrepares(eng)
+		}
+		tenants[i] = tn
+	}
 	if cfg.ArrivalSchedule == nil {
 		for i, tr := range traces {
-			tn := newTenant(res, tr, mode, offsets[i], cfg.Seed+uint64(i)*7919)
-			tenants[i] = tn
+			tn := tenants[i]
 			var ticket *sim.Ticket
 			ticket = adm.Submit(0, tr.Name, sched.PriorityNormal, func(granted sim.Time) {
 				tn.begin(granted)
@@ -638,9 +862,7 @@ func RunMulti(traces []*workload.Trace, mode Mode, cfg Config) ([]Result, error)
 		tickets := make([]*sim.Ticket, len(traces))
 		for i, tr := range traces {
 			sub := cfg.ArrivalSchedule.Submissions[i]
-			tn := newTenant(res, tr, mode, offsets[i], cfg.Seed+uint64(i)*7919)
-			tn.arrival = sub.At
-			tenants[i] = tn
+			tn := tenants[i]
 			key := sub.Tenant
 			if key == "" {
 				key = tr.Name
@@ -661,11 +883,12 @@ func RunMulti(traces []*workload.Trace, mode Mode, cfg Config) ([]Result, error)
 		copy(tickets, adm.Playback(entries))
 	}
 	eng.Run()
+	stats := RunStats{AdmissionTicks: adm.Ticks()}
 	out := make([]Result, len(tenants))
 	for i, tn := range tenants {
 		out[i] = tn.finish()
 	}
 	// All derived statistics are extracted; the stack can be recycled.
 	pool.release(res)
-	return out, nil
+	return out, stats, nil
 }

@@ -1,0 +1,37 @@
+package experiments
+
+import (
+	"testing"
+
+	"iceclave/internal/core"
+	"iceclave/internal/workload"
+)
+
+// TestEngineWorkersOutputIdentical renders every table through the serial
+// event engine and through the sharded parallel engine at several worker
+// counts and requires byte-identical output — the acceptance bar for the
+// parallel replay engine (Table 6, Figure 8, Timing 1, Timing 2, and the
+// rest all flow from Results the sharded engine must reproduce bit for
+// bit).
+func TestEngineWorkersOutputIdentical(t *testing.T) {
+	sc := workload.TinyScale()
+	serial, err := NewSuite(sc, core.DefaultConfig()).All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4} {
+		sharded, err := NewSuite(sc, core.DefaultConfig()).SetEngineWorkers(workers).All()
+		if err != nil {
+			t.Fatalf("engine workers %d: %v", workers, err)
+		}
+		if len(serial) != len(sharded) {
+			t.Fatalf("engine workers %d: table counts differ: %d vs %d", workers, len(serial), len(sharded))
+		}
+		for i := range serial {
+			if got, want := sharded[i].String(), serial[i].String(); got != want {
+				t.Errorf("%s: sharded-engine output diverges (workers=%d):\n--- serial ---\n%s\n--- sharded ---\n%s",
+					serial[i].ID, workers, want, got)
+			}
+		}
+	}
+}

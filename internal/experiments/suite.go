@@ -81,12 +81,13 @@ type runKey struct {
 
 // resultEntry makes each keyed replay once-per-suite; concurrent workers
 // needing the same result share one execution. Multi-tenant replays
-// populate multi, single-tenant replays res.
+// populate multi and rstats, single-tenant replays res.
 type resultEntry struct {
-	once  sync.Once
-	res   core.Result
-	multi []core.Result
-	err   error
+	once   sync.Once
+	res    core.Result
+	multi  []core.Result
+	rstats core.RunStats
+	err    error
 }
 
 // NewSuite returns a serial, memoizing suite at the given scale with the
@@ -119,6 +120,20 @@ func (s *Suite) SetWorkers(n int) *Suite {
 
 // Workers returns the configured replay parallelism.
 func (s *Suite) Workers() int { return s.workers }
+
+// SetEngineWorkers sets core.Config.EngineWorkers for every replay the
+// suite runs: 0/1 is the exact serial event engine, >= 2 the sharded
+// parallel engine (bit-identical results, so every table and figure is
+// byte-identical at any setting — the parallel_replay bench gate pins
+// this). Returns the suite for chaining. Like SetWorkers, call before
+// sharing the suite.
+func (s *Suite) SetEngineWorkers(n int) *Suite {
+	if n < 0 {
+		n = 0
+	}
+	s.Config.EngineWorkers = n
+	return s
+}
 
 // SetMemoize toggles the replay-result cache (on by default) and returns
 // the suite for chaining. Turning it off makes every run replay fresh —
@@ -201,6 +216,13 @@ func (s *Suite) runCfg(name string, mode core.Mode, cfg core.Config) (core.Resul
 // mix — the colo half of Figures 17/18 and both halves of the Timing
 // table, whose uncapped runs are byte-identical to Figure 18's.
 func (s *Suite) runMulti(mix []string, mode core.Mode, cfg core.Config) ([]core.Result, error) {
+	out, _, err := s.runMultiStats(mix, mode, cfg)
+	return out, err
+}
+
+// runMultiStats is runMulti surfacing the whole-run statistics (admission
+// scheduling passes) alongside the memoized per-tenant results.
+func (s *Suite) runMultiStats(mix []string, mode core.Mode, cfg core.Config) ([]core.Result, core.RunStats, error) {
 	record := func(e *resultEntry) {
 		traces := make([]*workload.Trace, len(mix))
 		for i, name := range mix {
@@ -211,15 +233,15 @@ func (s *Suite) runMulti(mix []string, mode core.Mode, cfg core.Config) ([]core.
 			}
 			traces[i] = tr
 		}
-		e.multi, e.err = core.RunMulti(traces, mode, cfg)
+		e.multi, e.rstats, e.err = core.RunMultiStats(traces, mode, cfg)
 	}
 	if !s.memoize {
 		e := &resultEntry{}
 		record(e)
-		return e.multi, e.err
+		return e.multi, e.rstats, e.err
 	}
 	e := s.entryFor(runKey{name: "multi\n" + strings.Join(mix, "\n"), mode: mode, cfg: cfg}, record)
-	return e.multi, e.err
+	return e.multi, e.rstats, e.err
 }
 
 // entryFor returns the memo entry for key, populating it via record

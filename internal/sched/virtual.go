@@ -37,6 +37,11 @@ type VirtualConfig struct {
 	// non-positive means the tick admits everything capacity allows.
 	// Ignored unless GrantQuantum is set.
 	GrantBatch int
+	// GrantAdaptive, when non-nil, makes the batched-grant tick
+	// load-sensitive: each armed tick uses the period this hook returns
+	// for the current queue depth and base quantum (non-positive returns
+	// fall back to GrantQuantum). Ignored unless GrantQuantum is set.
+	GrantAdaptive func(queued int, base sim.Duration) sim.Duration
 }
 
 // VirtualAdmission is the sim-backed admission resource: Submit queues a
@@ -48,14 +53,17 @@ type VirtualAdmission struct {
 }
 
 // NewVirtualAdmission builds the gate over eng with the scheduler's three
-// priority bands.
-func NewVirtualAdmission(eng *sim.Engine, cfg VirtualConfig) *VirtualAdmission {
+// priority bands. Any sim.Scheduler works — the serial sim.Engine or the
+// sharded parallel engine; grants are cross-shard (fenced) events either
+// way, so the gate's bookkeeping never races with shard workers.
+func NewVirtualAdmission(eng sim.Scheduler, cfg VirtualConfig) *VirtualAdmission {
 	return &VirtualAdmission{
 		adm: sim.NewAdmissionWithPolicy(eng, int(numPriorities), sim.Policy{
-			Slots:   cfg.MaxInFlight,
-			PerKey:  cfg.TenantMaxInFlight,
-			Quantum: cfg.GrantQuantum,
-			Batch:   cfg.GrantBatch,
+			Slots:           cfg.MaxInFlight,
+			PerKey:          cfg.TenantMaxInFlight,
+			Quantum:         cfg.GrantQuantum,
+			Batch:           cfg.GrantBatch,
+			AdaptiveQuantum: cfg.GrantAdaptive,
 		}),
 	}
 }

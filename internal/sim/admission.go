@@ -26,12 +26,13 @@ package sim
 // Like Server, Admission is single-goroutine by the package contract; all
 // concurrency it models is virtual.
 type Admission struct {
-	eng     *Engine
-	bands   [][]*Ticket
-	slots   int      // global concurrent-grant cap; <= 0 means unlimited
-	perKey  int      // per-key concurrent-grant cap; <= 0 means unlimited
-	quantum Duration // > 0 switches to batched-grant mode
-	batch   int      // max grants per quantum tick; <= 0 means unlimited
+	eng      Scheduler
+	bands    [][]*Ticket
+	slots    int      // global concurrent-grant cap; <= 0 means unlimited
+	perKey   int      // per-key concurrent-grant cap; <= 0 means unlimited
+	quantum  Duration // > 0 switches to batched-grant mode
+	batch    int      // max grants per quantum tick; <= 0 means unlimited
+	adaptive func(queued int, base Duration) Duration
 
 	inUse       int
 	byKey       map[string]int
@@ -58,6 +59,14 @@ type Policy struct {
 	// (the tick then admits everything capacity allows, still aligned to
 	// the quantum). Ignored unless Quantum is set.
 	Batch int
+	// AdaptiveQuantum, when non-nil, scales the batched-grant tick with
+	// load: each time a tick is armed, the gate calls it with the current
+	// queue depth and the base Quantum and aligns the tick to the returned
+	// period instead (non-positive returns fall back to Quantum). A hook
+	// that shrinks the period as the queue deepens trades scheduling
+	// passes for queueing delay only when there is a queue to drain.
+	// Ignored unless Quantum is set.
+	AdaptiveQuantum func(queued int, base Duration) Duration
 }
 
 // Ticket is one admission request. Submitted and Granted expose the
@@ -86,13 +95,13 @@ func (t *Ticket) Waited() Duration {
 // of priority bands (band bands-1 is the highest), a global slot cap, and
 // a per-key cap. Non-positive caps mean unlimited. It panics if bands < 1
 // or eng is nil.
-func NewAdmission(eng *Engine, bands, slots, perKey int) *Admission {
+func NewAdmission(eng Scheduler, bands, slots, perKey int) *Admission {
 	return NewAdmissionWithPolicy(eng, bands, Policy{Slots: slots, PerKey: perKey})
 }
 
 // NewAdmissionWithPolicy builds a gate with the full policy, including
 // the batched-grant mode. It panics if bands < 1 or eng is nil.
-func NewAdmissionWithPolicy(eng *Engine, bands int, pol Policy) *Admission {
+func NewAdmissionWithPolicy(eng Scheduler, bands int, pol Policy) *Admission {
 	if eng == nil {
 		panic("sim: NewAdmission needs an engine")
 	}
@@ -100,13 +109,14 @@ func NewAdmissionWithPolicy(eng *Engine, bands int, pol Policy) *Admission {
 		panic("sim: NewAdmission needs at least one band")
 	}
 	return &Admission{
-		eng:     eng,
-		bands:   make([][]*Ticket, bands),
-		slots:   pol.Slots,
-		perKey:  pol.PerKey,
-		quantum: pol.Quantum,
-		batch:   pol.Batch,
-		byKey:   make(map[string]int),
+		eng:      eng,
+		bands:    make([][]*Ticket, bands),
+		slots:    pol.Slots,
+		perKey:   pol.PerKey,
+		quantum:  pol.Quantum,
+		batch:    pol.Batch,
+		adaptive: pol.AdaptiveQuantum,
+		byKey:    make(map[string]int),
 	}
 }
 
@@ -159,9 +169,25 @@ func (a *Admission) Submit(at Time, key string, band int, fn func(granted Time))
 	return t
 }
 
-// nextTick returns the first quantum boundary at or after at.
+// tickQuantum returns the grant-tick period in effect right now: the
+// fixed Quantum, or the adaptive hook's load-scaled period.
+func (a *Admission) tickQuantum() Duration {
+	q := a.quantum
+	if a.adaptive != nil {
+		if aq := a.adaptive(a.queued, q); aq > 0 {
+			q = aq
+		}
+	}
+	return q
+}
+
+// nextTick returns the first tick boundary at or after at. Under the
+// adaptive hook the boundary grid itself is load-dependent: the period is
+// sampled when the tick is armed, so a queue that deepens after arming
+// still waits out the already-armed tick — firmware reprograms its timer
+// on the scheduling pass, not on every enqueue.
 func (a *Admission) nextTick(at Time) Time {
-	q := Time(a.quantum)
+	q := Time(a.tickQuantum())
 	return (at + q - 1) / q * q
 }
 
@@ -185,7 +211,7 @@ func (a *Admission) grantTick(now Time) {
 	a.ticks++
 	n := a.dispatchUpTo(now, a.batch)
 	if a.batch > 0 && n >= a.batch && a.anyAdmissible() {
-		a.scheduleTick(now + Time(a.quantum))
+		a.scheduleTick(now + Time(a.tickQuantum()))
 	}
 }
 

@@ -1,0 +1,400 @@
+package sim
+
+import (
+	"container/heap"
+	"sync"
+	"sync/atomic"
+)
+
+// ShardedEngine is the conservative parallel form of Engine: N per-shard
+// event heaps plus one cross-shard heap, with shard events executed by
+// parallel workers and cross-shard events executed on the coordinator (the
+// goroutine inside Run). It is drop-in for programs written against
+// Backbone and produces bit-identical schedules to the serial Engine.
+//
+// # Execution model
+//
+// The coordinator repeatedly pops the globally minimal pending event by
+// (time, seq) across every heap — exactly the serial engine's total
+// order. A shard event is not run inline: it is appended to its shard's
+// worker FIFO and the coordinator moves on, so independent shard streams
+// overlap on real CPUs. A cross-shard event runs on the coordinator
+// itself; events scheduled with At first wait for every dispatched shard
+// event to complete (the conservative barrier — the event's timestamp is
+// the safe horizon, since no pending shard event can precede it in the
+// total order), while AtOverlap events skip the barrier for callers that
+// synchronize with shard work through their own channels.
+//
+// # Why the barrier is sound
+//
+// The coordinator dispatches in global (time, seq) order, so when a cross
+// event at time T pops, every shard event with (time, seq) below it has
+// already been handed to its worker FIFO; the fence merely waits for those
+// FIFOs to drain. Shard state is only touched by shard events (channels
+// are share-nothing at every layer), so after the fence the cross event
+// observes exactly the state the serial engine would have produced.
+//
+// # Contract
+//
+// All engine methods — At, AtShard, AtOverlap, After, Cancel, Now — are
+// coordinator-only: call them before Run or from inside cross-shard event
+// callbacks, never from a shard event callback. Shard callbacks receive
+// their event time as an argument and must communicate through their own
+// data structures (the race detector catches violations: worker-side
+// scheduling races on the heaps). This is what makes seq assignment — and
+// therefore the whole schedule — deterministic and identical to the
+// serial engine's.
+//
+// Shard events mapped to the same worker (worker = shard % workers) run
+// in dispatch order, so a single shard's events always execute in engine
+// order even when shards outnumber workers.
+type ShardedEngine struct {
+	now    Time
+	nextID int
+	ran    int64
+	pool   eventPool
+
+	cross  eventHeap
+	shards []eventHeap
+	// shardPending counts events waiting in shard heaps. Most events in a
+	// typical run are cross-shard, so when it is zero the scheduling loop
+	// skips scanning every shard heap.
+	shardPending int
+
+	nw      int
+	workers []*shardWorker // live only inside Run/RunUntil
+	sent    []int64        // events dispatched per worker (coordinator-owned)
+}
+
+var _ Backbone = (*ShardedEngine)(nil)
+
+// shardJob is one dispatched shard event: the callback plus the event
+// time the coordinator popped it at (shard callbacks must use this, not
+// Now, which may have advanced past them).
+type shardJob struct {
+	at Time
+	fn func(now Time)
+}
+
+// shardWorker is one worker goroutine's mailbox. The coordinator appends
+// under mu; the worker drains in FIFO order and counts completions, and
+// the shared cond doubles as the fence the coordinator waits on. done is
+// atomic so an already-satisfied fence — the common case for admission
+// events, whose prepare work drained long before — is a single load with
+// no lock traffic; the worker still broadcasts under mu, which is what
+// makes the fence's check-then-wait race-free.
+type shardWorker struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []shardJob
+	head   int
+	done   atomic.Int64
+	closed bool
+}
+
+// NewShardedEngine builds an engine with the given shard count whose
+// shard events execute on up to workers parallel goroutines (clamped to
+// the shard count; at least one). Workers are started by Run and joined
+// before it returns, so an idle ShardedEngine holds no goroutines.
+func NewShardedEngine(shards, workers int) *ShardedEngine {
+	if shards < 1 {
+		panic("sim: ShardedEngine needs at least one shard")
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > shards {
+		workers = shards
+	}
+	return &ShardedEngine{
+		shards: make([]eventHeap, shards),
+		nw:     workers,
+	}
+}
+
+// Now returns the current simulated time. Coordinator-only.
+func (e *ShardedEngine) Now() Time { return e.now }
+
+// Shards reports the number of event shards.
+func (e *ShardedEngine) Shards() int { return len(e.shards) }
+
+// Workers reports the parallel worker count shard events execute on.
+func (e *ShardedEngine) Workers() int { return e.nw }
+
+// Processed reports how many events have been executed or dispatched.
+func (e *ShardedEngine) Processed() int64 { return e.ran }
+
+// Pending reports how many events are waiting across all heaps. Events
+// already handed to a worker no longer count, matching the serial engine
+// (an event leaves Pending the moment the loop commits to running it).
+func (e *ShardedEngine) Pending() int {
+	n := len(e.cross)
+	for i := range e.shards {
+		n += len(e.shards[i])
+	}
+	return n
+}
+
+// At schedules a fenced cross-shard event: before fn runs, every shard
+// event dispatched so far has completed. This is the safe default for
+// callbacks that read or write state shard events also touch (admission
+// grants, arrival injection, run finalization).
+func (e *ShardedEngine) At(at Time, fn func(now Time)) *Event {
+	return e.schedule(at, fn, crossFenced)
+}
+
+// AtShard schedules fn on the given shard's event stream; it will execute
+// on that shard's worker, FIFO with every other event of the shard.
+func (e *ShardedEngine) AtShard(shard int, at Time, fn func(now Time)) *Event {
+	if shard < 0 || shard >= len(e.shards) {
+		panic("sim: shard out of range")
+	}
+	return e.schedule(at, fn, shard)
+}
+
+// AtOverlap schedules an unfenced cross-shard event: it runs on the
+// coordinator in global order but does not wait for in-flight shard work.
+// Use it for hot-path events that synchronize with shard events through
+// their own channels and touch no shard-owned state.
+func (e *ShardedEngine) AtOverlap(at Time, fn func(now Time)) *Event {
+	return e.schedule(at, fn, crossOverlap)
+}
+
+// After schedules a fenced cross-shard event delay nanoseconds from now.
+func (e *ShardedEngine) After(delay Duration, fn func(now Time)) *Event {
+	return e.At(e.now+delay, fn)
+}
+
+func (e *ShardedEngine) schedule(at Time, fn func(now Time), shard int) *Event {
+	if at < e.now {
+		panic("sim: event scheduled in the past")
+	}
+	ev := e.pool.get(at, fn, e.nextID, shard)
+	e.nextID++
+	if shard >= 0 {
+		e.shardPending++
+	}
+	heap.Push(e.heapFor(shard), ev)
+	return ev
+}
+
+func (e *ShardedEngine) heapFor(shard int) *eventHeap {
+	if shard >= 0 {
+		return &e.shards[shard]
+	}
+	return &e.cross
+}
+
+// Cancel removes a scheduled event. It is a no-op if the event already ran
+// or was dispatched to a worker — dispatch is the sharded engine's point
+// of no return, exactly where the serial engine runs the callback.
+// Coordinator-only.
+func (e *ShardedEngine) Cancel(ev *Event) {
+	if ev == nil || ev.idx < 0 || ev.shard >= len(e.shards) {
+		return
+	}
+	h := e.heapFor(ev.shard)
+	if ev.idx >= len(*h) || (*h)[ev.idx] != ev {
+		return
+	}
+	if ev.shard >= 0 {
+		e.shardPending--
+	}
+	heap.Remove(h, ev.idx)
+	ev.idx = -1
+	e.pool.put(ev)
+}
+
+// peekMin returns the globally minimal pending event's heap, or nil when
+// every heap is empty. Ties are impossible (seq is unique), so the choice
+// is deterministic. The shardPending fast path keeps the per-step cost at
+// one heap top when no shard events are waiting — the common case, since
+// shard events are dispatched almost as soon as they are scheduled.
+func (e *ShardedEngine) peekMin() *eventHeap {
+	var best *eventHeap
+	if len(e.cross) > 0 {
+		best = &e.cross
+	}
+	if e.shardPending == 0 {
+		return best
+	}
+	for i := range e.shards {
+		h := &e.shards[i]
+		if len(*h) > 0 && (best == nil || eventBefore((*h)[0], (*best)[0])) {
+			best = h
+		}
+	}
+	return best
+}
+
+// step pops and executes (or dispatches) the globally minimal event.
+func (e *ShardedEngine) step() bool {
+	h := e.peekMin()
+	if h == nil {
+		return false
+	}
+	ev := heap.Pop(h).(*Event)
+	ev.idx = -1
+	e.now = ev.At
+	e.ran++
+	if ev.shard >= 0 {
+		e.shardPending--
+		e.dispatch(ev)
+		return true
+	}
+	fenced := ev.shard == crossFenced
+	fn, at := ev.Fn, ev.At
+	e.pool.put(ev)
+	if fenced {
+		e.FenceAll()
+	}
+	fn(at)
+	return true
+}
+
+// dispatch hands a shard event to its worker's FIFO and recycles the
+// Event struct (only the coordinator ever touches Event structs).
+func (e *ShardedEngine) dispatch(ev *Event) {
+	wi := ev.shard % e.nw
+	w := e.workers[wi]
+	job := shardJob{at: ev.At, fn: ev.Fn}
+	e.pool.put(ev)
+	e.sent[wi]++
+	w.mu.Lock()
+	w.queue = append(w.queue, job)
+	w.mu.Unlock()
+	w.cond.Broadcast()
+}
+
+// Fence blocks until every event dispatched so far to the given shard's
+// worker has completed. Coordinator-only, valid only while running.
+func (e *ShardedEngine) Fence(shard int) {
+	if e.workers == nil || shard < 0 || shard >= len(e.shards) {
+		return
+	}
+	e.fenceWorker(shard % e.nw)
+}
+
+// FenceAll blocks until every dispatched shard event has completed.
+func (e *ShardedEngine) FenceAll() {
+	if e.workers == nil {
+		return
+	}
+	for wi := range e.workers {
+		e.fenceWorker(wi)
+	}
+}
+
+func (e *ShardedEngine) fenceWorker(wi int) {
+	w := e.workers[wi]
+	target := e.sent[wi]
+	if w.done.Load() >= target {
+		return
+	}
+	// The worker only broadcasts while holding mu, so a completion cannot
+	// slip between the re-check below and Wait's registration.
+	w.mu.Lock()
+	for w.done.Load() < target {
+		w.cond.Wait()
+	}
+	w.mu.Unlock()
+}
+
+func (w *shardWorker) loop(wg *sync.WaitGroup) {
+	defer wg.Done()
+	w.mu.Lock()
+	for {
+		for w.head == len(w.queue) && !w.closed {
+			w.cond.Wait()
+		}
+		if w.head == len(w.queue) {
+			w.mu.Unlock()
+			return
+		}
+		job := w.queue[w.head]
+		w.queue[w.head] = shardJob{} // release the closure
+		w.head++
+		if w.head == len(w.queue) {
+			w.queue = w.queue[:0]
+			w.head = 0
+		}
+		w.mu.Unlock()
+		job.fn(job.at)
+		w.done.Add(1)
+		w.mu.Lock()
+		w.cond.Broadcast()
+	}
+}
+
+// startWorkers spins up the worker pool for one run.
+func (e *ShardedEngine) startWorkers() *sync.WaitGroup {
+	e.workers = make([]*shardWorker, e.nw)
+	e.sent = make([]int64, e.nw)
+	wg := &sync.WaitGroup{}
+	wg.Add(e.nw)
+	for i := range e.workers {
+		w := &shardWorker{}
+		w.cond = sync.NewCond(&w.mu)
+		e.workers[i] = w
+		go w.loop(wg)
+	}
+	return wg
+}
+
+// stopWorkers drains in-flight shard work, shuts the pool down, and joins
+// every worker, so no goroutine outlives the run.
+func (e *ShardedEngine) stopWorkers(wg *sync.WaitGroup) {
+	e.FenceAll()
+	for _, w := range e.workers {
+		w.mu.Lock()
+		w.closed = true
+		w.mu.Unlock()
+		w.cond.Broadcast()
+	}
+	wg.Wait()
+	e.workers = nil
+	e.sent = nil
+}
+
+// Run processes events until every heap drains, then waits for all shard
+// work to complete and returns the final time.
+func (e *ShardedEngine) Run() Time {
+	wg := e.startWorkers()
+	for e.step() {
+	}
+	e.stopWorkers(wg)
+	return e.now
+}
+
+// RunUntil processes events with At <= deadline (completing all dispatched
+// shard work before returning), then sets the clock to the deadline if it
+// has not passed it already.
+func (e *ShardedEngine) RunUntil(deadline Time) Time {
+	wg := e.startWorkers()
+	for {
+		h := e.peekMin()
+		if h == nil || (*h)[0].At > deadline {
+			break
+		}
+		e.step()
+	}
+	e.stopWorkers(wg)
+	if e.now < deadline {
+		e.now = deadline
+	}
+	return e.now
+}
+
+// Reset returns the engine to time zero with empty heaps in O(1), keeping
+// heap capacity and the event free list. Pending events are dropped. Must
+// not be called while a run is in progress.
+func (e *ShardedEngine) Reset() {
+	e.now = 0
+	e.nextID = 0
+	e.ran = 0
+	e.shardPending = 0
+	e.cross = e.cross[:0]
+	for i := range e.shards {
+		e.shards[i] = e.shards[i][:0]
+	}
+}

@@ -1,0 +1,377 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+)
+
+// transcript records what a program observed while running on an engine:
+// per-shard event orderings (appended by the shard events themselves, so
+// they capture true execution order on the workers) and the cross-shard
+// stream with, at each fenced cross event, the number of completed events
+// per shard — the cross-shard interaction points the sharded engine must
+// reproduce exactly.
+type transcript struct {
+	shard [][]shardRec
+	cross []crossRec
+	final Time
+	ran   int64
+}
+
+type shardRec struct {
+	id int
+	at Time
+}
+
+type crossRec struct {
+	id   int
+	at   Time
+	seen []int // per-shard completed-event counts; nil for overlap events
+}
+
+func (tr *transcript) seenVector() []int {
+	v := make([]int, len(tr.shard))
+	for s := range tr.shard {
+		v[s] = len(tr.shard[s])
+	}
+	return v
+}
+
+// progOp is one scheduled event of a deterministic test program.
+type progOp struct {
+	at      Time
+	shard   int  // >= 0 shard event; -1 fenced cross; -2 overlap cross
+	childOf int  // schedule from this cross op's callback (-1: at setup)
+	cancels int  // >= 0: this (cross) op cancels op #cancels when it runs
+	canceld bool // filled during the run
+}
+
+// runProgram replays ops on eng and returns the transcript. Child
+// scheduling and cancels run only in coordinator contexts (setup and
+// cross callbacks), honouring the sharded engine's contract.
+func runProgram(eng Backbone, nshards int, ops []progOp) *transcript {
+	tr := &transcript{shard: make([][]shardRec, nshards)}
+	handles := make([]*Event, len(ops))
+	var schedule func(i int)
+	schedule = func(i int) {
+		op := &ops[i]
+		id := i
+		switch {
+		case op.shard >= 0:
+			handles[i] = eng.AtShard(op.shard, op.at, func(now Time) {
+				tr.shard[op.shard] = append(tr.shard[op.shard], shardRec{id, now})
+			})
+		default:
+			fenced := op.shard == -1
+			fn := func(now Time) {
+				rec := crossRec{id: id, at: now}
+				if fenced {
+					rec.seen = tr.seenVector()
+				}
+				tr.cross = append(tr.cross, rec)
+				if op.cancels >= 0 && !ops[op.cancels].canceld {
+					eng.Cancel(handles[op.cancels])
+					ops[op.cancels].canceld = true
+				}
+				for j := range ops {
+					if ops[j].childOf == i {
+						schedule(j)
+					}
+				}
+			}
+			if fenced {
+				handles[i] = eng.At(op.at, fn)
+			} else {
+				handles[i] = eng.AtOverlap(op.at, fn)
+			}
+		}
+	}
+	for i := range ops {
+		if ops[i].childOf == -1 {
+			schedule(i)
+		}
+	}
+	tr.final = eng.Run()
+	switch e := eng.(type) {
+	case *Engine:
+		tr.ran = e.Processed()
+	case *ShardedEngine:
+		tr.ran = e.Processed()
+	}
+	return tr
+}
+
+// diffTranscripts replays ops on the serial engine and on sharded engines
+// at several worker counts and requires identical transcripts.
+func diffTranscripts(t *testing.T, nshards int, mkOps func() []progOp) {
+	t.Helper()
+	want := runProgram(&Engine{}, nshards, mkOps())
+	for _, workers := range []int{1, 2, 3} {
+		got := runProgram(NewShardedEngine(nshards, workers), nshards, mkOps())
+		if got.final != want.final || got.ran != want.ran {
+			t.Errorf("workers=%d: final=%v ran=%d, want final=%v ran=%d",
+				workers, got.final, got.ran, want.final, want.ran)
+		}
+		if !reflect.DeepEqual(got.shard, want.shard) {
+			t.Errorf("workers=%d: shard transcripts diverge\n got %v\nwant %v",
+				workers, got.shard, want.shard)
+		}
+		if !reflect.DeepEqual(got.cross, want.cross) {
+			t.Errorf("workers=%d: cross transcripts diverge\n got %v\nwant %v",
+				workers, got.cross, want.cross)
+		}
+	}
+}
+
+func op(at Time, shard int) progOp { return progOp{at: at, shard: shard, childOf: -1, cancels: -1} }
+
+// TestShardedSameInstantSeqOrder: events at one instant spanning several
+// shards must dispatch in global seq (schedule) order, and a fenced cross
+// event at the same instant, scheduled after them, must observe them all.
+func TestShardedSameInstantSeqOrder(t *testing.T) {
+	mk := func() []progOp {
+		return []progOp{
+			op(10, 0), // A: seq 0
+			op(10, 1), // B: seq 1
+			op(10, 2), // C: seq 2
+			op(10, -1),
+		}
+	}
+	diffTranscripts(t, 3, mk)
+
+	// With one worker every shard shares a FIFO, so the worker's merged
+	// execution order is observable and must equal schedule order.
+	var merged []int
+	eng := NewShardedEngine(3, 1)
+	for i, s := range []int{2, 0, 1} {
+		i := i
+		eng.AtShard(s, 10, func(Time) { merged = append(merged, i) })
+	}
+	eng.Run()
+	if !reflect.DeepEqual(merged, []int{0, 1, 2}) {
+		t.Errorf("same-instant cross-shard events ran out of seq order: %v", merged)
+	}
+}
+
+// TestShardedCancelAtHorizon: a fenced cross event that currently defines
+// the safe horizon is cancelled by an earlier cross event; the shard
+// streams around it must still replay identically.
+func TestShardedCancelAtHorizon(t *testing.T) {
+	mk := func() []progOp {
+		ops := []progOp{
+			op(4, 0),
+			op(5, -1), // the horizon event, cancelled before it fires
+			op(6, 1),
+			op(8, -1),
+			{at: 3, shard: -1, childOf: -1, cancels: 1},
+		}
+		return ops
+	}
+	diffTranscripts(t, 2, mk)
+
+	eng := NewShardedEngine(2, 2)
+	fired := false
+	eng.AtShard(0, 4, func(Time) {})
+	horizon := eng.At(5, func(Time) { fired = true })
+	eng.AtShard(1, 6, func(Time) {})
+	eng.At(3, func(Time) { eng.Cancel(horizon) })
+	if final := eng.Run(); final != 6 {
+		t.Errorf("final time %v, want 6", final)
+	}
+	if fired {
+		t.Error("cancelled horizon event ran")
+	}
+	if eng.Pending() != 0 {
+		t.Errorf("pending %d after run", eng.Pending())
+	}
+}
+
+// TestShardedRunUntilEmptyShard: RunUntil over an engine where some
+// shards have no events at all must advance the clock to the deadline and
+// leave later events pending, exactly like the serial engine.
+func TestShardedRunUntilEmptyShard(t *testing.T) {
+	for _, workers := range []int{1, 3} {
+		eng := NewShardedEngine(3, workers)
+		var ran []int
+		eng.AtShard(0, 2, func(Time) { ran = append(ran, 0) })
+		eng.At(4, func(Time) { ran = append(ran, 1) })
+		eng.AtShard(0, 9, func(Time) { ran = append(ran, 2) })
+		if now := eng.RunUntil(5); now != 5 {
+			t.Errorf("workers=%d: RunUntil returned %v, want 5", workers, now)
+		}
+		if !reflect.DeepEqual(ran, []int{0, 1}) {
+			t.Errorf("workers=%d: ran %v, want [0 1]", workers, ran)
+		}
+		if eng.Pending() != 1 {
+			t.Errorf("workers=%d: pending %d, want 1", workers, eng.Pending())
+		}
+		if final := eng.Run(); final != 9 {
+			t.Errorf("workers=%d: final %v, want 9", workers, final)
+		}
+		if !reflect.DeepEqual(ran, []int{0, 1, 2}) {
+			t.Errorf("workers=%d: ran %v, want [0 1 2]", workers, ran)
+		}
+	}
+}
+
+// TestShardedChainedScheduling: cross events scheduling shard children and
+// further cross events (the admission-grant shape) replay identically.
+func TestShardedChainedScheduling(t *testing.T) {
+	mk := func() []progOp {
+		return []progOp{
+			{at: 0, shard: -1, childOf: -1, cancels: -1},  // 0: root
+			{at: 5, shard: 0, childOf: 0, cancels: -1},    // scheduled by 0
+			{at: 5, shard: 1, childOf: 0, cancels: -1},    // scheduled by 0
+			{at: 7, shard: -2, childOf: 0, cancels: -1},   // overlap cross
+			{at: 10, shard: -1, childOf: 0, cancels: -1},  // 4: fenced cross
+			{at: 12, shard: 1, childOf: 4, cancels: -1},   // scheduled by 4
+			{at: 12, shard: -1, childOf: 4, cancels: -1},  // fenced tail
+			{at: 3, shard: 0, childOf: -1, cancels: -1},   // setup shard event
+			{at: 15, shard: -1, childOf: -1, cancels: -1}, // final barrier
+		}
+	}
+	diffTranscripts(t, 2, mk)
+}
+
+// TestShardedReset pins the O(1) reset contract: a reset engine replays a
+// fresh program identically to a new one.
+func TestShardedReset(t *testing.T) {
+	mk := func() []progOp {
+		return []progOp{op(1, 0), op(2, 1), op(2, -1), op(3, -2)}
+	}
+	eng := NewShardedEngine(2, 2)
+	runProgram(eng, 2, mk())
+	eng.AtShard(0, 99, func(Time) { t.Error("dropped event ran") })
+	eng.Reset()
+	if eng.Now() != 0 || eng.Pending() != 0 || eng.Processed() != 0 {
+		t.Fatalf("reset left now=%v pending=%d ran=%d", eng.Now(), eng.Pending(), eng.Processed())
+	}
+	got := runProgram(eng, 2, mk())
+	want := runProgram(NewShardedEngine(2, 2), 2, mk())
+	if !reflect.DeepEqual(got.shard, want.shard) || !reflect.DeepEqual(got.cross, want.cross) {
+		t.Errorf("post-reset replay diverges: got %v/%v want %v/%v",
+			got.shard, got.cross, want.shard, want.cross)
+	}
+}
+
+// decodeProgram turns fuzz bytes into a valid event program: a byte
+// triple per op (placement, time, parent selector). Cross events may have
+// children; every op's parent is an earlier cross op or setup; cancels
+// target strictly-later ops so the cancel races nothing.
+func decodeProgram(data []byte, nshards int) []progOp {
+	n := len(data) / 3
+	if n > 64 {
+		n = 64
+	}
+	ops := make([]progOp, 0, n)
+	crossIdx := []int{}
+	for i := 0; i < n; i++ {
+		place := int(data[3*i]) % (nshards + 2)
+		at := Time(data[3*i+1]) % 32
+		sel := int(data[3*i+2])
+		o := progOp{at: at, shard: place - 2, childOf: -1, cancels: -1}
+		if len(crossIdx) > 0 && sel%3 == 1 {
+			// Child of an earlier cross op: runs at or after the parent.
+			p := crossIdx[sel%len(crossIdx)]
+			o.childOf = p
+			if o.at < ops[p].at {
+				o.at = ops[p].at
+			}
+		}
+		ops = append(ops, o)
+		if o.shard < 0 {
+			crossIdx = append(crossIdx, i)
+		}
+	}
+	// Wire cancels: a cross op may cancel a strictly-later-in-time setup
+	// op (never one that could already have run or been dispatched).
+	for _, ci := range crossIdx {
+		sel := int(data[3*ci+2])
+		if sel%5 != 0 {
+			continue
+		}
+		for j := range ops {
+			if ops[j].childOf == -1 && ops[j].at > ops[ci].at && j != ci {
+				ops[ci].cancels = j
+				break
+			}
+		}
+	}
+	return ops
+}
+
+// FuzzShardedEngineTranscript replays random event programs through the
+// serial and sharded engines and requires identical transcripts.
+func FuzzShardedEngineTranscript(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add([]byte{1, 10, 1, 2, 10, 1, 0, 10, 5, 3, 5, 0, 4, 20, 7})
+	f.Add([]byte{5, 0, 0, 5, 0, 3, 1, 1, 1, 2, 2, 2, 0, 31, 5, 1, 16, 10})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const nshards = 3
+		want := runProgram(&Engine{}, nshards, decodeProgram(data, nshards))
+		for _, workers := range []int{1, 2, 3} {
+			got := runProgram(NewShardedEngine(nshards, workers), nshards, decodeProgram(data, nshards))
+			if got.final != want.final || got.ran != want.ran ||
+				!reflect.DeepEqual(got.shard, want.shard) ||
+				!reflect.DeepEqual(got.cross, want.cross) {
+				t.Fatalf("workers=%d diverges\n got %+v\nwant %+v", workers, got, want)
+			}
+		}
+	})
+}
+
+// TestEngineEventPoolAllocs pins the Event free list: once a replay-shaped
+// loop reaches steady state (each fired event's struct feeds the next At),
+// scheduling allocates nothing.
+func TestEngineEventPoolAllocs(t *testing.T) {
+	e := &Engine{}
+	var hops int
+	var hop func(now Time)
+	hop = func(now Time) {
+		hops++
+		if hops%1000 != 0 {
+			e.At(now+1, hop)
+		}
+	}
+	e.At(0, hop)
+	e.Run() // warm the pool and the heap capacity
+	allocs := testing.AllocsPerRun(100, func() {
+		e.At(e.Now()+1, hop)
+		e.Run()
+	})
+	if allocs > 0 {
+		t.Errorf("steady-state schedule+run allocates %.1f objects per run, want 0", allocs)
+	}
+}
+
+// TestEngineResetDropsEvents pins serial Engine.Reset.
+func TestEngineResetDropsEvents(t *testing.T) {
+	e := &Engine{}
+	e.At(5, func(Time) { t.Error("dropped event ran") })
+	e.Reset()
+	if e.Now() != 0 || e.Pending() != 0 || e.Processed() != 0 {
+		t.Fatalf("reset left now=%v pending=%d ran=%d", e.Now(), e.Pending(), e.Processed())
+	}
+	ran := false
+	e.At(2, func(Time) { ran = true })
+	if final := e.Run(); final != 2 || !ran {
+		t.Errorf("post-reset run: final=%v ran=%v", final, ran)
+	}
+}
+
+// TestShardedEngineClamps documents constructor clamping.
+func TestShardedEngineClamps(t *testing.T) {
+	if w := NewShardedEngine(2, 8).Workers(); w != 2 {
+		t.Errorf("workers clamped to %d, want 2 (shard count)", w)
+	}
+	if w := NewShardedEngine(4, 0).Workers(); w != 1 {
+		t.Errorf("workers clamped to %d, want 1", w)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("NewShardedEngine(0, 1) did not panic")
+		}
+	}()
+	NewShardedEngine(0, 1)
+}
