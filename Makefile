@@ -4,7 +4,7 @@ GO ?= go
 # for significance when comparing against a saved baseline).
 BENCH_COUNT ?= 1
 
-.PHONY: all build fmt-check vet test race race-shard trace-tests ci bench bench-compare micro fuzz profile
+.PHONY: all build fmt-check vet test race race-shard trace-tests race-fault ci bench bench-compare micro fuzz profile
 
 all: build
 
@@ -60,12 +60,28 @@ trace-tests:
 		-run 'Trace|Playback|Golden|Malformed|Schedule|EqualArrivals|BurstyFixture' \
 		./internal/trace ./internal/sim ./internal/sched ./internal/core ./internal/experiments
 
+# race-fault runs the fault-injection and recovery layer explicitly (and
+# verbosely) under the race detector: the deterministic fault-plan
+# contracts (same seed => same decisions), the device/FTL/TEE injection
+# seams, the circuit breaker's state machine, the core replay's
+# retry/backoff and determinism pins (pooled stacks, engine worker
+# counts, zero-plan bit-identity), the scheduler's drain-timeout
+# straggler report, and the public error-taxonomy tests in the root
+# package. `race` runs them too, but a recovery regression should fail
+# loudly and by name.
+race-fault:
+	$(GO) test -race -count 1 -v \
+		-run 'Fault|Injector|Breaker|Retry|Backoff|DieDeath|DieDead|MACFault|BadBlock|Retire|DrainTimeout|Sentinel|ZeroPlan|OffloadTimeout' \
+		./internal/fault ./internal/flash ./internal/ftl ./internal/tee \
+		./internal/sim ./internal/sched ./internal/core ./internal/experiments .
+
 # ci is the gate future PRs must keep green: gofmt-clean tree, clean
 # build, clean vet, the named channel-sharding race tests, the
-# trace-replay differential layer, and the full test suite (including the
-# 32-tenant offload stress, the FTL stripe-contention tests, and the
-# Trivium differential suite) under the race detector.
-ci: fmt-check build vet race-shard trace-tests race
+# trace-replay differential layer, the fault-injection recovery layer,
+# and the full test suite (including the 32-tenant offload stress, the
+# FTL stripe-contention tests, and the Trivium differential suite) under
+# the race detector.
+ci: fmt-check build vet race-shard trace-tests race-fault race
 
 # bench regenerates the committed machine-readable performance record:
 # serial vs parallel experiment-suite wall time, the scheduler offload
@@ -75,10 +91,11 @@ bench:
 	$(GO) run ./cmd/iceclave-bench -bench-json BENCH_results.json -workers 4
 
 # micro runs only the cipher, lock-sharding, die-pipelining,
-# admission-queueing, write-storm, and mee-traffic microbenchmarks
-# (seconds, not minutes) and prints a human summary. The die-pipelining
-# and queueing numbers are simulated time, so they are deterministic on
-# any machine.
+# admission-queueing, write-storm, mee-traffic, trace-replay,
+# fault-replay, replay-setup, and parallel-replay microbenchmarks
+# (seconds, not minutes) and prints a human summary. The die-pipelining,
+# queueing, trace-replay, and fault-replay numbers are simulated time,
+# so they are deterministic on any machine.
 micro:
 	$(GO) run ./cmd/iceclave-bench -micro
 
@@ -118,6 +135,10 @@ profile:
 #     cold, memoized, and on a fresh suite) must report identical: true —
 #     the trace-mode table must be byte-identical across memoized reruns
 #     and schedule re-parses.
+#   - The -micro fault-replay section must report zero-fault identical:
+#     true — a replay under a fault plan whose rates are all zero must
+#     produce Results struct-identical to a replay with no plan at all,
+#     so the injection seams cost nothing when they inject nothing.
 #   - The -micro parallel-replay section (the same multi-tenant RunMulti
 #     replay on the serial and the sharded virtual-time engine, wall
 #     clock) must beat the GOMAXPROCS-aware gate the micro prints —
@@ -175,6 +196,12 @@ bench-compare:
 	        printf "trace-replay suite output identical across reruns: %s\n", id; \
 	        if (id != "true") { print "FAIL: trace-mode suite output changed across memoized reruns or schedule re-parses"; exit 1 } \
 	      }' out/micro_new.txt
+	@awk '/^fault replay zero-fault identical:/ { id=$$5 } \
+	      END { \
+	        if (id == "") { print "bench-compare: missing fault-replay output"; exit 1 } \
+	        printf "fault-replay zero-fault plan identical to nil plan: %s\n", id; \
+	        if (id != "true") { print "FAIL: a zero-rate fault plan changed replay Results - the injection seams are not free when idle"; exit 1 } \
+	      }' out/micro_new.txt
 	@awk '/^parallel replay speedup/ { ratio=$$4; gate=$$6 } \
 	      /^parallel replay identical:/ { id=$$4 } \
 	      END { \
@@ -198,7 +225,9 @@ bench-compare:
 # typed error or a well-formed schedule, never a panic or a silent row
 # drop; the sharded-engine target decodes arbitrary bytes into an event
 # program and requires the serial and sharded engines to produce
-# identical execution transcripts at several worker counts.
+# identical execution transcripts at several worker counts; the fault
+# target derives arbitrary plans and requires the decision stream to be
+# repeatable, probability-bounded, and panic-free at every site/ordinal.
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzKeystreamRoundTrip -fuzztime=20s ./internal/trivium
 	$(GO) test -run='^$$' -fuzz=FuzzEnginePageRoundTrip -fuzztime=20s ./internal/trivium
@@ -207,3 +236,4 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzTrafficBatchedVsReference -fuzztime=20s ./internal/mee
 	$(GO) test -run='^$$' -fuzz=FuzzTraceReader -fuzztime=20s ./internal/trace
 	$(GO) test -run='^$$' -fuzz=FuzzShardedEngineTranscript -fuzztime=20s ./internal/sim
+	$(GO) test -run='^$$' -fuzz=FuzzFaultPlan -fuzztime=20s ./internal/fault

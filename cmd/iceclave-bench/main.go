@@ -10,8 +10,9 @@
 // performance trajectory is trackable across PRs.
 //
 // With -micro it runs just the Trivium cipher, FTL lock-sharding,
-// die-pipelining, and admission-queueing microbenchmarks (methodology in
-// docs/BENCHMARKS.md).
+// die-pipelining, admission-queueing, write-storm, mee-traffic,
+// trace-replay, fault-replay, replay-setup, and parallel-replay
+// microbenchmarks (methodology in docs/BENCHMARKS.md).
 //
 // Usage:
 //
@@ -184,6 +185,7 @@ type benchResults struct {
 	TraceReplay    traceReplayResults    `json:"trace_replay"`
 	ResourcePool   resourcePoolResults   `json:"resource_pool"`
 	ParallelReplay parallelReplayResults `json:"parallel_replay"`
+	FaultReplay    faultReplayResults    `json:"fault_replay"`
 }
 
 // resourcePoolResults records the replay-stack pool's activity across the
@@ -299,6 +301,7 @@ func runBench(sc workload.Scale, workers, tenants, jobs int, outPath string) err
 		MEETraffic:      mr.MEETraffic,
 		TraceReplay:     mr.TraceReplay,
 		ParallelReplay:  mr.Parallel,
+		FaultReplay:     mr.FaultReplay,
 		ResourcePool: resourcePoolResults{
 			SuiteHits:    suitePool.Hits,
 			SuiteMisses:  suitePool.Misses,
@@ -431,6 +434,8 @@ func one(s *experiments.Suite, name string) (*stats.Table, error) {
 		return s.AdmissionTiming()
 	case "trace", "timing 2":
 		return s.TraceTiming()
+	case "fault":
+		return s.FaultTiming()
 	}
 	return nil, fmt.Errorf("unknown experiment %q", name)
 }

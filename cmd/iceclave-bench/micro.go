@@ -8,6 +8,7 @@ import (
 
 	"iceclave/internal/core"
 	"iceclave/internal/experiments"
+	"iceclave/internal/fault"
 	"iceclave/internal/flash"
 	"iceclave/internal/ftl"
 	"iceclave/internal/mee"
@@ -643,6 +644,102 @@ func benchTraceReplay() (traceReplayResults, error) {
 	return out, nil
 }
 
+// faultScenarioResults is one scenario of the fault-replay record.
+type faultScenarioResults struct {
+	Scenario      string  `json:"scenario"`
+	Tenants       int     `json:"tenants"`
+	Completed     int     `json:"completed"`
+	GoodputPerSec float64 `json:"goodput_pages_per_sec"`
+	MeanSojournNs int64   `json:"mean_sojourn_ns"`
+	P99SojournNs  int64   `json:"p99_sojourn_ns"`
+	MaxSojournNs  int64   `json:"max_sojourn_ns"`
+	Retries       int     `json:"retries"`
+	BreakerTrips  int     `json:"breaker_trips"`
+	ReadRetries   int64   `json:"ftl_read_retries"`
+	BadBlocks     int64   `json:"bad_blocks"`
+	DeadDies      int64   `json:"dead_dies"`
+	ReadFaults    int64   `json:"injected_read_faults"`
+	ProgramFaults int64   `json:"injected_program_faults"`
+}
+
+// faultReplayResults records the deterministic fault-injection sweep: the
+// same multi-tenant mix replayed under seeded fault plans of rising
+// hostility plus a scripted die-death run, in SIMULATED time.
+// ZeroFaultIdentical is the differential gate bench-compare checks: a
+// replay under a plan whose rates are all zero must produce Results
+// struct-identical to a replay with no plan at all — injection may cost
+// nothing when it injects nothing.
+type faultReplayResults struct {
+	Tenants            int                    `json:"tenants"`
+	Slots              int                    `json:"slots"`
+	Scenarios          []faultScenarioResults `json:"scenarios"`
+	ZeroFaultIdentical bool                   `json:"zero_fault_identical"`
+}
+
+// benchFaultReplay runs the Fault-table sweep on a tiny-scale suite and
+// then pins the zero-fault differential: the same mix replayed with a
+// nil fault plan and with an all-zero plan must emit identical Results.
+func benchFaultReplay() (faultReplayResults, error) {
+	s := experiments.NewSuite(workload.TinyScale(), core.DefaultConfig())
+	sum, err := s.FaultReplaySummary()
+	if err != nil {
+		return faultReplayResults{}, err
+	}
+	out := faultReplayResults{Tenants: len(sum.Mix), Slots: sum.Slots}
+	for _, sc := range sum.Scenarios {
+		out.Scenarios = append(out.Scenarios, faultScenarioResults{
+			Scenario:      sc.Scenario,
+			Tenants:       sc.Tenants,
+			Completed:     sc.Completed,
+			GoodputPerSec: sc.GoodputPerSec,
+			MeanSojournNs: int64(sc.MeanSojourn),
+			P99SojournNs:  int64(sc.P99Sojourn),
+			MaxSojournNs:  int64(sc.MaxSojourn),
+			Retries:       sc.Retries,
+			BreakerTrips:  sc.BreakerTrips,
+			ReadRetries:   sc.ReadRetries,
+			BadBlocks:     sc.BadBlocks,
+			DeadDies:      sc.DeadDies,
+			ReadFaults:    sc.ReadFaults,
+			ProgramFaults: sc.ProgramFaults,
+		})
+	}
+
+	names := []string{"TPC-H Q1", "TPC-B", "Filter"}
+	traces := make([]*workload.Trace, len(names))
+	for i, name := range names {
+		w, err := workload.ByName(name)
+		if err != nil {
+			return faultReplayResults{}, err
+		}
+		if traces[i], err = workload.Record(w, workload.TinyScale(), 4096); err != nil {
+			return faultReplayResults{}, err
+		}
+	}
+	cfg := core.DefaultConfig()
+	cfg.AdmissionSlots = 2
+	nilPlan, err := core.RunMulti(traces, core.ModeIceClave, cfg)
+	if err != nil {
+		return faultReplayResults{}, err
+	}
+	cfg.FaultPlan = &fault.Plan{Seed: 123} // rates all zero, no deaths
+	zeroPlan, err := core.RunMulti(traces, core.ModeIceClave, cfg)
+	if err != nil {
+		return faultReplayResults{}, err
+	}
+	identical := len(nilPlan) == len(zeroPlan)
+	if identical {
+		for i := range nilPlan {
+			if nilPlan[i] != zeroPlan[i] {
+				identical = false
+				break
+			}
+		}
+	}
+	out.ZeroFaultIdentical = identical
+	return out, nil
+}
+
 // replaySetupResults records the resource-pool microbenchmark: the same
 // replay run repeated with pooling off (every setup allocates a device,
 // FTL, CMT, and page cache from scratch) and with pooling on (every setup
@@ -854,6 +951,7 @@ type microResults struct {
 	WriteStorm  writeStormResults
 	MEETraffic  meeTrafficResults
 	TraceReplay traceReplayResults
+	FaultReplay faultReplayResults
 	ReplaySetup replaySetupResults
 	Parallel    parallelReplayResults
 }
@@ -877,6 +975,9 @@ func runMicro() (microResults, error) {
 	}
 	mr.MEETraffic = benchMEETraffic()
 	if mr.TraceReplay, err = benchTraceReplay(); err != nil {
+		return mr, err
+	}
+	if mr.FaultReplay, err = benchFaultReplay(); err != nil {
 		return mr, err
 	}
 	if mr.ReplaySetup, err = benchReplaySetup(); err != nil {
@@ -915,6 +1016,14 @@ func runMicro() (microResults, error) {
 		rr.Tenants, rr.Slots, time.Duration(rr.SpanNs),
 		time.Duration(rr.OpenMeanQueueNs), time.Duration(rr.T0MeanQueueNs))
 	fmt.Printf("trace replay identical: %v\n", rr.Identical)
+	fr2 := mr.FaultReplay
+	for _, sc := range fr2.Scenarios {
+		fmt.Printf("fault replay [%s]: %d/%d completed, goodput %.0f pages/s, p99 sojourn %s, "+
+			"%d retries, %d breaker trips, %d bad blocks, %d dead dies\n",
+			sc.Scenario, sc.Completed, sc.Tenants, sc.GoodputPerSec,
+			time.Duration(sc.P99SojournNs), sc.Retries, sc.BreakerTrips, sc.BadBlocks, sc.DeadDies)
+	}
+	fmt.Printf("fault replay zero-fault identical: %v\n", fr2.ZeroFaultIdentical)
 	rs := mr.ReplaySetup
 	fmt.Printf("replay setup: fresh %s/run, pooled %s/run over %d runs (pool hits %d, misses %d)\n",
 		time.Duration(rs.FreshNsPerRun), time.Duration(rs.PooledNsPerRun),

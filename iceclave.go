@@ -31,6 +31,7 @@ package iceclave
 import (
 	"fmt"
 
+	"iceclave/internal/fault"
 	"iceclave/internal/flash"
 	"iceclave/internal/ftl"
 	"iceclave/internal/host"
@@ -46,6 +47,16 @@ type Options struct {
 	BlocksPerPlane int
 	// DRAMBytes is the controller DRAM (default 4 GB).
 	DRAMBytes uint64
+	// FaultPlan, when non-nil and non-zero, injects the plan's
+	// deterministic faults into the device (flash read/program faults, die
+	// deaths) and the runtime's read path (MAC-verification failures).
+	// Faults surface from the public API as wrapped sentinels —
+	// flash.ErrTransientRead, flash.ErrProgramFail, flash.ErrDieDead,
+	// tee.ErrIntegrity — so callers dispatch with errors.Is. The FTL's own
+	// recovery (bounded read retries, bad-block retirement and re-staging)
+	// runs underneath, so only faults that exhaust it are visible here. A
+	// nil or all-zero plan leaves the SSD fault-free.
+	FaultPlan *fault.Plan
 }
 
 // SSD is a functional IceClave-enabled computational SSD.
@@ -80,6 +91,10 @@ func Open(opts Options) (*SSD, error) {
 	rt, err := tee.NewRuntime(f, tee.Options{DRAMBytes: opts.DRAMBytes})
 	if err != nil {
 		return nil, err
+	}
+	if !opts.FaultPlan.Zero() {
+		dev.SetInjector(fault.NewInjector(opts.FaultPlan))
+		rt.SetFaultPlan(opts.FaultPlan)
 	}
 	return &SSD{dev: dev, ftl: f, runtime: rt}, nil
 }

@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"iceclave/internal/cpu"
+	"iceclave/internal/fault"
 	"iceclave/internal/flash"
 	"iceclave/internal/host"
 	"iceclave/internal/mee"
@@ -159,6 +160,42 @@ type Config struct {
 	// share a key only when they share the schedule instance, which is
 	// also the only way the replays are guaranteed identical.
 	ArrivalSchedule *trace.Schedule
+	// FaultPlan, when non-nil, injects the plan's deterministic faults
+	// into the replay: flash read/program faults and die deaths through
+	// the device's injection seam, MAC-verification failures on the
+	// IceClave read path, with recovery (FTL retries and bad-block
+	// remapping, per-step retry/backoff, per-tenant circuit breaking)
+	// threaded through every layer. The zero value (nil) injects nothing
+	// and reproduces the fault-free replay bit-identically — as does a
+	// non-nil plan whose rates are all zero. Like ArrivalSchedule, a
+	// pointer keeps Config comparable for the experiment suite's memo
+	// keys: two configs share a key only when they share the plan
+	// instance.
+	FaultPlan *fault.Plan
+	// FaultRetryLimit bounds the retries per offload step before the
+	// tenant's replay fails permanently. 0 means the default (16); < 0
+	// disables step retries entirely.
+	FaultRetryLimit int
+	// FaultBackoff is the virtual-time delay before a failed step's first
+	// retry; each subsequent retry doubles it, capped at FaultBackoffCap.
+	// 0 means the default (100 µs).
+	FaultBackoff sim.Duration
+	// FaultBackoffCap caps the exponential backoff growth. 0 means the
+	// default (2 ms).
+	FaultBackoffCap sim.Duration
+	// BreakerFailures is the consecutive-failure count that trips a
+	// tenant's circuit breaker. 0 means the default (5); < 0 disables
+	// circuit breaking.
+	BreakerFailures int
+	// BreakerCooldown is the virtual time a tripped breaker stays open
+	// before granting its half-open probe. 0 means the default (5 ms).
+	BreakerCooldown sim.Duration
+	// OffloadTimeout is the per-tenant virtual deadline measured from the
+	// offload's admission grant: a fault observed past it fails the
+	// offload instead of retrying. 0 means no deadline. It is only
+	// consulted on the failure path, so a zero-fault replay never
+	// observes it.
+	OffloadTimeout sim.Duration
 	// Seed feeds address-synthesis randomness.
 	Seed uint64
 }

@@ -1,0 +1,206 @@
+package core
+
+import (
+	"testing"
+
+	"iceclave/internal/fault"
+	"iceclave/internal/sim"
+	"iceclave/internal/workload"
+)
+
+// faultMix is a small multi-tenant collocation for the fault tests.
+func faultMix(t testing.TB) []*workload.Trace {
+	t.Helper()
+	return []*workload.Trace{
+		recordTrace(t, "TPC-H Q1"),
+		recordTrace(t, "TPC-B"),
+		recordTrace(t, "Filter"),
+	}
+}
+
+// testFaultPlan is a moderately hostile scenario: transient reads,
+// program failures, MAC faults, and one die death mid-run.
+func testFaultPlan() *fault.Plan {
+	return &fault.Plan{
+		Seed:          77,
+		ReadTransient: 0.01,
+		ProgramFail:   0.005,
+		MACFail:       0.002,
+		DieDeaths:     []fault.DieDeath{{Channel: 1, Die: 0, At: sim.Time(2 * sim.Millisecond)}},
+	}
+}
+
+// A nil plan and an all-zero plan must both reproduce the fault-free
+// replay bit for bit — the replay may not even observe that a zero plan
+// exists.
+func TestZeroFaultPlanBitIdentical(t *testing.T) {
+	traces := faultMix(t)
+	cfg := DefaultConfig()
+	cfg.AdmissionSlots = 2
+	base, err := RunMulti(traces, ModeIceClave, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.FaultPlan = &fault.Plan{Seed: 123} // rates all zero
+	got, err := RunMulti(traces, ModeIceClave, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range base {
+		if got[i] != base[i] {
+			t.Errorf("tenant %d (%s): zero-rate plan diverges from nil plan\n got %+v\nwant %+v",
+				i, base[i].Workload, got[i], base[i])
+		}
+	}
+}
+
+// The same seed and plan must yield identical Results on a fresh stack
+// and on a pooled (recycled) stack: the injection ordinals rewind with
+// the stack.
+func TestFaultReplayIdenticalAcrossPooledStacks(t *testing.T) {
+	traces := faultMix(t)
+	cfg := DefaultConfig()
+	cfg.AdmissionSlots = 2
+	cfg.FaultPlan = testFaultPlan()
+	first, stats1, err := RunMultiStats(traces, ModeIceClave, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The run must actually have injected something, or this test pins
+	// nothing.
+	if stats1.Flash.ReadFaults == 0 && stats1.Flash.ProgramFaults == 0 {
+		t.Fatalf("plan injected nothing: %+v", stats1.Flash)
+	}
+	for round := 0; round < 2; round++ {
+		again, stats2, err := RunMultiStats(traces, ModeIceClave, cfg)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		for i := range first {
+			if again[i] != first[i] {
+				t.Errorf("round %d tenant %d (%s): pooled-stack result diverges\n got %+v\nwant %+v",
+					round, i, first[i].Workload, again[i], first[i])
+			}
+		}
+		if stats2.FTL.BadBlocks != stats1.FTL.BadBlocks || stats2.FTL.ReadRetries != stats1.FTL.ReadRetries {
+			t.Errorf("round %d: recovery stats diverge: %+v vs %+v", round, stats2.FTL, stats1.FTL)
+		}
+	}
+}
+
+// The same seed and plan must yield identical Results across engine
+// worker counts — fault decisions key on per-channel ordinals, which the
+// sharded engine's deterministic event order preserves.
+func TestFaultReplayIdenticalAcrossEngineWorkers(t *testing.T) {
+	traces := faultMix(t)
+	cfg := DefaultConfig()
+	cfg.AdmissionSlots = 2
+	cfg.FaultPlan = testFaultPlan()
+	for _, workers := range []int{2, 3} {
+		runBoth(t, traces, ModeIceClave, cfg, workers)
+	}
+}
+
+// A die death mid-run degrades gracefully: the run completes (no
+// deadlock, no panic), recovery is visible in the stats, and any tenant
+// that failed still reports a coherent Result.
+func TestDieDeathGracefulDegradation(t *testing.T) {
+	traces := faultMix(t)
+	cfg := DefaultConfig()
+	cfg.AdmissionSlots = 2
+	cfg.FaultPlan = &fault.Plan{
+		Seed:          5,
+		ReadTransient: 0.02,
+		DieDeaths: []fault.DieDeath{
+			{Channel: 0, Die: 1, At: sim.Time(1 * sim.Millisecond)},
+			{Channel: 3, Die: 2, At: sim.Time(2 * sim.Millisecond)},
+		},
+	}
+	results, stats, err := RunMultiStats(traces, ModeIceClave, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.FTL.DeadDies == 0 {
+		t.Errorf("no die recorded dead: %+v", stats.FTL)
+	}
+	for i, r := range results {
+		if r.Total <= 0 {
+			t.Errorf("tenant %d: non-positive total %v", i, r.Total)
+		}
+	}
+}
+
+// Retries and breaker trips are observable under a hostile plan, and a
+// plan hostile enough trips the per-tenant breaker without wedging the
+// run.
+func TestBreakerTripsUnderSustainedFaults(t *testing.T) {
+	traces := faultMix(t)
+	cfg := DefaultConfig()
+	cfg.AdmissionSlots = 2
+	cfg.FaultPlan = &fault.Plan{Seed: 3, ReadTransient: 0.6}
+	cfg.FaultRetryLimit = 64
+	cfg.BreakerFailures = 2
+	results, _, err := RunMultiStats(traces, ModeIceClave, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	totalRetries, totalTrips := 0, 0
+	for _, r := range results {
+		totalRetries += r.Retries
+		totalTrips += r.BreakerTrips
+	}
+	if totalRetries == 0 {
+		t.Error("sustained 60% transient rate produced no step retries")
+	}
+	if totalTrips == 0 {
+		t.Error("sustained faults with a 2-failure breaker never tripped")
+	}
+}
+
+// An exhausted retry budget fails the offload instead of hanging: with
+// retries disabled and a certain fault, every tenant fails fast and the
+// run still terminates with released admission slots.
+func TestRetryBudgetExhaustionFailsOffload(t *testing.T) {
+	traces := faultMix(t)
+	cfg := DefaultConfig()
+	cfg.AdmissionSlots = 1 // failures must release slots or this deadlocks
+	cfg.FaultPlan = &fault.Plan{Seed: 1, ReadTransient: 1}
+	cfg.FaultRetryLimit = -1
+	// FTL-level retries all fail too (rate 1), so every read step faults.
+	results, _, err := RunMultiStats(traces, ModeIceClave, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		if !r.Failed {
+			t.Errorf("tenant %d (%s): survived a 100%% fault rate with no retries", i, r.Workload)
+		}
+		if r.Total <= 0 {
+			t.Errorf("tenant %d: non-positive total %v", i, r.Total)
+		}
+	}
+}
+
+// The offload deadline fails a faulting tenant once its virtual clock
+// passes granted+Timeout.
+func TestOffloadTimeoutFailsSlowTenant(t *testing.T) {
+	traces := faultMix(t)
+	cfg := DefaultConfig()
+	cfg.AdmissionSlots = 2
+	cfg.FaultPlan = &fault.Plan{Seed: 2, ReadTransient: 0.9}
+	cfg.FaultRetryLimit = 1 << 20 // budget effectively unlimited
+	cfg.OffloadTimeout = 500 * sim.Microsecond
+	results, err := RunMulti(traces, ModeIceClave, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	failed := 0
+	for _, r := range results {
+		if r.Failed {
+			failed++
+		}
+	}
+	if failed == 0 {
+		t.Error("90% fault rate with a 500µs deadline failed no tenant")
+	}
+}

@@ -1,11 +1,13 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
 	"iceclave/internal/cpu"
 	"iceclave/internal/dram"
+	"iceclave/internal/fault"
 	"iceclave/internal/flash"
 	"iceclave/internal/ftl"
 	"iceclave/internal/host"
@@ -47,6 +49,17 @@ type Result struct {
 	MEE mee.TrafficStats
 	// PageCacheHitRate is the controller DRAM data-cache hit fraction.
 	PageCacheHitRate float64
+
+	// Retries counts the step-level retries the tenant's replay scheduled
+	// after recoverable faults (Config.FaultPlan); zero without a plan.
+	Retries int
+	// BreakerTrips counts how many times the tenant's circuit breaker
+	// opened during the replay.
+	BreakerTrips int
+	// Failed reports that the replay gave up before draining its trace:
+	// the retry budget or offload deadline was exhausted. Total then
+	// measures arrival to the failure instant.
+	Failed bool
 }
 
 // Throughput returns input bytes per simulated second.
@@ -337,6 +350,25 @@ type tenant struct {
 
 	result          Result
 	cmtHit, cmtMiss int64
+
+	// Fault-recovery state, armed only when the run has a fault plan.
+	// faults is the plan; tenantIdx keys the tenant's MAC-fault stream;
+	// macOps counts its MAC verifications. policy is the retry/backoff
+	// budget, breaker the per-tenant circuit (shared by same-named
+	// tenants), granted the admission instant the offload deadline counts
+	// from. retry re-runs just the faulted storage phase (the step's
+	// compute and translation charges are never re-applied); attempts
+	// counts the current step's failures; readErr records the newest
+	// failed prefetch issue, surfaced when consumption catches up.
+	faults    *fault.Plan
+	tenantIdx int
+	macOps    uint64
+	policy    sched.RetryPolicy
+	breaker   *sim.Breaker
+	granted   sim.Time
+	retry     func() error
+	attempts  int
+	readErr   error
 }
 
 func newTenant(res *resources, tr *workload.Trace, mode Mode, offset uint32, seed uint64) *tenant {
@@ -405,10 +437,13 @@ const secMapBatch = 8
 func (t *tenant) done() bool { return t.step > len(t.trace.Steps) }
 
 // advance replays the next step. Steps 0..len-1 are storage ops with their
-// preceding compute; step len is the tail compute.
-func (t *tenant) advance() {
+// preceding compute; step len is the tail compute. A non-nil error is a
+// recoverable fault from the storage phase; the step's compute and
+// translation charges are already applied and t.retry re-runs just the
+// faulted remainder.
+func (t *tenant) advance() error {
 	if t.done() {
-		return
+		return nil
 	}
 	var st workload.Step
 	tail := t.step == len(t.trace.Steps)
@@ -428,16 +463,24 @@ func (t *tenant) advance() {
 			t.result.LoadTime += t.lastWrite - t.now
 			t.now = t.lastWrite
 		}
-		return
+		return nil
 	}
 
-	// Storage phase.
+	// Storage phase. On a fault, arm t.retry with just the fallible half
+	// so a retry never re-applies the compute and translation charges.
 	lpa := ftl.LPA(t.offset + st.LPA)
 	if st.Op == workload.OpRead {
-		t.readPhase(st, lpa)
-	} else {
-		t.writePhase(st, lpa)
+		if err := t.readPhase(st, lpa); err != nil {
+			t.retry = t.consumeRead
+			return err
+		}
+		return nil
 	}
+	if err := t.writePhase(st, lpa); err != nil {
+		t.retry = func() error { return t.writePhase(st, lpa) }
+		return err
+	}
+	return nil
 }
 
 func (t *tenant) computePhase(st workload.Step) {
@@ -596,8 +639,17 @@ func (t *tenant) pumpPrepares(eng sim.Backbone) {
 
 // issueAhead issues queued read steps until the prefetch window is full,
 // with arrival time t.now. Completion times are stored for consumption.
+// A device read failing with an injected fault stops the issue loop and
+// records the error; while it is pending no further issues happen (a
+// re-attempt must come from the step-level retry machinery, with its
+// backoff and accounting, never as a free side effect of window
+// refills). consumeRead surfaces the error once consumption catches up
+// to the failed issue, clearing it so the scheduled retry reissues.
 func (t *tenant) issueAhead() {
 	cfg := t.res.cfg
+	if t.readErr != nil {
+		return
+	}
 	for t.nextIssue < len(t.readSteps) && t.nextIssue < t.nextConsume+t.window {
 		st := t.trace.Steps[t.readSteps[t.nextIssue]]
 		lpa := ftl.LPA(t.offset + st.LPA)
@@ -615,7 +667,17 @@ func (t *tenant) issueAhead() {
 		}
 		done, _, err := t.res.dev.Read(t.now, ppa)
 		if err != nil {
-			panic(fmt.Sprintf("core: replay read %d: %v", ppa, err))
+			if t.faults == nil || !isFaultErr(err) {
+				panic(fmt.Sprintf("core: replay read %d: %v", ppa, err))
+			}
+			// The Touch above inserted the page on its miss, but the data
+			// never arrived — evict it, or the retry would be served a
+			// phantom hit from DRAM.
+			if t.mode.InStorage() {
+				t.res.pageCache.Evict(uint64(lpa))
+			}
+			t.readErr = fmt.Errorf("core: read step %d: %w", t.readSteps[t.nextIssue], err)
+			return
 		}
 		if t.mode == ModeIceClave {
 			// The stream cipher engine decrypts inline at bus rate; its
@@ -633,8 +695,10 @@ func (t *tenant) issueAhead() {
 }
 
 // readPhase consumes the next prefetched read, charging translation costs
-// and stalling until the data is resident.
-func (t *tenant) readPhase(st workload.Step, lpa ftl.LPA) {
+// and stalling until the data is resident. A fault surfacing from the
+// consume half is returned; its retry re-enters consumeRead directly, so
+// the translation charges are never re-applied.
+func (t *tenant) readPhase(st workload.Step, lpa ftl.LPA) error {
 	cfg := t.res.cfg
 	// Address translation on the consume path.
 	switch {
@@ -670,24 +734,62 @@ func (t *tenant) readPhase(st workload.Step, lpa ftl.LPA) {
 			t.result.LoadTime += cfg.FlashTiming.ReadLatency
 		}
 	}
+	return t.consumeRead()
+}
+
+// consumeRead is readPhase's fallible half: fill the prefetch window,
+// then consume the next read in order. It is also the retry entry for a
+// faulted read step. Two fault classes surface here: a device read fault
+// recorded by issueAhead once every successfully issued read before it
+// has been consumed, and (IceClave mode, with a plan) a deterministic
+// MAC-verification failure on the consumed page — the consume cursor is
+// not advanced then, so the retry re-verifies the same page under a
+// fresh ordinal.
+func (t *tenant) consumeRead() error {
 	t.issueAhead()
+	if t.nextConsume >= t.nextIssue {
+		err := t.readErr
+		if err == nil {
+			panic(fmt.Sprintf("core: replay consume %d with no issued read", t.nextConsume))
+		}
+		t.readErr = nil
+		return err
+	}
 	done := t.readDone[t.nextConsume]
+	if t.faults != nil && t.mode == ModeIceClave {
+		n := t.macOps
+		t.macOps++
+		if t.faults.MACFault(t.tenantIdx, n) {
+			if done > t.now {
+				t.result.LoadTime += done - t.now
+				t.now = done
+			}
+			return fmt.Errorf("core: read step MAC verification (tenant %d, op %d): %w",
+				t.tenantIdx, n, mee.ErrIntegrity)
+		}
+	}
 	t.nextConsume++
 	if done > t.now {
 		t.result.LoadTime += done - t.now
 		t.now = done
 	}
+	return nil
 }
 
 // writePhase performs a buffered page write: the program continues while
-// the flash program completes in the background.
-func (t *tenant) writePhase(st workload.Step, lpa ftl.LPA) {
+// the flash program completes in the background. A write fault (the FTL
+// already exhausted its own bad-block re-staging before surfacing one)
+// is returned for step-level retry; the retry re-runs the whole phase.
+func (t *tenant) writePhase(st workload.Step, lpa ftl.LPA) error {
 	if t.mode.InStorage() {
 		t.res.pageCache.Touch(uint64(lpa), true)
 	}
 	done, err := t.res.ftl.Write(t.now, lpa, nil)
 	if err != nil {
-		panic(fmt.Sprintf("core: replay write %d: %v", lpa, err))
+		if t.faults == nil || !isFaultErr(err) {
+			panic(fmt.Sprintf("core: replay write %d: %v", lpa, err))
+		}
+		return fmt.Errorf("core: write step: %w", err)
 	}
 	if t.mode == ModeIceClave {
 		t.res.cmt.Update(lpa)
@@ -698,6 +800,7 @@ func (t *tenant) writePhase(st workload.Step, lpa ftl.LPA) {
 	if done > t.lastWrite {
 		t.lastWrite = done
 	}
+	return nil
 }
 
 // finish computes the derived statistics.
@@ -727,11 +830,91 @@ func Run(tr *workload.Trace, mode Mode, cfg Config) (Result, error) {
 // from the tenant's arrival, and the Table 5 creation cost is charged.
 func (t *tenant) begin(granted sim.Time) {
 	t.now = granted
+	t.granted = granted
 	t.result.QueueDelay = sim.Duration(granted - t.arrival)
 	if t.mode == ModeIceClave {
 		t.now += t.res.cfg.Costs.Create
 		t.result.TEETime += t.res.cfg.Costs.Create
 	}
+}
+
+// isFaultErr reports whether err belongs to the recoverable fault
+// taxonomy the replay retries: injected flash faults, a device filled by
+// block/die retirement, or a page-integrity failure. Anything else is a
+// replay-layer bug and keeps the pre-fault panic behaviour.
+func isFaultErr(err error) bool {
+	return errors.Is(err, flash.ErrTransientRead) ||
+		errors.Is(err, flash.ErrProgramFail) ||
+		errors.Is(err, flash.ErrDieDead) ||
+		errors.Is(err, ftl.ErrDeviceFull) ||
+		errors.Is(err, mee.ErrIntegrity)
+}
+
+// retryPolicy resolves the config's fault knobs into the effective
+// per-step retry/backoff budget.
+func retryPolicy(cfg Config) sched.RetryPolicy {
+	p := sched.RetryPolicy{
+		MaxRetries: cfg.FaultRetryLimit,
+		Backoff:    cfg.FaultBackoff,
+		BackoffCap: cfg.FaultBackoffCap,
+		Timeout:    cfg.OffloadTimeout,
+	}
+	if p.MaxRetries == 0 {
+		p.MaxRetries = 16
+	} else if p.MaxRetries < 0 {
+		p.MaxRetries = 0
+	}
+	if p.Backoff == 0 {
+		p.Backoff = 100 * sim.Microsecond
+	}
+	if p.BackoffCap == 0 {
+		p.BackoffCap = 2 * sim.Millisecond
+	}
+	return p
+}
+
+// faultEvent handles a recoverable fault from the current step: count
+// the failure against the tenant's circuit breaker, then either
+// schedule a capped-exponential-backoff retry on the virtual clock
+// (parked until the half-open probe window when the circuit is open) or
+// fail the offload once the step's retry budget or the offload deadline
+// is exhausted.
+func (t *tenant) faultEvent(eng sim.Backbone, adm *sched.VirtualAdmission, ticket *sim.Ticket) {
+	t.attempts++
+	if t.breaker != nil && t.breaker.Failure(t.now) {
+		t.result.BreakerTrips++
+	}
+	deadlineHit := t.policy.Timeout > 0 && t.now >= t.granted+sim.Time(t.policy.Timeout)
+	if t.attempts > t.policy.MaxRetries || deadlineHit {
+		t.fail(adm, ticket)
+		return
+	}
+	t.result.Retries++
+	next := t.now + t.policy.BackoffFor(t.attempts-1)
+	if t.breaker != nil {
+		if until, err := t.breaker.Allow(next); err != nil {
+			// Circuit open past the backoff: shed until the cooldown ends,
+			// and make the parked retry the half-open probe.
+			next = until
+			t.breaker.Allow(next)
+		}
+	}
+	t.now = next
+	eng.AtOverlap(t.now, func(sim.Time) { t.stepEvent(eng, adm, ticket) })
+}
+
+// fail abandons the offload: the tenant stops consuming its trace,
+// charges teardown, and releases its admission slot so queued tenants
+// still get their grants — graceful degradation, never a stuck engine.
+func (t *tenant) fail(adm *sched.VirtualAdmission, ticket *sim.Ticket) {
+	t.result.Failed = true
+	t.retry = nil
+	t.step = len(t.trace.Steps) + 2 // past done: never advances again
+	if t.mode == ModeIceClave {
+		t.now += t.res.cfg.Costs.Delete
+		t.result.TEETime += t.res.cfg.Costs.Delete
+	}
+	adm.Release(ticket, t.now)
 }
 
 // stepEvent is one backbone event: replay one step, then reschedule at the
@@ -755,7 +938,26 @@ func (t *tenant) stepEvent(eng sim.Backbone, adm *sched.VirtualAdmission, ticket
 		adm.Release(ticket, t.now)
 		return
 	}
-	t.advance()
+	var err error
+	if op := t.retry; op != nil {
+		// Retry just the faulted storage phase; the closure stays armed
+		// until it succeeds, so repeated failures re-run the same half.
+		if err = op(); err == nil {
+			t.retry = nil
+		}
+	} else {
+		err = t.advance()
+	}
+	if err != nil {
+		t.faultEvent(eng, adm, ticket)
+		return
+	}
+	if t.attempts > 0 {
+		t.attempts = 0
+		if t.breaker != nil {
+			t.breaker.Success(t.now)
+		}
+	}
 	if t.pre != nil {
 		t.pumpPrepares(eng)
 	}
@@ -788,6 +990,13 @@ type RunStats struct {
 	// passes (zero in per-release mode) — the firmware-work side of the
 	// quantum/queue-delay trade the Timing 1 table plots.
 	AdmissionTicks int64
+	// FTL snapshots the run's FTL activity — under a fault plan this is
+	// where device-level recovery shows up (ReadRetries, ProgramFails,
+	// BadBlocks, DeadDies).
+	FTL ftl.Stats
+	// Flash snapshots the device counters, including the injected
+	// ReadFaults/ProgramFaults.
+	Flash flash.Stats
 }
 
 // RunMultiStats is RunMulti returning whole-run statistics alongside the
@@ -800,6 +1009,22 @@ func RunMultiStats(traces []*workload.Trace, mode Mode, cfg Config) ([]Result, R
 	res, offsets, err := newResources(cfg, traces)
 	if err != nil {
 		return nil, RunStats{}, err
+	}
+	// Fault injection attaches only for a non-zero plan: a nil plan — or a
+	// plan whose rates are all zero and die list empty — leaves the device
+	// seam nil and every tenant's faults pointer nil, so the replay takes
+	// the exact fault-free code path bit for bit.
+	plan := cfg.FaultPlan
+	injecting := !plan.Zero()
+	var breakers *sched.Breakers
+	if injecting {
+		res.dev.SetInjector(fault.NewInjector(plan))
+		if cfg.BreakerFailures >= 0 {
+			breakers = sched.NewBreakers(sim.BreakerConfig{
+				Failures: cfg.BreakerFailures,
+				Cooldown: cfg.BreakerCooldown,
+			})
+		}
 	}
 	// Engine selection: the exact serial loop by default, the sharded
 	// parallel engine (one event shard per flash channel) when the
@@ -840,7 +1065,26 @@ func RunMultiStats(traces []*workload.Trace, mode Mode, cfg Config) ([]Result, R
 		if cfg.ArrivalSchedule != nil {
 			tn.arrival = cfg.ArrivalSchedule.Submissions[i].At
 		}
-		if cfg.EngineWorkers > 1 && tn.meeM != nil {
+		if injecting {
+			tn.faults = plan
+			tn.tenantIdx = i
+			tn.policy = retryPolicy(cfg)
+			if breakers != nil {
+				key := tr.Name
+				if cfg.ArrivalSchedule != nil && cfg.ArrivalSchedule.Submissions[i].Tenant != "" {
+					key = cfg.ArrivalSchedule.Submissions[i].Tenant
+				}
+				tn.breaker = breakers.For(key)
+			}
+		}
+		// The MEE prepare pipeline runs charge computation ahead of the
+		// commits, so a tenant that fails mid-trace would have advanced
+		// its MEE model past the failure point by up to prepDepth steps —
+		// making Result.MEE depend on prefetch depth and diverge from the
+		// serial engine. Under a fault plan (where failure is possible)
+		// the sharded engine therefore computes charges inline on the
+		// coordinator, trading prepare parallelism for exactness.
+		if cfg.EngineWorkers > 1 && tn.meeM != nil && !injecting {
 			tn.shard = res.ftl.ChannelOf(ftl.LPA(offsets[i]))
 			tn.pre = newPrepPipe(len(tr.Steps) + 1)
 			tn.prepFn = func(sim.Time) { tn.prepareNextBatch() }
@@ -883,12 +1127,20 @@ func RunMultiStats(traces []*workload.Trace, mode Mode, cfg Config) ([]Result, R
 		copy(tickets, adm.Playback(entries))
 	}
 	eng.Run()
-	stats := RunStats{AdmissionTicks: adm.Ticks()}
+	stats := RunStats{
+		AdmissionTicks: adm.Ticks(),
+		FTL:            res.ftl.Stats(),
+		Flash:          res.dev.Snapshot(),
+	}
 	out := make([]Result, len(tenants))
 	for i, tn := range tenants {
 		out[i] = tn.finish()
 	}
-	// All derived statistics are extracted; the stack can be recycled.
+	// All derived statistics are extracted; detach the injector so a
+	// recycled stack never carries a fault seam into a fault-free run.
+	if injecting {
+		res.dev.SetInjector(nil)
+	}
 	pool.release(res)
 	return out, stats, nil
 }

@@ -218,6 +218,12 @@ func (pc *PageCache) Touch(page uint64, write bool) (hit bool) {
 	return hit
 }
 
+// Evict removes the flash page from the cache if resident. The replay's
+// fault path uses it to undo a Touch whose backing flash read then
+// failed — the data never arrived, so the page must not be served from
+// DRAM on the retry.
+func (pc *PageCache) Evict(page uint64) { pc.c.Invalidate(page * pc.pageSize) }
+
 // Stats returns hit/miss counters.
 func (pc *PageCache) Stats() cache.Stats { return pc.c.Stats() }
 

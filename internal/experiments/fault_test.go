@@ -1,0 +1,92 @@
+package experiments
+
+import "testing"
+
+// TestFaultTimingMemoizedRerunByteIdentical is the suite-level
+// determinism pin for the fault sweep: the Fault table must render
+// byte-identically on a memoized rerun (served from the result cache
+// through the shared plan pointers) and on a completely fresh suite with
+// memoization off (which builds its own plan instances) — fault replay
+// depends on plan contents and seed, never on instance identity or cache
+// state.
+func TestFaultTimingMemoizedRerunByteIdentical(t *testing.T) {
+	s := testSuite()
+	cold, err := s.FaultTiming()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits0, _ := s.MemoStats()
+	memo, err := s.FaultTiming()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits1, _ := s.MemoStats()
+	if hits1 <= hits0 {
+		t.Fatalf("rerun recorded no memo hits (%d -> %d)", hits0, hits1)
+	}
+	if memo.String() != cold.String() {
+		t.Fatalf("memoized rerun diverges:\n%s\nvs\n%s", memo.String(), cold.String())
+	}
+
+	fresh := testSuite().SetMemoize(false)
+	uncached, err := fresh.FaultTiming()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uncached.String() != cold.String() {
+		t.Fatalf("fresh unmemoized suite diverges:\n%s\nvs\n%s", uncached.String(), cold.String())
+	}
+}
+
+// TestFaultReplaySummaryShape pins the degradation story the table
+// tells: the fault-free baseline does no recovery work, every injected
+// scenario actually injects, recovery work grows with the fault rate,
+// and sojourns never improve under injection (for tenants that ran to
+// completion, faults only add latency).
+func TestFaultReplaySummaryShape(t *testing.T) {
+	s := testSuite()
+	sum, err := s.FaultReplaySummary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Slots != FaultReplaySlots {
+		t.Fatalf("summary slots = %d, want %d", sum.Slots, FaultReplaySlots)
+	}
+	if len(sum.Scenarios) < 3 {
+		t.Fatalf("sweep has %d scenarios, want >= 3", len(sum.Scenarios))
+	}
+	base := sum.Scenarios[0]
+	if base.Retries != 0 || base.BreakerTrips != 0 || base.ReadFaults != 0 ||
+		base.BadBlocks != 0 || base.DeadDies != 0 {
+		t.Fatalf("fault-free baseline did recovery work: %+v", base)
+	}
+	if base.Completed != base.Tenants {
+		t.Fatalf("fault-free baseline failed tenants: %d/%d", base.Completed, base.Tenants)
+	}
+	prevRetries := 0
+	for i, sc := range sum.Scenarios[1:] {
+		if sc.ReadFaults == 0 && sc.ProgramFaults == 0 {
+			t.Errorf("scenario %s injected nothing", sc.Scenario)
+		}
+		if sc.MeanSojourn < base.MeanSojourn && sc.Completed == sc.Tenants {
+			t.Errorf("scenario %s: all tenants completed yet mean sojourn %v beat the fault-free %v",
+				sc.Scenario, sc.MeanSojourn, base.MeanSojourn)
+		}
+		// The first three injected scenarios are the rising-rate sweep;
+		// recovery work must rise with the rate.
+		if i < 3 {
+			if sc.Retries < prevRetries {
+				t.Errorf("scenario %s: retries %d fell below the lower-rate scenario's %d",
+					sc.Scenario, sc.Retries, prevRetries)
+			}
+			prevRetries = sc.Retries
+		}
+	}
+	last := sum.Scenarios[len(sum.Scenarios)-1]
+	if last.BreakerTrips == 0 {
+		t.Errorf("die-death scenario tripped no breaker: %+v", last)
+	}
+	if last.Completed == 0 {
+		t.Errorf("die-death scenario completed nothing — degradation is not graceful: %+v", last)
+	}
+}

@@ -54,6 +54,12 @@ type Suite struct {
 	traceMix   []string
 	traceErr   error
 
+	// The fault-injection sweep (Fault table): scenario plans built once
+	// per suite so reruns share the same *fault.Plan pointers, for the
+	// same memo-key-identity reason as the trace schedule.
+	faultOnce  sync.Once
+	faultScens []faultScenario
+
 	memoHits, memoMisses atomic.Int64
 }
 
@@ -65,10 +71,13 @@ type traceEntry struct {
 	err  error
 }
 
-// runKey identifies one deterministic replay. core.Config is a flat value
-// type (no slices, maps, or pointers), so the full configuration — seed
-// included — participates in the comparison and two replays share a key
-// exactly when core.Run would produce identical Results. A multi-tenant
+// runKey identifies one deterministic replay. core.Config is a flat
+// comparable value, so the full configuration — seed included —
+// participates in the comparison and two replays share a key exactly when
+// core.Run would produce identical Results. Its two pointer fields
+// (ArrivalSchedule, FaultPlan) compare by identity, which is why the
+// suite caches the schedule and the fault plans: one instance per suite
+// makes a rerun a memo hit. A multi-tenant
 // key is the newline-joined mix under a "multi\n" prefix (workload names
 // contain no newline, so a one-tenant mix can never collide with the
 // single-tenant key of the same workload) — tenant order matters, since
@@ -387,6 +396,7 @@ func (s *Suite) generators() []struct {
 		{"Figure 18", s.Figure18},
 		{"Timing 1", s.AdmissionTiming},
 		{"Timing 2", s.TraceTiming},
+		{"Fault", s.FaultTiming},
 	}
 }
 

@@ -1,0 +1,176 @@
+// Package fault provides seeded, deterministic fault plans for the
+// simulated SSD stack. A Plan describes per-operation probabilistic
+// faults (transient read errors, program failures, MAC-verification
+// failures) plus scripted one-shot faults (a die dying at a given
+// virtual time). Decisions are pure functions of (seed, site, ordinal):
+// the plan keeps no mutable state, so the same plan replays identically
+// across fresh and pooled stacks and across EngineWorkers settings, and
+// a *Plan can live inside core.Config without breaking comparability.
+package fault
+
+import (
+	"fmt"
+
+	"iceclave/internal/flash"
+	"iceclave/internal/sim"
+)
+
+// Kind names an injection site class. It is folded into the decision
+// hash so read, program, and MAC streams with the same ordinal do not
+// correlate.
+type Kind uint8
+
+const (
+	// KindRead is the per-read transient-fault stream.
+	KindRead Kind = iota
+	// KindProgram is the per-program failure stream.
+	KindProgram
+	// KindErase is reserved for per-erase faults (currently only die
+	// deaths affect erases).
+	KindErase
+	// KindMAC is the per-tenant MAC-verification failure stream.
+	KindMAC
+)
+
+// DieDeath scripts a one-shot permanent failure: all operations on
+// (Channel, Die) at or after virtual time At fail with
+// flash.ErrDieDead.
+type DieDeath struct {
+	Channel int
+	Die     int
+	At      sim.Time
+}
+
+// Plan is a complete fault scenario. The zero value injects nothing.
+// Probabilities are per-operation in [0, 1]. Plans are immutable after
+// construction; share one pointer across runs so config memoization
+// keys stay identical.
+type Plan struct {
+	// Seed keys every probabilistic decision. Two plans with the same
+	// rates but different seeds produce different (but individually
+	// reproducible) fault sequences.
+	Seed uint64
+	// ReadTransient is the probability that a flash read fails with
+	// flash.ErrTransientRead (retryable; the page data is intact).
+	ReadTransient float64
+	// ProgramFail is the probability that a flash program fails with
+	// flash.ErrProgramFail (the block must be retired).
+	ProgramFail float64
+	// MACFail is the probability that a MAC-verified page read fails
+	// integrity verification (surfaced as a mee.ErrIntegrity wrap).
+	MACFail float64
+	// DieDeaths scripts permanent die failures on the virtual clock.
+	DieDeaths []DieDeath
+}
+
+// Zero reports whether the plan injects no faults at all. A nil plan
+// is zero.
+func (p *Plan) Zero() bool {
+	if p == nil {
+		return true
+	}
+	return p.ReadTransient <= 0 && p.ProgramFail <= 0 && p.MACFail <= 0 &&
+		len(p.DieDeaths) == 0
+}
+
+// hash mixes (Seed, kind, shard, n) with the splitmix64 finalizer.
+// Each (kind, shard) pair gets an independent stream indexed by n.
+func (p *Plan) hash(kind Kind, shard int, n uint64) uint64 {
+	x := p.Seed
+	x ^= (uint64(kind) + 1) * 0x9E3779B97F4A7C15
+	x ^= uint64(shard+1) * 0xBF58476D1CE4E5B9
+	x ^= (n + 1) * 0x94D049BB133111EB
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// Fires reports whether the n-th operation of the (kind, shard) stream
+// faults at probability prob. It is a pure function: identical inputs
+// always agree, regardless of call order or goroutine.
+func (p *Plan) Fires(kind Kind, shard int, n uint64, prob float64) bool {
+	if p == nil || prob <= 0 {
+		return false
+	}
+	if prob >= 1 {
+		return true
+	}
+	// Take the top 53 bits for an unbiased uniform in [0, 1).
+	return float64(p.hash(kind, shard, n)>>11)*(1.0/(1<<53)) < prob
+}
+
+// DieDead reports whether (ch, die) is scripted dead at virtual time at.
+func (p *Plan) DieDead(at sim.Time, ch, die int) bool {
+	if p == nil {
+		return false
+	}
+	for _, d := range p.DieDeaths {
+		if d.Channel == ch && d.Die == die && at >= d.At {
+			return true
+		}
+	}
+	return false
+}
+
+// MACFault reports whether the n-th MAC-verified page read of the given
+// tenant fails verification.
+func (p *Plan) MACFault(tenant int, n uint64) bool {
+	if p == nil {
+		return false
+	}
+	return p.Fires(KindMAC, tenant, n, p.MACFail)
+}
+
+// Injector adapts a Plan to the flash.Device injection seam. The
+// device supplies the per-channel operation ordinal n; the injector
+// turns it into a deterministic verdict. Construct with NewInjector.
+type Injector struct {
+	plan *Plan
+}
+
+var _ flash.Injector = (*Injector)(nil)
+
+// NewInjector wraps plan for flash.Device.SetInjector. A nil or zero
+// plan yields a nil interface, which the device treats as "no
+// injection" — returning the interface type (not *Injector) is what
+// keeps the nil from turning into a typed-nil at the SetInjector call.
+func NewInjector(plan *Plan) flash.Injector {
+	if plan.Zero() {
+		return nil
+	}
+	return &Injector{plan: plan}
+}
+
+// Read decides the fate of the n-th read on channel ch targeting die.
+func (in *Injector) Read(at sim.Time, ch, die int, n uint64) error {
+	if in.plan.DieDead(at, ch, die) {
+		return fmt.Errorf("fault: read on dead die (ch=%d,die=%d): %w", ch, die, flash.ErrDieDead)
+	}
+	if in.plan.Fires(KindRead, ch, n, in.plan.ReadTransient) {
+		return fmt.Errorf("fault: transient read (ch=%d,die=%d,n=%d): %w", ch, die, n, flash.ErrTransientRead)
+	}
+	return nil
+}
+
+// Program decides the fate of the n-th program on channel ch targeting die.
+func (in *Injector) Program(at sim.Time, ch, die int, n uint64) error {
+	if in.plan.DieDead(at, ch, die) {
+		return fmt.Errorf("fault: program on dead die (ch=%d,die=%d): %w", ch, die, flash.ErrDieDead)
+	}
+	if in.plan.Fires(KindProgram, ch, n, in.plan.ProgramFail) {
+		return fmt.Errorf("fault: program failure (ch=%d,die=%d,n=%d): %w", ch, die, n, flash.ErrProgramFail)
+	}
+	return nil
+}
+
+// Erase decides the fate of the n-th erase on channel ch targeting die.
+// Only scripted die deaths affect erases.
+func (in *Injector) Erase(at sim.Time, ch, die int, n uint64) error {
+	if in.plan.DieDead(at, ch, die) {
+		return fmt.Errorf("fault: erase on dead die (ch=%d,die=%d): %w", ch, die, flash.ErrDieDead)
+	}
+	return nil
+}

@@ -1,0 +1,222 @@
+package fault
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"iceclave/internal/flash"
+	"iceclave/internal/sim"
+)
+
+func TestZero(t *testing.T) {
+	var nilPlan *Plan
+	if !nilPlan.Zero() {
+		t.Fatal("nil plan must be zero")
+	}
+	if !(&Plan{Seed: 42}).Zero() {
+		t.Fatal("seed alone does not make a plan inject")
+	}
+	cases := []Plan{
+		{ReadTransient: 0.1},
+		{ProgramFail: 0.1},
+		{MACFail: 0.1},
+		{DieDeaths: []DieDeath{{Channel: 1, Die: 2, At: 5}}},
+	}
+	for i, p := range cases {
+		if p.Zero() {
+			t.Errorf("case %d: plan with faults reported Zero", i)
+		}
+	}
+}
+
+func TestFiresDeterministic(t *testing.T) {
+	p := &Plan{Seed: 7, ReadTransient: 0.3}
+	for n := uint64(0); n < 1000; n++ {
+		a := p.Fires(KindRead, 3, n, 0.3)
+		b := p.Fires(KindRead, 3, n, 0.3)
+		if a != b {
+			t.Fatalf("n=%d: decision not deterministic", n)
+		}
+	}
+}
+
+func TestFiresBounds(t *testing.T) {
+	p := &Plan{Seed: 1}
+	for n := uint64(0); n < 1000; n++ {
+		if p.Fires(KindRead, 0, n, 0) {
+			t.Fatal("prob 0 fired")
+		}
+		if !p.Fires(KindRead, 0, n, 1) {
+			t.Fatal("prob 1 did not fire")
+		}
+	}
+	var nilPlan *Plan
+	if nilPlan.Fires(KindRead, 0, 0, 1) {
+		t.Fatal("nil plan fired")
+	}
+}
+
+func TestFiresRate(t *testing.T) {
+	p := &Plan{Seed: 99}
+	for _, prob := range []float64{0.01, 0.1, 0.5} {
+		hits := 0
+		const N = 200000
+		for n := uint64(0); n < N; n++ {
+			if p.Fires(KindRead, 2, n, prob) {
+				hits++
+			}
+		}
+		got := float64(hits) / N
+		if math.Abs(got-prob) > 0.01 {
+			t.Errorf("prob %.2f: observed rate %.4f", prob, got)
+		}
+	}
+}
+
+// Streams for different kinds, shards, and seeds must not correlate:
+// over a window, the decisions differ somewhere.
+func TestStreamIndependence(t *testing.T) {
+	base := &Plan{Seed: 5}
+	seed := &Plan{Seed: 6}
+	same := func(a, b func(uint64) bool) bool {
+		for n := uint64(0); n < 4096; n++ {
+			if a(n) != b(n) {
+				return false
+			}
+		}
+		return true
+	}
+	if same(
+		func(n uint64) bool { return base.Fires(KindRead, 0, n, 0.5) },
+		func(n uint64) bool { return base.Fires(KindProgram, 0, n, 0.5) },
+	) {
+		t.Error("read and program streams identical")
+	}
+	if same(
+		func(n uint64) bool { return base.Fires(KindRead, 0, n, 0.5) },
+		func(n uint64) bool { return base.Fires(KindRead, 1, n, 0.5) },
+	) {
+		t.Error("shard 0 and shard 1 streams identical")
+	}
+	if same(
+		func(n uint64) bool { return base.Fires(KindRead, 0, n, 0.5) },
+		func(n uint64) bool { return seed.Fires(KindRead, 0, n, 0.5) },
+	) {
+		t.Error("seed 5 and seed 6 streams identical")
+	}
+}
+
+func TestDieDead(t *testing.T) {
+	p := &Plan{DieDeaths: []DieDeath{{Channel: 2, Die: 1, At: 100}}}
+	if p.DieDead(99, 2, 1) {
+		t.Fatal("die dead before its death time")
+	}
+	if !p.DieDead(100, 2, 1) {
+		t.Fatal("die alive at its death time")
+	}
+	if !p.DieDead(5000, 2, 1) {
+		t.Fatal("die alive after its death time")
+	}
+	if p.DieDead(5000, 2, 0) || p.DieDead(5000, 1, 1) {
+		t.Fatal("wrong die reported dead")
+	}
+	var nilPlan *Plan
+	if nilPlan.DieDead(0, 0, 0) {
+		t.Fatal("nil plan killed a die")
+	}
+}
+
+func TestNewInjectorZeroPlan(t *testing.T) {
+	if inj := NewInjector(nil); inj != nil {
+		t.Fatal("nil plan produced an injector")
+	}
+	if inj := NewInjector(&Plan{Seed: 3}); inj != nil {
+		t.Fatal("zero plan produced an injector")
+	}
+	if inj := NewInjector(&Plan{ReadTransient: 0.5}); inj == nil {
+		t.Fatal("non-zero plan produced no injector")
+	}
+}
+
+func TestInjectorVerdicts(t *testing.T) {
+	inj := NewInjector(&Plan{
+		Seed:          11,
+		ReadTransient: 1,
+		ProgramFail:   1,
+		DieDeaths:     []DieDeath{{Channel: 0, Die: 0, At: 50}},
+	})
+	if err := inj.Read(0, 1, 0, 0); !errors.Is(err, flash.ErrTransientRead) {
+		t.Fatalf("read verdict = %v, want ErrTransientRead", err)
+	}
+	if err := inj.Program(0, 1, 0, 0); !errors.Is(err, flash.ErrProgramFail) {
+		t.Fatalf("program verdict = %v, want ErrProgramFail", err)
+	}
+	// Die death takes precedence over probabilistic faults.
+	for _, err := range []error{
+		inj.Read(50, 0, 0, 0),
+		inj.Program(50, 0, 0, 0),
+		inj.Erase(50, 0, 0, 0),
+	} {
+		if !errors.Is(err, flash.ErrDieDead) {
+			t.Fatalf("dead-die verdict = %v, want ErrDieDead", err)
+		}
+	}
+	if err := inj.Erase(0, 1, 0, 0); err != nil {
+		t.Fatalf("erase on healthy die = %v", err)
+	}
+}
+
+// FuzzFaultPlan checks the plan invariants hold for arbitrary inputs:
+// decisions are pure (repeatable), bounded probabilities behave, and
+// the injector never panics.
+func FuzzFaultPlan(f *testing.F) {
+	f.Add(uint64(1), 0.1, 0.05, 0.01, 3, uint64(7), int64(1000))
+	f.Add(uint64(0), 0.0, 0.0, 0.0, 0, uint64(0), int64(0))
+	f.Add(^uint64(0), 1.0, 1.0, 1.0, -1, ^uint64(0), int64(-5))
+	f.Add(uint64(123), -0.5, 2.0, 0.999, 255, uint64(1)<<63, int64(1)<<40)
+	f.Fuzz(func(t *testing.T, seed uint64, pr, pp, pm float64, shard int, n uint64, at int64) {
+		p := &Plan{
+			Seed:          seed,
+			ReadTransient: pr,
+			ProgramFail:   pp,
+			MACFail:       pm,
+			DieDeaths:     []DieDeath{{Channel: shard, Die: 0, At: sim.Time(at)}},
+		}
+		for _, k := range []Kind{KindRead, KindProgram, KindErase, KindMAC} {
+			for _, prob := range []float64{pr, pp, pm} {
+				a := p.Fires(k, shard, n, prob)
+				if b := p.Fires(k, shard, n, prob); a != b {
+					t.Fatalf("Fires(%d,%d,%d,%v) not repeatable", k, shard, n, prob)
+				}
+				if prob <= 0 && a {
+					t.Fatalf("prob %v fired", prob)
+				}
+				if prob >= 1 && !a {
+					t.Fatalf("prob %v did not fire", prob)
+				}
+			}
+		}
+		if a, b := p.MACFault(shard, n), p.MACFault(shard, n); a != b {
+			t.Fatal("MACFault not repeatable")
+		}
+		if a, b := p.DieDead(sim.Time(at), shard, 0), p.DieDead(sim.Time(at), shard, 0); a != b {
+			t.Fatal("DieDead not repeatable")
+		}
+		if inj := NewInjector(p); inj != nil {
+			// Must never panic, and must agree with itself.
+			for _, call := range []func() error{
+				func() error { return inj.Read(sim.Time(at), shard, 0, n) },
+				func() error { return inj.Program(sim.Time(at), shard, 0, n) },
+				func() error { return inj.Erase(sim.Time(at), shard, 0, n) },
+			} {
+				e1, e2 := call(), call()
+				if (e1 == nil) != (e2 == nil) {
+					t.Fatal("injector verdict not repeatable")
+				}
+			}
+		} else if !p.Zero() {
+			t.Fatal("non-zero plan produced no injector")
+		}
+	})
+}

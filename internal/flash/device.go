@@ -1,11 +1,52 @@
 package flash
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
 
 	"iceclave/internal/sim"
+)
+
+// Typed fault sentinels surfaced by the injection seam. Callers match
+// them with errors.Is through any number of %w wraps.
+var (
+	// ErrTransientRead is a retryable read failure (e.g. a read-disturb
+	// ECC miss). The page data is intact; a retry may succeed.
+	ErrTransientRead = errors.New("flash: transient read error")
+	// ErrProgramFail is a permanent program failure: the target block is
+	// worn out and must be retired by the FTL.
+	ErrProgramFail = errors.New("flash: program failure")
+	// ErrDieDead is a permanent die failure: every operation on the die
+	// fails, forever. The FTL must stop allocating from it.
+	ErrDieDead = errors.New("flash: die dead")
+)
+
+// Injector is the fault-injection seam. The device consults it before
+// performing each read/program/erase, passing the arrival time, the
+// channel and channel-local die of the target, and the per-channel
+// ordinal n of this operation kind (0, 1, 2, ... in channel-lock
+// acquisition order — deterministic on the replay path, where all
+// device calls for a channel execute in (time, seq) order). A non-nil
+// error aborts the operation; the device wraps it with the page/block
+// context and charges the appropriate partial timing.
+//
+// Implementations must be pure functions of their arguments (no mutable
+// state) so that injection is reproducible across worker counts;
+// internal/fault.Injector is the canonical implementation.
+type Injector interface {
+	Read(at sim.Time, ch, die int, n uint64) error
+	Program(at sim.Time, ch, die int, n uint64) error
+	Erase(at sim.Time, ch, die int, n uint64) error
+}
+
+// Per-channel fault-ordinal slots, one per operation kind.
+const (
+	faultOpRead = iota
+	faultOpProgram
+	faultOpErase
+	numFaultOps
 )
 
 // Timing holds the NAND command latencies and channel bandwidth. Defaults
@@ -48,6 +89,10 @@ type Stats struct {
 	Erases       int64
 	BytesRead    int64
 	BytesWritten int64
+	// ReadFaults and ProgramFaults count operations aborted by the
+	// injection seam (successful operations are counted separately).
+	ReadFaults    int64
+	ProgramFaults int64
 }
 
 // counters is the internal, atomically updated form of Stats: hot-path
@@ -56,11 +101,13 @@ type Stats struct {
 // snapshot is not a cross-counter barrier — the same contract as
 // ftl.Stats).
 type counters struct {
-	reads        atomic.Int64
-	programs     atomic.Int64
-	erases       atomic.Int64
-	bytesRead    atomic.Int64
-	bytesWritten atomic.Int64
+	reads         atomic.Int64
+	programs      atomic.Int64
+	erases        atomic.Int64
+	bytesRead     atomic.Int64
+	bytesWritten  atomic.Int64
+	readFaults    atomic.Int64
+	programFaults atomic.Int64
 }
 
 // channelState is one channel's functional and timing shard: the page
@@ -83,6 +130,12 @@ type channelState struct {
 	// device costs O(blocks written), not O(geometry).
 	touched     []bool
 	touchedList []int64
+
+	// faultOps counts this channel's operations per kind, feeding the
+	// injector's ordinal argument. Guarded by cs.mu; zeroed when the
+	// injector is (re)attached and on Reset, so a given plan sees the
+	// same ordinals on fresh and pooled stacks.
+	faultOps [numFaultOps]uint64
 
 	dies  []*sim.Server // array reads, one unit per die
 	diesW []*sim.Server // programs/erases; modern controllers suspend
@@ -117,6 +170,12 @@ type Device struct {
 	diesPerChannel   int
 	pagesPerDie      int64
 	pagesPerBlock    int64
+
+	// inj is the optional fault-injection seam; nil means every
+	// operation succeeds (the default, and the bit-identical baseline).
+	// Written only by SetInjector on a quiesced device, read on the
+	// operation paths under the channel lock acquired after the write.
+	inj Injector
 
 	stats counters
 }
@@ -170,15 +229,31 @@ func (d *Device) Affinity(p PPA) int { return d.geo.ChannelOf(p) }
 // Timing returns the device timing parameters.
 func (d *Device) Timing() Timing { return d.timing }
 
+// SetInjector attaches (or, with nil, detaches) the fault-injection
+// seam and rewinds every channel's fault ordinals to zero, so the same
+// injector replays the same fault sequence on a pooled stack as on a
+// fresh one. Like Reset, it must only be called on a quiesced device.
+func (d *Device) SetInjector(inj Injector) {
+	for ch := range d.chans {
+		cs := &d.chans[ch]
+		cs.mu.Lock()
+		cs.faultOps = [numFaultOps]uint64{}
+		cs.mu.Unlock()
+	}
+	d.inj = inj
+}
+
 // Snapshot returns the activity counters. It is the only stats accessor:
 // lock-free, safe against concurrent operations on any channel.
 func (d *Device) Snapshot() Stats {
 	return Stats{
-		Reads:        d.stats.reads.Load(),
-		Programs:     d.stats.programs.Load(),
-		Erases:       d.stats.erases.Load(),
-		BytesRead:    d.stats.bytesRead.Load(),
-		BytesWritten: d.stats.bytesWritten.Load(),
+		Reads:         d.stats.reads.Load(),
+		Programs:      d.stats.programs.Load(),
+		Erases:        d.stats.erases.Load(),
+		BytesRead:     d.stats.bytesRead.Load(),
+		BytesWritten:  d.stats.bytesWritten.Load(),
+		ReadFaults:    d.stats.readFaults.Load(),
+		ProgramFaults: d.stats.programFaults.Load(),
 	}
 }
 
@@ -249,6 +324,11 @@ func (d *Device) PageTransferTime() sim.Duration { return d.transferTime() }
 // the stored payload (nil if the page was never programmed with data).
 // Reading a free page is a protocol error — the FTL must never map a live
 // LPA to an unwritten page.
+//
+// With an injector attached, a read may instead fail with a wrapped
+// ErrTransientRead (the array read ran — the die is charged tRD, but
+// nothing crosses the bus; the returned time is when the failure is
+// known and a retry may be issued) or ErrDieDead (fails fast at at).
 func (d *Device) Read(at sim.Time, p PPA) (done sim.Time, data []byte, err error) {
 	if err := d.checkPPA(p); err != nil {
 		return at, nil, err
@@ -259,7 +339,20 @@ func (d *Device) Read(at sim.Time, p PPA) (done sim.Time, data []byte, err error
 	if cs.state[lp] == PageFree {
 		return at, nil, fmt.Errorf("flash: read of free page %d", p)
 	}
-	_, arrayDone := cs.dies[d.localDie(lp)].Acquire(at, d.timing.ReadLatency)
+	die := d.localDie(lp)
+	if d.inj != nil {
+		n := cs.faultOps[faultOpRead]
+		cs.faultOps[faultOpRead]++
+		if ferr := d.inj.Read(at, int(int64(p)/d.pagesPerChannel), die, n); ferr != nil {
+			d.stats.readFaults.Add(1)
+			if errors.Is(ferr, ErrDieDead) {
+				return at, nil, fmt.Errorf("flash: read of page %d: %w", p, ferr)
+			}
+			_, failDone := cs.dies[die].Acquire(at, d.timing.ReadLatency)
+			return failDone, nil, fmt.Errorf("flash: read of page %d: %w", p, ferr)
+		}
+	}
+	_, arrayDone := cs.dies[die].Acquire(at, d.timing.ReadLatency)
 	_, done = cs.bus.Acquire(arrayDone, d.transferTime())
 	d.stats.reads.Add(1)
 	d.stats.bytesRead.Add(int64(d.geo.PageSize))
@@ -283,8 +376,25 @@ func (d *Device) Program(at sim.Time, p PPA, data []byte) (done sim.Time, err er
 	if len(data) > d.geo.PageSize {
 		return at, fmt.Errorf("flash: payload %d bytes exceeds page size %d", len(data), d.geo.PageSize)
 	}
+	die := d.localDie(lp)
+	if d.inj != nil {
+		n := cs.faultOps[faultOpProgram]
+		cs.faultOps[faultOpProgram]++
+		if ferr := d.inj.Program(at, int(int64(p)/d.pagesPerChannel), die, n); ferr != nil {
+			d.stats.programFaults.Add(1)
+			if errors.Is(ferr, ErrDieDead) {
+				return at, fmt.Errorf("flash: program of page %d: %w", p, ferr)
+			}
+			// A failed program still pays the full transfer + tPROG
+			// before the status read reports the failure; the page
+			// stays free and holds no payload.
+			_, failBus := cs.bus.Acquire(at, d.transferTime())
+			_, failDone := cs.diesW[die].Acquire(failBus, d.timing.ProgramLatency)
+			return failDone, fmt.Errorf("flash: program of page %d: %w", p, ferr)
+		}
+	}
 	_, busDone := cs.bus.Acquire(at, d.transferTime())
-	_, done = cs.diesW[d.localDie(lp)].Acquire(busDone, d.timing.ProgramLatency)
+	_, done = cs.diesW[die].Acquire(busDone, d.timing.ProgramLatency)
 	cs.state[lp] = PageValid
 	cs.markTouched(lp / d.pagesPerBlock)
 	if data != nil {
@@ -327,6 +437,13 @@ func (d *Device) Erase(at sim.Time, b BlockID) (done sim.Time, err error) {
 	for i := 0; i < d.geo.PagesPerBlock; i++ {
 		if cs.state[lfirst+int64(i)] == PageValid {
 			return at, fmt.Errorf("flash: erase of block %d with valid page %d", b, first+PPA(i))
+		}
+	}
+	if d.inj != nil {
+		n := cs.faultOps[faultOpErase]
+		cs.faultOps[faultOpErase]++
+		if ferr := d.inj.Erase(at, int(int64(b)/d.blocksPerChannel), d.localDie(lfirst), n); ferr != nil {
+			return at, fmt.Errorf("flash: erase of block %d: %w", b, ferr)
 		}
 	}
 	for i := 0; i < d.geo.PagesPerBlock; i++ {
@@ -402,6 +519,7 @@ func (d *Device) Reset() {
 		}
 		cs.touchedList = cs.touchedList[:0]
 		clear(cs.data)
+		cs.faultOps = [numFaultOps]uint64{}
 		cs.resetTiming()
 		cs.mu.Unlock()
 	}
@@ -425,4 +543,6 @@ func (d *Device) resetStats() {
 	d.stats.erases.Store(0)
 	d.stats.bytesRead.Store(0)
 	d.stats.bytesWritten.Store(0)
+	d.stats.readFaults.Store(0)
+	d.stats.programFaults.Store(0)
 }

@@ -1,0 +1,150 @@
+package flash
+
+import (
+	"errors"
+	"testing"
+
+	"iceclave/internal/sim"
+)
+
+// scriptInjector fails specific (kind, ordinal) pairs and records the
+// ordinal sequences it observes.
+type scriptInjector struct {
+	failRead    map[uint64]error
+	failProgram map[uint64]error
+	failErase   map[uint64]error
+	readNs      []uint64
+}
+
+func (s *scriptInjector) Read(at sim.Time, ch, die int, n uint64) error {
+	s.readNs = append(s.readNs, n)
+	return s.failRead[n]
+}
+func (s *scriptInjector) Program(at sim.Time, ch, die int, n uint64) error {
+	return s.failProgram[n]
+}
+func (s *scriptInjector) Erase(at sim.Time, ch, die int, n uint64) error {
+	return s.failErase[n]
+}
+
+func TestInjectorTransientRead(t *testing.T) {
+	d := testDevice(t)
+	if _, err := d.Program(0, 3, nil); err != nil {
+		t.Fatal(err)
+	}
+	inj := &scriptInjector{failRead: map[uint64]error{0: ErrTransientRead}}
+	d.SetInjector(inj)
+	done, data, err := d.Read(1000, 3)
+	if !errors.Is(err, ErrTransientRead) {
+		t.Fatalf("err = %v, want ErrTransientRead", err)
+	}
+	if data != nil {
+		t.Fatal("failed read returned data")
+	}
+	// The array read ran: the die is charged tRD before the failure is
+	// known, but nothing crossed the bus.
+	if want := sim.Time(1000) + sim.Time(d.Timing().ReadLatency); done != want {
+		t.Fatalf("fail done = %d, want %d", done, want)
+	}
+	// The retry (next ordinal) succeeds and the page data is intact.
+	if _, _, err := d.Read(done, 3); err != nil {
+		t.Fatalf("retry failed: %v", err)
+	}
+	if got := d.Snapshot().ReadFaults; got != 1 {
+		t.Fatalf("ReadFaults = %d, want 1", got)
+	}
+}
+
+func TestInjectorProgramFailLeavesPageFree(t *testing.T) {
+	d := testDevice(t)
+	d.SetInjector(&scriptInjector{failProgram: map[uint64]error{0: ErrProgramFail}})
+	done, err := d.Program(0, 7, []byte{1, 2, 3})
+	if !errors.Is(err, ErrProgramFail) {
+		t.Fatalf("err = %v, want ErrProgramFail", err)
+	}
+	// Full transfer + tPROG elapse before the status read reports failure.
+	if done <= 0 {
+		t.Fatal("failed program charged no time")
+	}
+	// The page stays free: re-programming it succeeds without an erase.
+	if _, err := d.Program(done, 7, []byte{1, 2, 3}); err != nil {
+		t.Fatalf("re-program after failure rejected: %v", err)
+	}
+	if got := d.Snapshot().ProgramFaults; got != 1 {
+		t.Fatalf("ProgramFaults = %d, want 1", got)
+	}
+}
+
+func TestInjectorDieDeadFailsFast(t *testing.T) {
+	d := testDevice(t)
+	if _, err := d.Program(0, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	d.SetInjector(&scriptInjector{
+		failRead:    map[uint64]error{0: ErrDieDead},
+		failProgram: map[uint64]error{0: ErrDieDead},
+		failErase:   map[uint64]error{0: ErrDieDead},
+	})
+	if done, _, err := d.Read(500, 0); !errors.Is(err, ErrDieDead) || done != 500 {
+		t.Fatalf("read: done=%d err=%v, want fast-fail ErrDieDead", done, err)
+	}
+	if done, err := d.Program(500, 1, nil); !errors.Is(err, ErrDieDead) || done != 500 {
+		t.Fatalf("program: done=%d err=%v, want fast-fail ErrDieDead", done, err)
+	}
+	if err := d.Invalidate(0); err != nil {
+		t.Fatal(err)
+	}
+	if done, err := d.Erase(500, 0); !errors.Is(err, ErrDieDead) || done != 500 {
+		t.Fatalf("erase: done=%d err=%v, want fast-fail ErrDieDead", done, err)
+	}
+}
+
+// SetInjector and Reset rewind the per-channel fault ordinals, so a plan
+// replays the same sequence on a reused device as on a fresh one.
+func TestInjectorOrdinalsRewind(t *testing.T) {
+	d := testDevice(t)
+	for p := PPA(0); p < 4; p++ {
+		if _, err := d.Program(0, p, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	inj := &scriptInjector{}
+	d.SetInjector(inj)
+	for p := PPA(0); p < 4; p++ {
+		if _, _, err := d.Read(0, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := []uint64{0, 1, 2, 3}
+	for i, n := range want {
+		if inj.readNs[i] != n {
+			t.Fatalf("first pass ordinals = %v, want %v", inj.readNs, want)
+		}
+	}
+	// Reattaching rewinds to zero.
+	d.SetInjector(inj)
+	inj.readNs = nil
+	if _, _, err := d.Read(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if len(inj.readNs) != 1 || inj.readNs[0] != 0 {
+		t.Fatalf("ordinals after SetInjector = %v, want [0]", inj.readNs)
+	}
+}
+
+// A detached injector restores the untouched fast path: the faultOps
+// counters stop advancing and no verdict is consulted.
+func TestInjectorDetach(t *testing.T) {
+	d := testDevice(t)
+	if _, err := d.Program(0, 2, nil); err != nil {
+		t.Fatal(err)
+	}
+	d.SetInjector(&scriptInjector{failRead: map[uint64]error{0: ErrTransientRead}})
+	d.SetInjector(nil)
+	if _, _, err := d.Read(0, 2); err != nil {
+		t.Fatalf("read with detached injector failed: %v", err)
+	}
+	if got := d.Snapshot().ReadFaults; got != 0 {
+		t.Fatalf("ReadFaults = %d, want 0", got)
+	}
+}

@@ -83,6 +83,14 @@ type Config struct {
 	// channel. More stripes mean less contention between readers of
 	// nearby LPAs at the cost of lock-array footprint. Default 8.
 	StripesPerChannel int
+	// ReadRetries bounds how many times a read failing with
+	// flash.ErrTransientRead is reissued before the error surfaces.
+	// Default 3.
+	ReadRetries int
+	// ProgramRetries bounds how many times a failed program is re-staged
+	// to a fresh block (after retiring the bad block or dead die) before
+	// the error surfaces. Default 3.
+	ProgramRetries int
 }
 
 func (c *Config) applyDefaults() {
@@ -98,6 +106,12 @@ func (c *Config) applyDefaults() {
 	if c.StripesPerChannel <= 0 {
 		c.StripesPerChannel = 8
 	}
+	if c.ReadRetries <= 0 {
+		c.ReadRetries = 3
+	}
+	if c.ProgramRetries <= 0 {
+		c.ProgramRetries = 3
+	}
 }
 
 // Stats aggregates FTL activity.
@@ -107,6 +121,10 @@ type Stats struct {
 	GCRuns       int64
 	Erases       int64
 	Translations int64
+	ReadRetries  int64 // transient read failures reissued
+	ProgramFails int64 // program failures recovered by re-staging
+	BadBlocks    int64 // blocks retired since construction or Reset
+	DeadDies     int64 // dies marked dead since construction or Reset
 }
 
 // WriteAmplification returns (host + GC writes) / host writes.
@@ -125,6 +143,10 @@ type counters struct {
 	gcRuns       atomic.Int64
 	erases       atomic.Int64
 	translations atomic.Int64
+	readRetries  atomic.Int64
+	programFails atomic.Int64
+	badBlocks    atomic.Int64
+	deadDies     atomic.Int64
 }
 
 // dieState tracks one die's free-block pool and active (partially
@@ -134,6 +156,10 @@ type dieState struct {
 	activeBlock flash.BlockID
 	nextPage    int // next free page index within activeBlock
 	hasActive   bool
+	// dead marks a die that failed permanently (flash.ErrDieDead): the
+	// allocator skips it and GC never picks its blocks, so the channel
+	// degrades to its surviving dies instead of erroring out.
+	dead bool
 }
 
 // channelShard is the per-channel lock domain: the die allocators, the
@@ -154,11 +180,19 @@ type channelShard struct {
 	// usedList holds this channel's blocks ever taken from a free pool
 	// (see FTL.usedBlocks), in first-use order.
 	usedList []flash.BlockID
+	// badList holds this channel's retired blocks (see FTL.bad), in
+	// retirement order — the bad-block table's Reset journal.
+	badList []flash.BlockID
 }
 
+// freeTotal counts the pooled free blocks the allocator can actually
+// use: dead dies' pools are unreachable, so they do not count.
 func (cs *channelShard) freeTotal() int {
 	n := 0
 	for i := range cs.dies {
+		if cs.dies[i].dead {
+			continue
+		}
 		n += len(cs.dies[i].freeBlocks)
 	}
 	return n
@@ -231,6 +265,12 @@ type FTL struct {
 	// Guarded by the block's channel shard, like reverse and pending; the
 	// per-shard usedList drives Reset.
 	usedBlocks []bool
+	// bad[b] marks retired blocks: a program on b failed permanently, so
+	// the allocator never re-activates it and GC never erases it. Valid
+	// pages already on a bad block stay readable (read-only retirement).
+	// Guarded by the block's channel shard; the per-shard badList drives
+	// Reset.
+	bad []bool
 
 	logicalPages int64
 	stats        counters
@@ -259,6 +299,7 @@ func New(dev *flash.Device, cfg Config) *FTL {
 		chans:        make([]channelShard, geo.Channels),
 		pending:      make([]int32, geo.TotalBlocks()),
 		usedBlocks:   make([]bool, geo.TotalBlocks()),
+		bad:          make([]bool, geo.TotalBlocks()),
 		logicalPages: logical,
 	}
 	for i := range f.reverse {
@@ -323,6 +364,10 @@ func (f *FTL) Stats() Stats {
 		GCRuns:       f.stats.gcRuns.Load(),
 		Erases:       f.stats.erases.Load(),
 		Translations: f.stats.translations.Load(),
+		ReadRetries:  f.stats.readRetries.Load(),
+		ProgramFails: f.stats.programFails.Load(),
+		BadBlocks:    f.stats.badBlocks.Load(),
+		DeadDies:     f.stats.deadDies.Load(),
 	}
 }
 
@@ -446,10 +491,24 @@ func (f *FTL) ClearIDs(id TEEID) {
 	}
 }
 
+// readRetry issues a device read, reissuing up to ReadRetries times on
+// flash.ErrTransientRead; each retry starts at the failed attempt's
+// completion time, so the retry latency lands on the virtual clock. Any
+// other error (including flash.ErrDieDead) surfaces immediately.
+func (f *FTL) readRetry(at sim.Time, ppa flash.PPA) (done sim.Time, data []byte, err error) {
+	done, data, err = f.dev.Read(at, ppa)
+	for r := 0; r < f.cfg.ReadRetries && errors.Is(err, flash.ErrTransientRead); r++ {
+		f.stats.readRetries.Add(1)
+		done, data, err = f.dev.Read(done, ppa)
+	}
+	return done, data, err
+}
+
 // Read translates and reads l, returning the completion time and payload.
 // Translation and the device read happen under l's mapping stripe, so a
 // concurrent GC pass (which takes the stripe before relocating a page)
-// cannot move the page between the two.
+// cannot move the page between the two. Transient read faults are
+// retried up to Config.ReadRetries times before surfacing.
 func (f *FTL) Read(at sim.Time, l LPA) (done sim.Time, data []byte, err error) {
 	if err := f.checkLPA(l); err != nil {
 		return at, nil, err
@@ -462,7 +521,7 @@ func (f *FTL) Read(at sim.Time, l LPA) (done sim.Time, data []byte, err error) {
 	if !e.valid {
 		return at, nil, ErrUnmapped
 	}
-	return f.dev.Read(at, e.ppa)
+	return f.readRetry(at, e.ppa)
 }
 
 // ReadFor is the TEE data-path read: the permission-checked translation of
@@ -487,7 +546,7 @@ func (f *FTL) ReadFor(at sim.Time, l LPA, id TEEID) (done sim.Time, ppa flash.PP
 		return at, flash.InvalidPPA, nil,
 			fmt.Errorf("%w: LPA %d owned by ID %d, caller ID %d", ErrAccessDenied, l, e.id, id)
 	}
-	done, data, err = f.dev.Read(at, e.ppa)
+	done, data, err = f.readRetry(at, e.ppa)
 	return done, e.ppa, data, err
 }
 
@@ -499,27 +558,39 @@ func (f *FTL) ReadFor(at sim.Time, l LPA, id TEEID) (done sim.Time, ppa flash.PP
 // Locking: the write is pipelined — stage under the channel shard,
 // device program with no FTL lock, commit under shard then stripe — so
 // the die-local cell-program time never extends any FTL critical section.
+//
+// A program failing with flash.ErrProgramFail retires the block to the
+// bad-block table and re-stages the write to a fresh block (up to
+// Config.ProgramRetries times, each attempt starting at the failed one's
+// completion time); flash.ErrDieDead retires the whole die the same way.
 func (f *FTL) Write(at sim.Time, l LPA, data []byte) (done sim.Time, err error) {
 	if err := f.checkLPA(l); err != nil {
 		return at, err
 	}
 	ch := f.pickChannel(l)
-	ppa, at, err := f.stage(at, ch)
-	if err != nil {
-		return at, err
+	for attempt := 0; ; attempt++ {
+		ppa, issueAt, err := f.stage(at, ch)
+		if err != nil {
+			return at, err
+		}
+		if programHook != nil {
+			programHook(ch)
+		}
+		done, err = f.dev.Program(issueAt, ppa, data)
+		if err != nil {
+			f.abandon(ch, ppa)
+			next, retry := f.recoverProgram(err, ch, ppa, done, attempt)
+			if !retry {
+				return at, err
+			}
+			at = next
+			continue
+		}
+		if err := f.commit(l, ch, ppa); err != nil {
+			return done, err
+		}
+		return done, nil
 	}
-	if programHook != nil {
-		programHook(ch)
-	}
-	done, err = f.dev.Program(at, ppa, data)
-	if err != nil {
-		f.abandon(ch, ppa)
-		return at, err
-	}
-	if err := f.commit(l, ch, ppa); err != nil {
-		return done, err
-	}
-	return done, nil
 }
 
 // WriteFor is the TEE data-path write: the §4.3 ownership check, the
@@ -547,23 +618,30 @@ func (f *FTL) WriteFor(at sim.Time, l LPA, data []byte, id TEEID) (done sim.Time
 		return at, owner, false, fmt.Errorf("%w: LPA %d owned by %d", ErrAccessDenied, l, owner)
 	}
 	ch := f.pickChannel(l)
-	ppa, at, err := f.stage(at, ch)
-	if err != nil {
-		return at, owner, false, err
+	for attempt := 0; ; attempt++ {
+		ppa, issueAt, err := f.stage(at, ch)
+		if err != nil {
+			return at, owner, false, err
+		}
+		if programHook != nil {
+			programHook(ch)
+		}
+		done, err = f.dev.Program(issueAt, ppa, data)
+		if err != nil {
+			f.abandon(ch, ppa)
+			next, retry := f.recoverProgram(err, ch, ppa, done, attempt)
+			if !retry {
+				return at, owner, false, err
+			}
+			at = next
+			continue
+		}
+		owner, adopted, err = f.commitFor(l, ch, ppa, id)
+		if err != nil {
+			return done, owner, false, err
+		}
+		return done, owner, adopted, nil
 	}
-	if programHook != nil {
-		programHook(ch)
-	}
-	done, err = f.dev.Program(at, ppa, data)
-	if err != nil {
-		f.abandon(ch, ppa)
-		return at, owner, false, err
-	}
-	owner, adopted, err = f.commitFor(l, ch, ppa, id)
-	if err != nil {
-		return done, owner, false, err
-	}
-	return done, owner, adopted, nil
 }
 
 // stage reserves a write's physical page under ch's shard: run GC if the
@@ -610,6 +688,63 @@ func (f *FTL) abandon(ch int, ppa flash.PPA) {
 	f.pending[f.geo.BlockOf(ppa)]--
 	cs.inflight--
 	cs.mu.Unlock()
+}
+
+// recoverProgram classifies a write-path program failure. For the two
+// recoverable fault classes it retires the faulty unit (the block for a
+// program failure, the whole die for a die death) and reports the
+// virtual time the next staging attempt should start at; any other
+// error, or an exhausted retry budget, surfaces to the caller.
+func (f *FTL) recoverProgram(err error, ch int, ppa flash.PPA, failDone sim.Time, attempt int) (sim.Time, bool) {
+	if attempt >= f.cfg.ProgramRetries {
+		return 0, false
+	}
+	b := f.geo.BlockOf(ppa)
+	switch {
+	case errors.Is(err, flash.ErrProgramFail):
+		f.stats.programFails.Add(1)
+		cs := &f.chans[ch]
+		cs.mu.Lock()
+		f.retireLocked(cs, b)
+		cs.mu.Unlock()
+		return failDone, true
+	case errors.Is(err, flash.ErrDieDead):
+		cs := &f.chans[ch]
+		cs.mu.Lock()
+		f.killDieLocked(cs, f.dieOf(b))
+		cs.mu.Unlock()
+		return failDone, true
+	}
+	return 0, false
+}
+
+// retireLocked moves b to the bad-block table: the allocator drops it as
+// an active block and GC never selects it again. Valid pages already on
+// b remain mapped and readable. Caller holds cs, b's channel shard.
+func (f *FTL) retireLocked(cs *channelShard, b flash.BlockID) {
+	if f.bad[b] {
+		return
+	}
+	f.bad[b] = true
+	cs.badList = append(cs.badList, b)
+	f.stats.badBlocks.Add(1)
+	ds := &cs.dies[f.dieOf(b)]
+	if ds.hasActive && ds.activeBlock == b {
+		ds.hasActive = false
+	}
+}
+
+// killDieLocked marks a die permanently dead: the allocator skips it,
+// its free pool stops counting toward freeTotal, and GC never picks its
+// blocks. Caller holds cs, the die's channel shard.
+func (f *FTL) killDieLocked(cs *channelShard, die int) {
+	ds := &cs.dies[die]
+	if ds.dead {
+		return
+	}
+	ds.dead = true
+	ds.hasActive = false
+	f.stats.deadDies.Add(1)
 }
 
 // commit publishes a programmed page: under the shard it retires the
@@ -700,6 +835,9 @@ func (f *FTL) allocate(ch int) (flash.PPA, error) {
 	for tries := 0; tries < n; tries++ {
 		ds := &cs.dies[cs.rr%n]
 		cs.rr++
+		if ds.dead {
+			continue
+		}
 		if !ds.hasActive || ds.nextPage >= f.geo.PagesPerBlock {
 			if len(ds.freeBlocks) == 0 {
 				continue // die exhausted; try the next one
@@ -791,6 +929,13 @@ func (f *FTL) collectChannel(at sim.Time, ch int) (done sim.Time, reclaimed bool
 	}
 	done, err = f.dev.Erase(at, victim)
 	if err != nil {
+		if errors.Is(err, flash.ErrDieDead) {
+			// The die died under the erase: retire it and report "nothing
+			// reclaimed" instead of failing the write that triggered GC —
+			// the caller degrades to the surviving dies.
+			f.killDieLocked(&f.chans[ch], f.dieOf(victim))
+			return at, false, nil
+		}
 		return at, false, err
 	}
 	f.stats.erases.Add(1)
@@ -811,26 +956,43 @@ func (f *FTL) relocate(at sim.Time, src flash.PPA, l LPA, ch int) (sim.Time, err
 	st := f.stripeOf(l)
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	readDone, data, err := f.dev.Read(at, src)
+	readDone, data, err := f.readRetry(at, src)
 	if err != nil {
 		return at, err
 	}
-	dst, err := f.allocate(ch)
-	if err != nil {
-		return at, err
+	cs := &f.chans[ch]
+	for attempt := 0; ; attempt++ {
+		dst, err := f.allocate(ch)
+		if err != nil {
+			return at, err
+		}
+		progDone, err := f.dev.Program(readDone, dst, data)
+		if err != nil {
+			// Same recovery as the write path, but the shard is already
+			// held, so retire/kill in place and re-allocate.
+			if attempt < f.cfg.ProgramRetries {
+				switch {
+				case errors.Is(err, flash.ErrProgramFail):
+					f.stats.programFails.Add(1)
+					f.retireLocked(cs, f.geo.BlockOf(dst))
+					readDone = progDone
+					continue
+				case errors.Is(err, flash.ErrDieDead):
+					f.killDieLocked(cs, f.dieOf(f.geo.BlockOf(dst)))
+					continue
+				}
+			}
+			return at, err
+		}
+		if err := f.dev.Invalidate(src); err != nil {
+			return at, err
+		}
+		f.reverse[src] = invalidLPA
+		f.reverse[dst] = l
+		f.table[l].ppa = dst
+		f.stats.gcWrites.Add(1)
+		return progDone, nil
 	}
-	progDone, err := f.dev.Program(readDone, dst, data)
-	if err != nil {
-		return at, err
-	}
-	if err := f.dev.Invalidate(src); err != nil {
-		return at, err
-	}
-	f.reverse[src] = invalidLPA
-	f.reverse[dst] = l
-	f.table[l].ppa = dst
-	f.stats.gcWrites.Add(1)
-	return progDone, nil
 }
 
 // dieOf returns the channel-local die index of a block.
@@ -865,7 +1027,7 @@ func (f *FTL) pickVictim(ch int) (flash.BlockID, bool) {
 		if f.geo.ChannelOf(f.geo.FirstPage(b)) != ch {
 			continue
 		}
-		if skip[b] || f.pending[b] > 0 {
+		if skip[b] || f.pending[b] > 0 || f.bad[b] || cs.dies[f.dieOf(b)].dead {
 			continue
 		}
 		valid := f.dev.ValidPages(b)
@@ -892,12 +1054,16 @@ func (f *FTL) FreeBlocks(ch int) int {
 // allocator state — the FTL half of the replay engine's post-setup seal,
 // paired with flash.Device.ResetTiming so prepopulation writes leak into
 // neither layer's measured statistics.
+// BadBlocks and DeadDies mirror persistent retirement state, so only
+// Reset (which clears that state) zeroes them.
 func (f *FTL) ResetStats() {
 	f.stats.hostWrites.Store(0)
 	f.stats.gcWrites.Store(0)
 	f.stats.gcRuns.Store(0)
 	f.stats.erases.Store(0)
 	f.stats.translations.Store(0)
+	f.stats.readRetries.Store(0)
+	f.stats.programFails.Store(0)
 }
 
 // Reset returns the FTL to its post-New state: an empty mapping table,
@@ -934,11 +1100,16 @@ func (f *FTL) Reset() {
 			f.usedBlocks[b] = false
 		}
 		cs.usedList = cs.usedList[:0]
+		for _, b := range cs.badList {
+			f.bad[b] = false
+		}
+		cs.badList = cs.badList[:0]
 		for i := range cs.dies {
 			ds := &cs.dies[i]
 			ds.activeBlock = 0
 			ds.nextPage = 0
 			ds.hasActive = false
+			ds.dead = false
 		}
 		cs.rr = 0
 		cs.inflight = 0
@@ -946,6 +1117,8 @@ func (f *FTL) Reset() {
 	}
 	f.distributeBlocks()
 	f.ResetStats()
+	f.stats.badBlocks.Store(0)
+	f.stats.deadDies.Store(0)
 }
 
 // MaxEraseSpread returns max-min block erase counts, a wear-leveling

@@ -1,0 +1,137 @@
+package sched
+
+import (
+	"context"
+	"sort"
+	"time"
+
+	"iceclave/internal/sim"
+)
+
+// RetryPolicy is the virtual-time retry/backoff policy applied to a
+// tenant's offload when a step fails with a recoverable fault. It is a
+// pure value: the replay engine evaluates it on the virtual clock, so
+// identical policies replay identically.
+type RetryPolicy struct {
+	// MaxRetries bounds the retries per offload; once exhausted the
+	// offload fails permanently.
+	MaxRetries int
+	// Backoff is the delay before the first retry; each subsequent retry
+	// doubles it, capped at BackoffCap.
+	Backoff sim.Duration
+	// BackoffCap caps the exponential growth. <= 0 means uncapped.
+	BackoffCap sim.Duration
+	// Timeout is the per-offload virtual deadline measured from the
+	// offload's start; a fault observed past it fails the offload
+	// immediately instead of retrying. <= 0 means no deadline.
+	Timeout sim.Duration
+}
+
+// BackoffFor returns the capped exponential delay before retry attempt
+// (0-based): Backoff << attempt, saturating at BackoffCap.
+func (p RetryPolicy) BackoffFor(attempt int) sim.Duration {
+	d := p.Backoff
+	if d <= 0 {
+		return 0
+	}
+	for i := 0; i < attempt; i++ {
+		d *= 2
+		if p.BackoffCap > 0 && d >= p.BackoffCap {
+			return p.BackoffCap
+		}
+	}
+	if p.BackoffCap > 0 && d > p.BackoffCap {
+		return p.BackoffCap
+	}
+	return d
+}
+
+// Breakers is a set of per-tenant circuit breakers keyed by tenant name,
+// sharing one configuration. Like the breakers themselves it follows the
+// sim single-goroutine contract: on the replay path it is touched only
+// from coordinator-run events.
+type Breakers struct {
+	cfg sim.BreakerConfig
+	m   map[string]*sim.Breaker
+}
+
+// NewBreakers builds an empty breaker set with the given per-breaker
+// config (zero value for defaults).
+func NewBreakers(cfg sim.BreakerConfig) *Breakers {
+	return &Breakers{cfg: cfg, m: make(map[string]*sim.Breaker)}
+}
+
+// For returns tenant's breaker, creating it (closed) on first use.
+// Tenants sharing a name share a breaker — the per-tenant semantics of
+// the experiments, where a tenant is its workload identity.
+func (bs *Breakers) For(tenant string) *sim.Breaker {
+	b, ok := bs.m[tenant]
+	if !ok {
+		b = sim.NewBreaker(bs.cfg)
+		bs.m[tenant] = b
+	}
+	return b
+}
+
+// Trips sums the trip counts across all breakers.
+func (bs *Breakers) Trips() int {
+	n := 0
+	for _, b := range bs.m {
+		n += b.Trips()
+	}
+	return n
+}
+
+// Straggler reports one tenant's unfinished work at a drain deadline.
+type Straggler struct {
+	Tenant  string
+	Queued  int
+	Running int
+}
+
+// DrainTimeout stops admission and waits up to timeout for the queues
+// and workers to empty. On success it returns (nil, nil). At the
+// deadline it returns the per-tenant stragglers (sorted by tenant name)
+// and a drain error, instead of blocking forever — the caller decides
+// whether to Close hard or keep waiting. Like Drain, workers stay alive
+// and the scheduler keeps rejecting new Submits afterwards.
+func (s *Scheduler) DrainTimeout(timeout time.Duration) ([]Straggler, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	err := s.Drain(ctx)
+	if err == nil {
+		return nil, nil
+	}
+	return s.stragglers(), err
+}
+
+// stragglers snapshots the tenants with queued or running jobs.
+func (s *Scheduler) stragglers() []Straggler {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	byTenant := make(map[string]*Straggler)
+	get := func(name string) *Straggler {
+		st, ok := byTenant[name]
+		if !ok {
+			st = &Straggler{Tenant: name}
+			byTenant[name] = st
+		}
+		return st
+	}
+	for p := range s.queues {
+		for _, j := range s.queues[p] {
+			get(j.tenant).Queued++
+		}
+	}
+	for name, ts := range s.tenants {
+		if ts.inflight > 0 {
+			get(name).Running = ts.inflight
+		}
+	}
+	out := make([]Straggler, 0, len(byTenant))
+	for _, st := range byTenant {
+		out = append(out, *st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Tenant < out[j].Tenant })
+	return out
+}

@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"sync"
 
+	"iceclave/internal/fault"
 	"iceclave/internal/ftl"
 	"iceclave/internal/mee"
 	"iceclave/internal/sim"
@@ -112,6 +113,11 @@ var ErrTooLarge = errors.New("tee: program image exceeds available SSD DRAM")
 
 // ErrAborted is returned for operations on a thrown-out TEE.
 var ErrAborted = errors.New("tee: TEE aborted")
+
+// ErrIntegrity is returned when a page crossing into the TEE's protected
+// DRAM fails MAC verification. Errors carrying it also carry
+// mee.ErrIntegrity, so callers can match at either layer.
+var ErrIntegrity = errors.New("tee: page integrity verification failed")
 
 // TEE is one in-storage trusted execution environment. Its lifecycle state
 // may be observed from any goroutine while the owning tenant drives it.
@@ -286,6 +292,13 @@ type Runtime struct {
 	// runtime lock, so concurrent TEEs share a small steady-state pool
 	// instead of allocating two pages per read.
 	pageScratch sync.Pool
+
+	// faults, when non-nil, injects deterministic MAC-verification
+	// failures on the ReadPage data path; macOps counts each TEE's
+	// MAC-verified reads, the per-tenant ordinal the plan keys on.
+	// Both guarded by r.mu.
+	faults *fault.Plan
+	macOps map[ftl.TEEID]uint64
 }
 
 // Layout constants for the three-region physical memory map (Figure 4).
@@ -387,6 +400,22 @@ func (r *Runtime) AddressSpace() *trustzone.AddressSpace { return r.space }
 
 // Memory exposes the MEE-protected DRAM engine.
 func (r *Runtime) Memory() *mee.Engine { return r.mem }
+
+// SetFaultPlan attaches (or, with nil, detaches) the deterministic
+// fault plan driving MAC-verification failures on the ReadPage path,
+// rewinding the per-TEE MAC ordinals so the same plan replays the same
+// failure sequence.
+func (r *Runtime) SetFaultPlan(p *fault.Plan) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if p.Zero() {
+		r.faults = nil
+		r.macOps = nil
+		return
+	}
+	r.faults = p
+	r.macOps = make(map[ftl.TEEID]uint64)
+}
 
 // FTL exposes the flash translation layer (secure-world component).
 func (r *Runtime) FTL() *ftl.FTL { return r.ftl }
@@ -663,6 +692,20 @@ func (r *Runtime) ReadPage(t *TEE, lpa ftl.LPA) ([]byte, error) {
 			r.ThrowOutTEE(t, fmt.Sprintf("access-control violation on LPA %d", lpa))
 		}
 		return nil, err
+	}
+	if r.faults != nil {
+		r.mu.Lock()
+		n := r.macOps[t.eid]
+		r.macOps[t.eid] = n + 1
+		if done > r.now {
+			r.now = done
+		}
+		r.mu.Unlock()
+		if r.faults.MACFault(int(t.eid), n) {
+			// The page reached DRAM but its MAC does not verify: a typed
+			// integrity error, never silent success.
+			return nil, fmt.Errorf("tee: LPA %d for TEE %d: %w: %w", lpa, t.eid, ErrIntegrity, mee.ErrIntegrity)
+		}
 	}
 	// The flash controller encrypts the page with the PPA-bound IV; only
 	// ciphertext crosses the bus; the DRAM-side engine decrypts with the
