@@ -4,7 +4,7 @@ GO ?= go
 # for significance when comparing against a saved baseline).
 BENCH_COUNT ?= 1
 
-.PHONY: all build fmt-check vet test race race-shard trace-tests race-fault ci bench bench-compare micro fuzz profile
+.PHONY: all build fmt-check vet test race race-shard trace-tests race-fault race-fleet ci bench bench-compare micro fuzz profile
 
 all: build
 
@@ -75,13 +75,28 @@ race-fault:
 		./internal/fault ./internal/flash ./internal/ftl ./internal/tee \
 		./internal/sim ./internal/sched ./internal/core ./internal/experiments .
 
+# race-fleet runs the rack-scale fleet layer explicitly (and verbosely)
+# under the race detector: the rendezvous-placement contracts
+# (determinism, weight proportionality, minimal disruption), the health
+# monitor's telemetry scoring, the functional failover lifecycle
+# (drain, migrate, re-admit, reopen), the migration data-integrity
+# property tests (read-back-identical plaintext, tamper => ErrIntegrity
+# through the public API), the fleet-replay determinism pins (pooled
+# stacks, engine worker counts, 1-device degeneracy), and the
+# experiments-level byte-identical rerun check. `race` runs them too,
+# but a fleet regression should fail loudly and by name.
+race-fleet:
+	$(GO) test -race -count 1 -v \
+		-run 'Place|Placements|ScoreTelemetry|FleetFailover|Migration|FleetReplay|OneDeviceFleet|FleetTiming|FleetReplaySummary' \
+		./internal/fleet ./internal/experiments
+
 # ci is the gate future PRs must keep green: gofmt-clean tree, clean
 # build, clean vet, the named channel-sharding race tests, the
 # trace-replay differential layer, the fault-injection recovery layer,
-# and the full test suite (including the 32-tenant offload stress, the
-# FTL stripe-contention tests, and the Trivium differential suite) under
-# the race detector.
-ci: fmt-check build vet race-shard trace-tests race-fault race
+# the rack-scale fleet layer, and the full test suite (including the
+# 32-tenant offload stress, the FTL stripe-contention tests, and the
+# Trivium differential suite) under the race detector.
+ci: fmt-check build vet race-shard trace-tests race-fault race-fleet race
 
 # bench regenerates the committed machine-readable performance record:
 # serial vs parallel experiment-suite wall time, the scheduler offload
@@ -92,10 +107,11 @@ bench:
 
 # micro runs only the cipher, lock-sharding, die-pipelining,
 # admission-queueing, write-storm, mee-traffic, trace-replay,
-# fault-replay, replay-setup, and parallel-replay microbenchmarks
-# (seconds, not minutes) and prints a human summary. The die-pipelining,
-# queueing, trace-replay, and fault-replay numbers are simulated time,
-# so they are deterministic on any machine.
+# fault-replay, fleet-replay, replay-setup, and parallel-replay
+# microbenchmarks (seconds, not minutes) and prints a human summary.
+# The die-pipelining, queueing, trace-replay, fault-replay, and
+# fleet-replay numbers are simulated time, so they are deterministic on
+# any machine.
 micro:
 	$(GO) run ./cmd/iceclave-bench -micro
 
@@ -139,6 +155,12 @@ profile:
 #     true — a replay under a fault plan whose rates are all zero must
 #     produce Results struct-identical to a replay with no plan at all,
 #     so the injection seams cost nothing when they inject nothing.
+#   - The -micro fleet-replay section must report identical: true — a
+#     1-device fleet replay must produce per-tenant Results
+#     struct-identical to the bare SSD — AND the device-death sweep must
+#     recover at least the committed tenant floor the micro prints, so a
+#     placement, health-scoring, or migration regression that strands
+#     tenants fails the gate by name.
 #   - The -micro parallel-replay section (the same multi-tenant RunMulti
 #     replay on the serial and the sharded virtual-time engine, wall
 #     clock) must beat the GOMAXPROCS-aware gate the micro prints —
@@ -201,6 +223,14 @@ bench-compare:
 	        if (id == "") { print "bench-compare: missing fault-replay output"; exit 1 } \
 	        printf "fault-replay zero-fault plan identical to nil plan: %s\n", id; \
 	        if (id != "true") { print "FAIL: a zero-rate fault plan changed replay Results - the injection seams are not free when idle"; exit 1 } \
+	      }' out/micro_new.txt
+	@awk '/^fleet replay identical:/ { id=$$4 } \
+	      /^fleet recovered:/ { split($$3, frac, "/"); rec=frac[1]; total=frac[2]; floor=$$6 } \
+	      END { \
+	        if (id == "" || rec == "") { print "bench-compare: missing fleet-replay output"; exit 1 } \
+	        printf "fleet 1-device replay identical to bare SSD: %s; death sweep recovered %s/%s (floor %s)\n", id, rec, total, floor; \
+	        if (id != "true") { print "FAIL: a 1-device fleet diverged from the bare SSD - the placement/failover layer is not free when idle"; exit 1 } \
+	        if (rec+0 < floor+0) { print "FAIL: device-death sweep recovered fewer tenants than the committed floor"; exit 1 } \
 	      }' out/micro_new.txt
 	@awk '/^parallel replay speedup/ { ratio=$$4; gate=$$6 } \
 	      /^parallel replay identical:/ { id=$$4 } \

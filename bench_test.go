@@ -2,10 +2,12 @@
 // of the paper: one benchmark per table and figure (DESIGN.md maps each to
 // its experiment), plus micro-benchmarks for the security primitives.
 // Run with: go test -bench=. -benchmem
-package iceclave
+package iceclave_test
 
 import (
 	"testing"
+
+	"iceclave"
 
 	"iceclave/internal/core"
 	"iceclave/internal/experiments"
@@ -104,7 +106,7 @@ func BenchmarkFigure18FourTenants(b *testing.B) {
 // BenchmarkOffloadRoundTrip measures the functional offload path: TEE
 // creation, a permission-checked encrypted page read, and termination.
 func BenchmarkOffloadRoundTrip(b *testing.B) {
-	ssd, err := Open(Options{Channels: 2, BlocksPerPlane: 8})
+	ssd, err := iceclave.Open(iceclave.Options{Channels: 2, BlocksPerPlane: 8})
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -11,8 +11,8 @@
 //
 // With -micro it runs just the Trivium cipher, FTL lock-sharding,
 // die-pipelining, admission-queueing, write-storm, mee-traffic,
-// trace-replay, fault-replay, replay-setup, and parallel-replay
-// microbenchmarks (methodology in docs/BENCHMARKS.md).
+// trace-replay, fault-replay, fleet-replay, replay-setup, and
+// parallel-replay microbenchmarks (methodology in docs/BENCHMARKS.md).
 //
 // Usage:
 //
@@ -186,6 +186,7 @@ type benchResults struct {
 	ResourcePool   resourcePoolResults   `json:"resource_pool"`
 	ParallelReplay parallelReplayResults `json:"parallel_replay"`
 	FaultReplay    faultReplayResults    `json:"fault_replay"`
+	FleetReplay    fleetReplayResults    `json:"fleet_replay"`
 }
 
 // resourcePoolResults records the replay-stack pool's activity across the
@@ -302,6 +303,7 @@ func runBench(sc workload.Scale, workers, tenants, jobs int, outPath string) err
 		TraceReplay:     mr.TraceReplay,
 		ParallelReplay:  mr.Parallel,
 		FaultReplay:     mr.FaultReplay,
+		FleetReplay:     mr.FleetReplay,
 		ResourcePool: resourcePoolResults{
 			SuiteHits:    suitePool.Hits,
 			SuiteMisses:  suitePool.Misses,
@@ -436,6 +438,8 @@ func one(s *experiments.Suite, name string) (*stats.Table, error) {
 		return s.TraceTiming()
 	case "fault":
 		return s.FaultTiming()
+	case "fleet":
+		return s.FleetTiming()
 	}
 	return nil, fmt.Errorf("unknown experiment %q", name)
 }

@@ -740,6 +740,68 @@ func benchFaultReplay() (faultReplayResults, error) {
 	return out, nil
 }
 
+// fleetScenarioResults is one scenario of the fleet-replay record.
+type fleetScenarioResults struct {
+	Scenario        string  `json:"scenario"`
+	Tenants         int     `json:"tenants"`
+	Failovers       int     `json:"failovers"`
+	Recovered       int     `json:"recovered"`
+	Lost            int     `json:"lost"`
+	GoodputPerSec   float64 `json:"goodput_pages_per_sec"`
+	UtilizationSkew float64 `json:"utilization_skew"`
+	MigrationMeanNs int64   `json:"migration_mean_ns"`
+	MigrationMaxNs  int64   `json:"migration_max_ns"`
+	MakespanNs      int64   `json:"makespan_ns"`
+}
+
+// fleetReplayResults records the rack-scale fleet sweep: the same
+// multi-tenant mix placed across devices by rendezvous hashing, replayed
+// healthy and under a scripted whole-device death with health-aware
+// failover and modeled live migration, in SIMULATED time.
+// OneDeviceIdentical and Recovered-vs-RecoveryFloor are the two
+// differential gates bench-compare checks: a 1-device fleet must be
+// results-identical to the bare SSD, and the death sweep must recover at
+// least the committed tenant floor.
+type fleetReplayResults struct {
+	Tenants            int                    `json:"tenants"`
+	Devices            int                    `json:"devices"`
+	RecoveryFloor      int                    `json:"recovery_floor"`
+	Scenarios          []fleetScenarioResults `json:"scenarios"`
+	OneDeviceIdentical bool                   `json:"one_device_identical"`
+}
+
+// benchFleetReplay runs the Fleet-table sweep on a tiny-scale suite; the
+// summary carries both gate verdicts (the degeneracy check inside it
+// deliberately bypasses the suite's memo cache).
+func benchFleetReplay() (fleetReplayResults, error) {
+	s := experiments.NewSuite(workload.TinyScale(), core.DefaultConfig())
+	sum, err := s.FleetReplaySummary()
+	if err != nil {
+		return fleetReplayResults{}, err
+	}
+	out := fleetReplayResults{
+		Tenants:            len(sum.Mix),
+		Devices:            sum.Devices,
+		RecoveryFloor:      sum.RecoveryFloor,
+		OneDeviceIdentical: sum.OneDeviceIdentical,
+	}
+	for _, sc := range sum.Scenarios {
+		out.Scenarios = append(out.Scenarios, fleetScenarioResults{
+			Scenario:        sc.Scenario,
+			Tenants:         sc.Tenants,
+			Failovers:       sc.Failovers,
+			Recovered:       sc.Recovered,
+			Lost:            sc.Lost,
+			GoodputPerSec:   sc.GoodputPerSec,
+			UtilizationSkew: sc.UtilizationSkew,
+			MigrationMeanNs: int64(sc.MigrationMean),
+			MigrationMaxNs:  int64(sc.MigrationMax),
+			MakespanNs:      int64(sc.Makespan),
+		})
+	}
+	return out, nil
+}
+
 // replaySetupResults records the resource-pool microbenchmark: the same
 // replay run repeated with pooling off (every setup allocates a device,
 // FTL, CMT, and page cache from scratch) and with pooling on (every setup
@@ -952,6 +1014,7 @@ type microResults struct {
 	MEETraffic  meeTrafficResults
 	TraceReplay traceReplayResults
 	FaultReplay faultReplayResults
+	FleetReplay fleetReplayResults
 	ReplaySetup replaySetupResults
 	Parallel    parallelReplayResults
 }
@@ -978,6 +1041,9 @@ func runMicro() (microResults, error) {
 		return mr, err
 	}
 	if mr.FaultReplay, err = benchFaultReplay(); err != nil {
+		return mr, err
+	}
+	if mr.FleetReplay, err = benchFleetReplay(); err != nil {
 		return mr, err
 	}
 	if mr.ReplaySetup, err = benchReplaySetup(); err != nil {
@@ -1024,6 +1090,18 @@ func runMicro() (microResults, error) {
 			time.Duration(sc.P99SojournNs), sc.Retries, sc.BreakerTrips, sc.BadBlocks, sc.DeadDies)
 	}
 	fmt.Printf("fault replay zero-fault identical: %v\n", fr2.ZeroFaultIdentical)
+	fl := mr.FleetReplay
+	for _, sc := range fl.Scenarios {
+		fmt.Printf("fleet replay [%s]: %d failovers, goodput %.0f pages/s, util skew %.2f, "+
+			"migration mean %s max %s, makespan %s\n",
+			sc.Scenario, sc.Failovers, sc.GoodputPerSec, sc.UtilizationSkew,
+			time.Duration(sc.MigrationMeanNs), time.Duration(sc.MigrationMaxNs),
+			time.Duration(sc.MakespanNs))
+	}
+	death := fl.Scenarios[len(fl.Scenarios)-1]
+	fmt.Printf("fleet recovered: %d/%d tenants, floor %d\n",
+		death.Recovered, death.Recovered+death.Lost, fl.RecoveryFloor)
+	fmt.Printf("fleet replay identical: %v\n", fl.OneDeviceIdentical)
 	rs := mr.ReplaySetup
 	fmt.Printf("replay setup: fresh %s/run, pooled %s/run over %d runs (pool hits %d, misses %d)\n",
 		time.Duration(rs.FreshNsPerRun), time.Duration(rs.PooledNsPerRun),

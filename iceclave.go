@@ -55,8 +55,15 @@ type Options struct {
 	// tee.ErrIntegrity — so callers dispatch with errors.Is. The FTL's own
 	// recovery (bounded read retries, bad-block retirement and re-staging)
 	// runs underneath, so only faults that exhaust it are visible here. A
-	// nil or all-zero plan leaves the SSD fault-free.
+	// nil or all-zero plan leaves the SSD fault-free. Plans scripting die
+	// deaths outside the device geometry are rejected by Open with a
+	// typed *fault.PlanError instead of silently never firing.
 	FaultPlan *fault.Plan
+	// CipherKey is the 10-byte Trivium key sealing this device's
+	// encrypted bus (a fixed default is used when nil). A fleet gives
+	// every device a distinct key, so migrating a tenant re-encrypts its
+	// pages under the destination's fresh keys.
+	CipherKey []byte
 }
 
 // SSD is a functional IceClave-enabled computational SSD.
@@ -88,12 +95,16 @@ func Open(opts Options) (*SSD, error) {
 		return nil, err
 	}
 	f := ftl.New(dev, ftl.Config{})
-	rt, err := tee.NewRuntime(f, tee.Options{DRAMBytes: opts.DRAMBytes})
+	rt, err := tee.NewRuntime(f, tee.Options{DRAMBytes: opts.DRAMBytes, CipherKey: opts.CipherKey})
 	if err != nil {
 		return nil, err
 	}
 	if !opts.FaultPlan.Zero() {
-		dev.SetInjector(fault.NewInjector(opts.FaultPlan))
+		inj, err := fault.NewInjectorFor(opts.FaultPlan, geo.Channels, geo.DiesPerChannel())
+		if err != nil {
+			return nil, err
+		}
+		dev.SetInjector(inj)
 		rt.SetFaultPlan(opts.FaultPlan)
 	}
 	return &SSD{dev: dev, ftl: f, runtime: rt}, nil
@@ -111,6 +122,15 @@ func (s *SSD) Runtime() *tee.Runtime { return s.runtime }
 
 // FTL exposes the flash translation layer (the secure-world component).
 func (s *SSD) FTL() *ftl.FTL { return s.ftl }
+
+// Geometry returns the device's flash geometry.
+func (s *SSD) Geometry() flash.Geometry { return s.dev.Geometry() }
+
+// FlashStats snapshots the raw device activity counters, including the
+// injected fault aborts — one half of the health telemetry a fleet
+// monitor scores devices from (FTL().Stats() is the other: retirement
+// and retry work).
+func (s *SSD) FlashStats() flash.Stats { return s.dev.Snapshot() }
 
 // HostWrite stores data at a logical page through the host I/O path (no
 // TEE involved) — how datasets land on the device.

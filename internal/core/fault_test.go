@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"testing"
 
 	"iceclave/internal/fault"
@@ -202,5 +203,107 @@ func TestOffloadTimeoutFailsSlowTenant(t *testing.T) {
 	}
 	if failed == 0 {
 		t.Error("90% fault rate with a 500µs deadline failed no tenant")
+	}
+}
+
+// The PR 6 reset contract extends to circuit breakers: the breaker set
+// recycles with its pooled stack, is reset on acquire, and so trips and
+// open/half-open positions never leak across pooled-stack reuse. A
+// mismatched install-time plan is a typed error, not a silent no-op.
+func TestBreakerStateNoLeakAcrossPooledReuse(t *testing.T) {
+	traces := faultMix(t)
+	cfg := DefaultConfig()
+	cfg.AdmissionSlots = 2
+	cfg.FaultPlan = &fault.Plan{Seed: 3, ReadTransient: 0.6}
+	cfg.FaultRetryLimit = 64
+	cfg.BreakerFailures = 2
+
+	ResetPool()
+	defer ResetPool()
+	SetPooling(false)
+	fresh, _, err := RunMultiStats(traces, ModeIceClave, cfg)
+	SetPooling(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trips := 0
+	for _, r := range fresh {
+		trips += r.BreakerTrips
+	}
+	if trips == 0 {
+		t.Fatal("scenario produced no breaker trips; the test would pin nothing")
+	}
+
+	first, _, err := RunMultiStats(traces, ModeIceClave, cfg) // pool miss: builds the stack
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, _, err := RunMultiStats(traces, ModeIceClave, cfg) // pool hit: recycled stack
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range fresh {
+		if first[i] != fresh[i] {
+			t.Errorf("tenant %d: first pooled run diverges from fresh stack\n got %+v\nwant %+v",
+				i, first[i], fresh[i])
+		}
+		if second[i] != fresh[i] {
+			t.Errorf("tenant %d: recycled-stack run diverges from fresh stack\n got %+v\nwant %+v",
+				i, second[i], fresh[i])
+		}
+	}
+
+	// White-box half: the idle pooled stack still carries the last run's
+	// tripped breaker set; acquiring a matching set from it must hand
+	// back fully closed, zero-trip breakers, and a differing breaker
+	// config must not inherit the old set at all.
+	pool.mu.Lock()
+	var res *resources
+	for _, list := range pool.idle {
+		for _, r := range list {
+			if r.brk != nil {
+				res = r
+			}
+		}
+	}
+	pool.mu.Unlock()
+	if res == nil {
+		t.Fatal("no pooled stack retained a breaker set")
+	}
+	if res.brk.Trips() == 0 {
+		t.Fatal("pooled breaker set recorded no trips; scenario too gentle")
+	}
+	bs := res.acquireBreakers(res.brk.Config())
+	if bs.Trips() != 0 {
+		t.Errorf("recycled breaker set carries %d trips across reuse", bs.Trips())
+	}
+	if st := bs.For(traces[0].Name).State(); st != sim.BreakerClosed {
+		t.Errorf("recycled breaker for %s is %v, want closed", traces[0].Name, st)
+	}
+	if other := res.acquireBreakers(sim.BreakerConfig{Failures: 9, Cooldown: sim.Millisecond}); other == bs {
+		t.Error("breaker set reused across differing configurations")
+	}
+}
+
+// A plan whose scripted deaths fall outside the device geometry is
+// rejected at injector-install time with a typed *fault.PlanError — not
+// installed as a scenario that silently never fires.
+func TestFaultPlanValidatedAtInstall(t *testing.T) {
+	traces := faultMix(t)
+	cfg := DefaultConfig()
+	cfg.FaultPlan = &fault.Plan{
+		ReadTransient: 0.01,
+		DieDeaths:     []fault.DieDeath{{Channel: cfg.Channels, Die: 0, At: sim.Time(sim.Millisecond)}},
+	}
+	_, _, err := RunMultiStats(traces, ModeIceClave, cfg)
+	if err == nil {
+		t.Fatal("out-of-range die death installed without error")
+	}
+	if !errors.Is(err, fault.ErrInvalidPlan) {
+		t.Fatalf("install error %v does not wrap fault.ErrInvalidPlan", err)
+	}
+	var pe *fault.PlanError
+	if !errors.As(err, &pe) {
+		t.Fatalf("install error %v is not a *fault.PlanError", err)
 	}
 }

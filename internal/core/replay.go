@@ -92,6 +92,25 @@ type resources struct {
 	storage   *cpu.Complex
 	hostCPU   *cpu.Complex
 	pcie      *host.PCIe
+
+	// brk is the per-tenant circuit-breaker set of the stack's last
+	// faulty run, recycled with the stack under the reset contract:
+	// acquireBreakers resets every breaker before reuse, so trips and
+	// open/half-open state never leak across pooled-stack reuse. nil
+	// until the first run that breaks circuits.
+	brk *sched.Breakers
+}
+
+// acquireBreakers returns the stack's breaker set for cfg, recycling the
+// pooled set (every breaker reset to closed, zero trips) when its
+// configuration matches, and building a fresh set otherwise.
+func (r *resources) acquireBreakers(cfg sim.BreakerConfig) *sched.Breakers {
+	if r.brk != nil && r.brk.Config() == cfg {
+		r.brk.Reset()
+		return r.brk
+	}
+	r.brk = sched.NewBreakers(cfg)
+	return r.brk
 }
 
 // pageCacheBytes returns the page cache capacity cfg sizes for page size
@@ -167,6 +186,9 @@ func (r *resources) reset() {
 	r.storage.Reset()
 	r.hostCPU.Reset()
 	r.pcie.Reset()
+	if r.brk != nil {
+		r.brk.Reset()
+	}
 }
 
 // sealSetup is the single post-setup reset point between prepopulation
@@ -1018,9 +1040,18 @@ func RunMultiStats(traces []*workload.Trace, mode Mode, cfg Config) ([]Result, R
 	injecting := !plan.Zero()
 	var breakers *sched.Breakers
 	if injecting {
-		res.dev.SetInjector(fault.NewInjector(plan))
+		// Install-time validation: a plan scripting deaths outside the
+		// device geometry is a malformed scenario (it would silently
+		// never fire), rejected here with a typed *fault.PlanError.
+		geo := res.dev.Geometry()
+		inj, err := fault.NewInjectorFor(plan, geo.Channels, geo.DiesPerChannel())
+		if err != nil {
+			pool.release(res)
+			return nil, RunStats{}, err
+		}
+		res.dev.SetInjector(inj)
 		if cfg.BreakerFailures >= 0 {
-			breakers = sched.NewBreakers(sim.BreakerConfig{
+			breakers = res.acquireBreakers(sim.BreakerConfig{
 				Failures: cfg.BreakerFailures,
 				Cooldown: cfg.BreakerCooldown,
 			})

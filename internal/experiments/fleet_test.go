@@ -1,0 +1,74 @@
+package experiments
+
+import "testing"
+
+// The Fleet table must render byte-identically on a memoized rerun
+// (served from the result cache through the shared FleetPlan's cached
+// per-device plans) and on a fresh suite with memoization off — the
+// fleet replay depends on plan contents and seeds, never on instance
+// identity or cache state.
+func TestFleetTimingMemoizedRerunByteIdentical(t *testing.T) {
+	s := testSuite()
+	cold, err := s.FleetTiming()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits0, _ := s.MemoStats()
+	memo, err := s.FleetTiming()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits1, _ := s.MemoStats()
+	if hits1 <= hits0 {
+		t.Fatalf("rerun recorded no memo hits (%d -> %d)", hits0, hits1)
+	}
+	if memo.String() != cold.String() {
+		t.Fatalf("memoized rerun diverges:\n%s\nvs\n%s", memo.String(), cold.String())
+	}
+
+	fresh := testSuite().SetMemoize(false)
+	uncached, err := fresh.FleetTiming()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uncached.String() != cold.String() {
+		t.Fatalf("fresh unmemoized suite diverges:\n%s\nvs\n%s", uncached.String(), cold.String())
+	}
+}
+
+// The fleet sweep's story: the healthy baseline loses nobody, the
+// device-death scenario fails over and recovers at least the committed
+// floor, migration latencies are real, and the 1-device degeneracy
+// holds against an unmemoized bare-SSD replay.
+func TestFleetReplaySummaryShape(t *testing.T) {
+	s := testSuite()
+	sum, err := s.FleetReplaySummary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Devices != FleetDevices || sum.RecoveryFloor != FleetRecoveryFloor {
+		t.Fatalf("summary shape diverges from committed constants: %+v", sum)
+	}
+	if !sum.OneDeviceIdentical {
+		t.Fatal("1-device fleet is not results-identical to the bare SSD")
+	}
+	if len(sum.Scenarios) != 2 {
+		t.Fatalf("sweep has %d scenarios, want 2", len(sum.Scenarios))
+	}
+	healthy, death := sum.Scenarios[0], sum.Scenarios[1]
+	if healthy.Failovers != 0 || healthy.Recovered != 0 || healthy.Lost != 0 {
+		t.Fatalf("all-healthy scenario failed over: %+v", healthy)
+	}
+	if healthy.UtilizationSkew <= 0 || healthy.GoodputPerSec <= 0 {
+		t.Fatalf("all-healthy scenario reports no work: %+v", healthy)
+	}
+	if death.Failovers == 0 {
+		t.Fatalf("device-death scenario triggered no failover: %+v", death)
+	}
+	if death.Recovered < sum.RecoveryFloor {
+		t.Fatalf("death sweep recovered %d tenants, committed floor %d", death.Recovered, sum.RecoveryFloor)
+	}
+	if death.MigrationMax <= 0 || death.MigrationMean <= 0 || death.MigrationMean > death.MigrationMax {
+		t.Fatalf("migration latency distribution incoherent: %+v", death)
+	}
+}

@@ -60,6 +60,12 @@ type Suite struct {
 	faultOnce  sync.Once
 	faultScens []faultScenario
 
+	// The fleet sweep (Fleet table): fleet fault plans built once per
+	// suite — per-device plans derived from a FleetPlan are cached inside
+	// it, so sharing the instance keeps device epochs memo hits.
+	fleetOnce  sync.Once
+	fleetScens []fleetScenario
+
 	memoHits, memoMisses atomic.Int64
 }
 
@@ -397,6 +403,7 @@ func (s *Suite) generators() []struct {
 		{"Timing 1", s.AdmissionTiming},
 		{"Timing 2", s.TraceTiming},
 		{"Fault", s.FaultTiming},
+		{"Fleet", s.FleetTiming},
 	}
 }
 

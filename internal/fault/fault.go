@@ -9,7 +9,9 @@
 package fault
 
 import (
+	"errors"
 	"fmt"
+	"sync"
 
 	"iceclave/internal/flash"
 	"iceclave/internal/sim"
@@ -115,6 +117,53 @@ func (p *Plan) DieDead(at sim.Time, ch, die int) bool {
 	return false
 }
 
+// ErrInvalidPlan is the sentinel carried by every *PlanError, so callers
+// can dispatch on "the plan itself is malformed" without inspecting the
+// concrete coordinates.
+var ErrInvalidPlan = errors.New("fault: invalid plan")
+
+// PlanError reports a fault plan rejected at injector-install time: a
+// scripted DieDeath whose channel or die coordinate falls outside the
+// device geometry it is being installed on. Before validation existed,
+// such entries silently never fired — a scenario that claimed to kill a
+// die while injecting nothing. It unwraps to ErrInvalidPlan.
+type PlanError struct {
+	// Index is the offending entry's position in Plan.DieDeaths.
+	Index int
+	// Field names the out-of-range coordinate ("Channel" or "Die").
+	Field string
+	// Value is the coordinate's value; Limit the exclusive upper bound
+	// the geometry allows (valid values are [0, Limit)).
+	Value, Limit int
+}
+
+func (e *PlanError) Error() string {
+	return fmt.Sprintf("fault: DieDeaths[%d].%s = %d out of range [0, %d)",
+		e.Index, e.Field, e.Value, e.Limit)
+}
+
+// Unwrap lets errors.Is(err, ErrInvalidPlan) match a *PlanError.
+func (e *PlanError) Unwrap() error { return ErrInvalidPlan }
+
+// Validate checks the plan's scripted coordinates against a device
+// geometry: every DieDeath must name a channel in [0, channels) and a
+// channel-local die in [0, diesPerChannel). A nil plan is valid. The
+// first offending entry is returned as a *PlanError.
+func (p *Plan) Validate(channels, diesPerChannel int) error {
+	if p == nil {
+		return nil
+	}
+	for i, d := range p.DieDeaths {
+		if d.Channel < 0 || d.Channel >= channels {
+			return &PlanError{Index: i, Field: "Channel", Value: d.Channel, Limit: channels}
+		}
+		if d.Die < 0 || d.Die >= diesPerChannel {
+			return &PlanError{Index: i, Field: "Die", Value: d.Die, Limit: diesPerChannel}
+		}
+	}
+	return nil
+}
+
 // MACFault reports whether the n-th MAC-verified page read of the given
 // tenant fails verification.
 func (p *Plan) MACFault(tenant int, n uint64) bool {
@@ -173,4 +222,116 @@ func (in *Injector) Erase(at sim.Time, ch, die int, n uint64) error {
 		return fmt.Errorf("fault: erase on dead die (ch=%d,die=%d): %w", ch, die, flash.ErrDieDead)
 	}
 	return nil
+}
+
+// NewInjectorFor is the validating form of NewInjector: the injector is
+// built only after the plan's scripted coordinates check out against the
+// target device's geometry (channels × diesPerChannel). An out-of-range
+// DieDeath yields a *PlanError instead of an injector that silently
+// never fires. A nil or zero plan yields (nil, nil).
+func NewInjectorFor(plan *Plan, channels, diesPerChannel int) (flash.Injector, error) {
+	if err := plan.Validate(channels, diesPerChannel); err != nil {
+		return nil, err
+	}
+	return NewInjector(plan), nil
+}
+
+// DeviceDeath scripts a die death on one device of a fleet: the named
+// device suffers Death; every other device's plan omits it.
+type DeviceDeath struct {
+	Device int
+	Death  DieDeath
+}
+
+// KillDevice scripts the total death of one device: every
+// (channel, die) of a channels × diesPerChannel geometry dies at virtual
+// time at. Installing the derived plan retires the whole device — the
+// fleet-failover sweep's way of taking a device out from under its
+// tenants.
+func KillDevice(device int, at sim.Time, channels, diesPerChannel int) []DeviceDeath {
+	out := make([]DeviceDeath, 0, channels*diesPerChannel)
+	for ch := 0; ch < channels; ch++ {
+		for die := 0; die < diesPerChannel; die++ {
+			out = append(out, DeviceDeath{Device: device,
+				Death: DieDeath{Channel: ch, Die: die, At: at}})
+		}
+	}
+	return out
+}
+
+// FleetPlan is a fault scenario for a fleet of devices: background
+// probabilistic rates applied to every device through decorrelated
+// per-device streams, plus die deaths scripted against specific devices
+// — so one device can be scripted to die while its neighbours stay
+// clean. Derive each device's member with ForDevice.
+//
+// Like Plan, a FleetPlan is immutable after construction; share one
+// pointer across runs. ForDevice caches the derived plans, so the same
+// (fleet plan, device) pair always yields the same *Plan instance —
+// which is what lets derived plans participate in config memo keys that
+// compare pointers by identity.
+type FleetPlan struct {
+	// Seed keys every device's probabilistic streams; device d runs under
+	// a seed mixed from (Seed, d), so fleet-wide rates never produce
+	// correlated fault patterns across devices.
+	Seed uint64
+	// ReadTransient, ProgramFail, and MACFail are fleet-wide background
+	// rates, applied to every device (see Plan for their semantics).
+	ReadTransient float64
+	ProgramFail   float64
+	MACFail       float64
+	// Deaths scripts die deaths on specific devices.
+	Deaths []DeviceDeath
+
+	mu      sync.Mutex
+	derived map[int]*Plan
+}
+
+// deviceSeed decorrelates device d's streams from its neighbours' with
+// the same splitmix64 finalizer the per-plan hash uses.
+func (fp *FleetPlan) deviceSeed(device int) uint64 {
+	x := fp.Seed ^ uint64(device+1)*0xD1B54A32D192ED03
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// ForDevice returns device's member of the fleet scenario: the
+// background rates under a device-mixed seed, plus only the die deaths
+// scripted for that device. A device the scenario leaves entirely clean
+// gets nil, so it replays the exact fault-free path bit for bit. The
+// result is cached: repeated calls return the same pointer.
+func (fp *FleetPlan) ForDevice(device int) *Plan {
+	if fp == nil {
+		return nil
+	}
+	fp.mu.Lock()
+	defer fp.mu.Unlock()
+	if p, ok := fp.derived[device]; ok {
+		return p
+	}
+	var deaths []DieDeath
+	for _, d := range fp.Deaths {
+		if d.Device == device {
+			deaths = append(deaths, d.Death)
+		}
+	}
+	var p *Plan
+	if fp.ReadTransient > 0 || fp.ProgramFail > 0 || fp.MACFail > 0 || len(deaths) > 0 {
+		p = &Plan{
+			Seed:          fp.deviceSeed(device),
+			ReadTransient: fp.ReadTransient,
+			ProgramFail:   fp.ProgramFail,
+			MACFail:       fp.MACFail,
+			DieDeaths:     deaths,
+		}
+	}
+	if fp.derived == nil {
+		fp.derived = make(map[int]*Plan)
+	}
+	fp.derived[device] = p
+	return p
 }

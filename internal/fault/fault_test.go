@@ -167,14 +167,127 @@ func TestInjectorVerdicts(t *testing.T) {
 	}
 }
 
+func TestPlanValidate(t *testing.T) {
+	var nilPlan *Plan
+	if err := nilPlan.Validate(4, 16); err != nil {
+		t.Fatalf("nil plan invalid: %v", err)
+	}
+	ok := &Plan{DieDeaths: []DieDeath{{Channel: 0, Die: 0}, {Channel: 3, Die: 15}}}
+	if err := ok.Validate(4, 16); err != nil {
+		t.Fatalf("in-range plan invalid: %v", err)
+	}
+	cases := []struct {
+		death DieDeath
+		field string
+	}{
+		{DieDeath{Channel: 4, Die: 0}, "Channel"},
+		{DieDeath{Channel: -1, Die: 0}, "Channel"},
+		{DieDeath{Channel: 0, Die: 16}, "Die"},
+		{DieDeath{Channel: 0, Die: -1}, "Die"},
+	}
+	for _, c := range cases {
+		p := &Plan{DieDeaths: []DieDeath{{Channel: 1, Die: 1}, c.death}}
+		err := p.Validate(4, 16)
+		if err == nil {
+			t.Fatalf("death %+v passed validation", c.death)
+		}
+		if !errors.Is(err, ErrInvalidPlan) {
+			t.Fatalf("death %+v: error %v does not wrap ErrInvalidPlan", c.death, err)
+		}
+		var pe *PlanError
+		if !errors.As(err, &pe) {
+			t.Fatalf("death %+v: error %v is not a *PlanError", c.death, err)
+		}
+		if pe.Index != 1 || pe.Field != c.field {
+			t.Fatalf("death %+v: got PlanError{Index: %d, Field: %q}, want index 1 field %q",
+				c.death, pe.Index, pe.Field, c.field)
+		}
+	}
+}
+
+func TestNewInjectorForInvalidPlan(t *testing.T) {
+	bad := &Plan{DieDeaths: []DieDeath{{Channel: 9, Die: 0, At: 5}}}
+	inj, err := NewInjectorFor(bad, 4, 16)
+	if err == nil || inj != nil {
+		t.Fatalf("out-of-range plan installed: inj=%v err=%v", inj, err)
+	}
+	if !errors.Is(err, ErrInvalidPlan) {
+		t.Fatalf("install error %v does not wrap ErrInvalidPlan", err)
+	}
+	if inj, err := NewInjectorFor(nil, 4, 16); inj != nil || err != nil {
+		t.Fatalf("nil plan: inj=%v err=%v", inj, err)
+	}
+	good := &Plan{ReadTransient: 0.5, DieDeaths: []DieDeath{{Channel: 3, Die: 15, At: 5}}}
+	if inj, err := NewInjectorFor(good, 4, 16); inj == nil || err != nil {
+		t.Fatalf("valid plan rejected: inj=%v err=%v", inj, err)
+	}
+}
+
+func TestFleetPlanForDevice(t *testing.T) {
+	fp := &FleetPlan{
+		Seed:          9,
+		ReadTransient: 0.1,
+		Deaths: append(KillDevice(1, sim.Time(100), 2, 3),
+			DeviceDeath{Device: 0, Death: DieDeath{Channel: 1, Die: 2, At: 7}}),
+	}
+	p0, p1, p2 := fp.ForDevice(0), fp.ForDevice(1), fp.ForDevice(2)
+	if p0 == nil || p1 == nil || p2 == nil {
+		t.Fatal("devices with rates must derive plans")
+	}
+	if len(p0.DieDeaths) != 1 || p0.DieDeaths[0] != (DieDeath{Channel: 1, Die: 2, At: 7}) {
+		t.Fatalf("device 0 deaths = %+v", p0.DieDeaths)
+	}
+	if len(p1.DieDeaths) != 6 {
+		t.Fatalf("killed device has %d deaths, want 6", len(p1.DieDeaths))
+	}
+	if len(p2.DieDeaths) != 0 {
+		t.Fatalf("clean device has deaths: %+v", p2.DieDeaths)
+	}
+	if p0.Seed == p1.Seed || p1.Seed == p2.Seed {
+		t.Fatal("device seeds not decorrelated")
+	}
+	if fp.ForDevice(0) != p0 || fp.ForDevice(1) != p1 {
+		t.Fatal("ForDevice must return cached pointers for memo-key identity")
+	}
+	// Probabilistic streams of different devices must diverge somewhere.
+	sameStream := true
+	for n := uint64(0); n < 4096 && sameStream; n++ {
+		if p0.Fires(KindRead, 0, n, 0.5) != p2.Fires(KindRead, 0, n, 0.5) {
+			sameStream = false
+		}
+	}
+	if sameStream {
+		t.Fatal("device 0 and device 2 read streams identical")
+	}
+
+	// A fleet plan with no rates leaves undamaged devices on the nil
+	// (exact fault-free) path.
+	quiet := &FleetPlan{Seed: 3, Deaths: KillDevice(1, sim.Time(50), 2, 3)}
+	if p := quiet.ForDevice(0); p != nil {
+		t.Fatalf("clean device of a rate-free plan derived %+v, want nil", p)
+	}
+	if p := quiet.ForDevice(1); p == nil || len(p.DieDeaths) != 6 {
+		t.Fatalf("killed device of a rate-free plan derived %+v", p)
+	}
+	var nilFleet *FleetPlan
+	if nilFleet.ForDevice(0) != nil {
+		t.Fatal("nil fleet plan derived a device plan")
+	}
+}
+
 // FuzzFaultPlan checks the plan invariants hold for arbitrary inputs:
-// decisions are pure (repeatable), bounded probabilities behave, and
-// the injector never panics.
+// decisions are pure (repeatable), bounded probabilities behave,
+// validation agrees with the geometry bounds, and the injector never
+// panics.
 func FuzzFaultPlan(f *testing.F) {
 	f.Add(uint64(1), 0.1, 0.05, 0.01, 3, uint64(7), int64(1000))
 	f.Add(uint64(0), 0.0, 0.0, 0.0, 0, uint64(0), int64(0))
 	f.Add(^uint64(0), 1.0, 1.0, 1.0, -1, ^uint64(0), int64(-5))
 	f.Add(uint64(123), -0.5, 2.0, 0.999, 255, uint64(1)<<63, int64(1)<<40)
+	// Out-of-range DieDeaths coordinates: install-time validation must
+	// reject shard 99 (and the negative-channel seed above) against the
+	// 8 x 16 geometry the fuzz body checks.
+	f.Add(uint64(9), 0.1, 0.0, 0.0, 99, uint64(3), int64(10))
 	f.Fuzz(func(t *testing.T, seed uint64, pr, pp, pm float64, shard int, n uint64, at int64) {
 		p := &Plan{
 			Seed:          seed,
@@ -202,6 +315,24 @@ func FuzzFaultPlan(f *testing.F) {
 		}
 		if a, b := p.DieDead(sim.Time(at), shard, 0), p.DieDead(sim.Time(at), shard, 0); a != b {
 			t.Fatal("DieDead not repeatable")
+		}
+		// Validation must agree exactly with the coordinate bounds: the
+		// single scripted death is in range for an 8 x 16 geometry iff
+		// shard is, and NewInjectorFor's verdict must match Validate's.
+		const vCh, vDie = 8, 16
+		verr := p.Validate(vCh, vDie)
+		if inRange := shard >= 0 && shard < vCh; inRange != (verr == nil) {
+			t.Fatalf("Validate(%d, %d) = %v with shard %d", vCh, vDie, verr, shard)
+		}
+		if verr != nil && !errors.Is(verr, ErrInvalidPlan) {
+			t.Fatalf("Validate error %v does not wrap ErrInvalidPlan", verr)
+		}
+		vinj, vierr := NewInjectorFor(p, vCh, vDie)
+		if (vierr == nil) != (verr == nil) {
+			t.Fatalf("NewInjectorFor error %v disagrees with Validate %v", vierr, verr)
+		}
+		if vierr == nil && (vinj == nil) != p.Zero() {
+			t.Fatalf("NewInjectorFor returned injector=%v for Zero=%v", vinj != nil, p.Zero())
 		}
 		if inj := NewInjector(p); inj != nil {
 			// Must never panic, and must agree with itself.

@@ -1,0 +1,451 @@
+package fleet
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"iceclave"
+	"iceclave/internal/fault"
+	"iceclave/internal/host"
+	"iceclave/internal/sched"
+)
+
+// migrationBinary is the in-storage program image the fleet offloads for
+// its own page-migration TEEs (one flash page of position-independent
+// copier code).
+const migrationBinary = 4096
+
+// DefaultDrainTimeout bounds how long a failover waits for the degraded
+// device's scheduler to drain before reporting stragglers.
+const DefaultDrainTimeout = 5 * time.Second
+
+// Options configures a functional fleet.
+type Options struct {
+	// Devices is the fleet size (default 2).
+	Devices int
+	// Weights are optional per-device placement weights (nil = uniform).
+	Weights []float64
+	// PlacementSeed salts the rendezvous placement.
+	PlacementSeed uint64
+	// SSD is the per-device base configuration. The fleet overrides two
+	// fields per device: CipherKey (every device seals its bus under its
+	// own derived key, so migration re-encrypts under the destination's
+	// fresh keys) and FaultPlan (the device's slice of Faults).
+	SSD iceclave.Options
+	// Faults is the fleet fault scenario (nil = fault-free everywhere).
+	Faults *fault.FleetPlan
+	// Sched configures each device's offload scheduler.
+	Sched sched.Config
+	// DrainTimeout bounds the failover drain (default DefaultDrainTimeout).
+	DrainTimeout time.Duration
+	// HealthFloor is the degradation threshold (0 = DefaultHealthFloor).
+	HealthFloor float64
+}
+
+// device is one rack slot: a live SSD behind its own offload scheduler
+// and a bump allocator for tenant page ranges.
+type device struct {
+	id    int
+	ssd   *iceclave.SSD
+	sched *sched.Scheduler
+	key   []byte
+
+	mu      sync.Mutex
+	nextLPA uint32
+	retired bool
+}
+
+// alloc bump-allocates n logical pages on the device.
+func (d *device) alloc(n int) ([]uint32, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if int64(d.nextLPA)+int64(n) > d.ssd.LogicalPages() {
+		return nil, fmt.Errorf("fleet: device %d out of logical pages", d.id)
+	}
+	lpas := make([]uint32, n)
+	for i := range lpas {
+		lpas[i] = d.nextLPA + uint32(i)
+	}
+	d.nextLPA += uint32(n)
+	return lpas, nil
+}
+
+// tenantRec tracks where a tenant's data lives right now.
+type tenantRec struct {
+	device int
+	lpas   []uint32
+}
+
+// Fleet is the functional rack: N independent iceclave.SSD stacks, each
+// behind its own admission-controlled scheduler, with health-aware
+// tenant placement and live failover. Safe for concurrent use.
+type Fleet struct {
+	opts    Options
+	devices []*device
+
+	mu      sync.Mutex
+	tenants map[string]*tenantRec
+	nextTID uint32
+}
+
+// deviceKey derives device d's 10-byte Trivium bus key from the
+// placement seed — distinct per device, so a migrated page is
+// re-encrypted under genuinely fresh keys on its destination.
+func deviceKey(seed uint64, d int) []byte {
+	x := mix64(seed ^ uint64(d+1)*0x9E3779B97F4A7C15)
+	key := make([]byte, 10)
+	binary.LittleEndian.PutUint64(key[:8], x)
+	binary.LittleEndian.PutUint16(key[8:], uint16(mix64(x)))
+	return key
+}
+
+// New builds and starts a fleet.
+func New(opts Options) (*Fleet, error) {
+	if opts.Devices <= 0 {
+		opts.Devices = 2
+	}
+	if opts.Weights != nil && len(opts.Weights) != opts.Devices {
+		return nil, fmt.Errorf("fleet: %d weights for %d devices", len(opts.Weights), opts.Devices)
+	}
+	if opts.DrainTimeout <= 0 {
+		opts.DrainTimeout = DefaultDrainTimeout
+	}
+	if opts.HealthFloor == 0 {
+		opts.HealthFloor = DefaultHealthFloor
+	}
+	f := &Fleet{opts: opts, tenants: make(map[string]*tenantRec)}
+	for d := 0; d < opts.Devices; d++ {
+		so := opts.SSD
+		so.CipherKey = deviceKey(opts.PlacementSeed, d)
+		so.FaultPlan = opts.Faults.ForDevice(d)
+		ssd, err := iceclave.Open(so)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: device %d: %w", d, err)
+		}
+		f.devices = append(f.devices, &device{
+			id: d, ssd: ssd, sched: sched.New(opts.Sched), key: so.CipherKey,
+		})
+	}
+	return f, nil
+}
+
+// Close drains and stops every device scheduler.
+func (f *Fleet) Close(ctx context.Context) error {
+	var first error
+	for _, d := range f.devices {
+		if err := d.sched.Close(ctx); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Devices returns the fleet size.
+func (f *Fleet) Devices() int { return len(f.devices) }
+
+// SSD exposes device d's stack for inspection.
+func (f *Fleet) SSD(d int) *iceclave.SSD { return f.devices[d].ssd }
+
+// DeviceKey returns device d's derived bus cipher key.
+func (f *Fleet) DeviceKey(d int) []byte { return append([]byte(nil), f.devices[d].key...) }
+
+// eligible reports whether device d accepts placements. Caller holds f.mu
+// or tolerates races on admission (placement itself is a pure function).
+func (f *Fleet) eligible(d int) bool {
+	dev := f.devices[d]
+	dev.mu.Lock()
+	defer dev.mu.Unlock()
+	return !dev.retired
+}
+
+// AddTenant places a tenant on the fleet and stores its dataset pages
+// through the host path of the chosen device. Returns the device picked
+// by weighted rendezvous hashing over the non-retired devices.
+func (f *Fleet) AddTenant(name string, pages [][]byte) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, dup := f.tenants[name]; dup {
+		return 0, fmt.Errorf("fleet: tenant %s already placed", name)
+	}
+	d := Place(name, len(f.devices), f.opts.PlacementSeed, f.opts.Weights, f.eligible)
+	if d < 0 {
+		return 0, fmt.Errorf("fleet: no eligible device for tenant %s", name)
+	}
+	dev := f.devices[d]
+	lpas, err := dev.alloc(len(pages))
+	if err != nil {
+		return 0, err
+	}
+	for i, p := range pages {
+		if err := dev.ssd.HostWrite(lpas[i], p); err != nil {
+			return 0, fmt.Errorf("fleet: storing tenant %s page %d: %w", name, i, err)
+		}
+	}
+	f.tenants[name] = &tenantRec{device: d, lpas: lpas}
+	return d, nil
+}
+
+// lookup resolves a tenant to its current device and page range.
+func (f *Fleet) lookup(name string) (*device, *tenantRec, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	rec, ok := f.tenants[name]
+	if !ok {
+		return nil, nil, fmt.Errorf("fleet: unknown tenant %s", name)
+	}
+	return f.devices[rec.device], rec, nil
+}
+
+// TenantDevice returns the device currently holding the tenant's data.
+func (f *Fleet) TenantDevice(name string) (int, error) {
+	_, rec, err := f.lookup(name)
+	if err != nil {
+		return 0, err
+	}
+	return rec.device, nil
+}
+
+// TenantLPAs returns the tenant's current logical page range.
+func (f *Fleet) TenantLPAs(name string) ([]uint32, error) {
+	_, rec, err := f.lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	return append([]uint32(nil), rec.lpas...), nil
+}
+
+// offload builds the tenant's offload request over its current pages.
+func (f *Fleet) offload(rec *tenantRec) host.Offload {
+	f.mu.Lock()
+	f.nextTID++
+	tid := f.nextTID
+	f.mu.Unlock()
+	return host.Offload{
+		TaskID: tid,
+		Binary: make([]byte, migrationBinary),
+		LPAs:   append([]uint32(nil), rec.lpas...),
+	}
+}
+
+// Execute runs an offloaded program for the tenant on its current
+// device, through that device's scheduler (admission control, priority
+// bands, metering — the full multi-tenant front end).
+func (f *Fleet) Execute(name string, prio sched.Priority, prog iceclave.Program) ([]byte, error) {
+	dev, rec, err := f.lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	var out []byte
+	h, err := dev.sched.Submit(name, prio, func(context.Context) error {
+		var jerr error
+		out, jerr = dev.ssd.Execute(f.offload(rec), prog)
+		return jerr
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := h.Wait(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ReadTenantPage reads the tenant's i-th page through the full TEE/MEE
+// data path on its current device — MAC-verified ciphertext on the bus,
+// plaintext out. Integrity violations surface as tee.ErrIntegrity.
+func (f *Fleet) ReadTenantPage(name string, i int) ([]byte, error) {
+	dev, rec, err := f.lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	if i < 0 || i >= len(rec.lpas) {
+		return nil, fmt.Errorf("fleet: tenant %s has no page %d", name, i)
+	}
+	task, err := dev.ssd.OffloadCode(f.offload(rec))
+	if err != nil {
+		return nil, err
+	}
+	data, rerr := task.Store().ReadPage(rec.lpas[i])
+	if ferr := task.Finish(nil); rerr == nil && ferr != nil {
+		return nil, ferr
+	}
+	return data, rerr
+}
+
+// HostReadTenantPage reads the tenant's i-th page through the host I/O
+// path of its current device.
+func (f *Fleet) HostReadTenantPage(name string, i int) ([]byte, error) {
+	dev, rec, err := f.lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	if i < 0 || i >= len(rec.lpas) {
+		return nil, fmt.Errorf("fleet: tenant %s has no page %d", name, i)
+	}
+	return dev.ssd.HostRead(rec.lpas[i])
+}
+
+// Health scores device d from its live fault telemetry: FTL recovery
+// work (dead dies, retired blocks, read reissues), raw flash activity
+// and aborts, and the scheduler's failed-job count (the functional path
+// runs no circuit breakers, so the trips input is zero here).
+func (f *Fleet) Health(d int) float64 {
+	dev := f.devices[d]
+	return ScoreTelemetry(dev.ssd.FTL().Stats(), dev.ssd.FlashStats(), 0, dev.sched.Stats().Failed)
+}
+
+// Degraded reports whether device d scores below the health floor.
+func (f *Fleet) Degraded(d int) bool { return f.Health(d) < f.opts.HealthFloor }
+
+// FailoverReport describes one completed failover.
+type FailoverReport struct {
+	Source, Target int
+	// SourceScore is the health score that condemned the source.
+	SourceScore float64
+	// Migrated lists the tenants moved, in placement order; PagesMoved
+	// counts the pages re-encrypted onto the target.
+	Migrated   []string
+	PagesMoved int
+	// StragglersQueued and StragglersRunning count jobs the drain
+	// abandoned on the source when it timed out (both zero on a clean
+	// drain).
+	StragglersQueued, StragglersRunning int
+}
+
+// Failover drains device src, retires it from placement, and live-migrates
+// every tenant on it to the healthiest non-retired device: each page is
+// read through the source's TEE/MEE path (MAC-verified, decrypted from
+// the source's bus keys) and written through the target's TEE path,
+// re-encrypting it under the target's own fresh keys. Tenants keep their
+// names; their device and page range move. Subsequent Execute and read
+// calls transparently hit the target.
+func (f *Fleet) Failover(ctx context.Context, src int) (*FailoverReport, error) {
+	if src < 0 || src >= len(f.devices) {
+		return nil, fmt.Errorf("fleet: no device %d", src)
+	}
+	srcDev := f.devices[src]
+	rep := &FailoverReport{Source: src, Target: -1, SourceScore: f.Health(src)}
+
+	// Retire the source first: placement and failover-target selection
+	// stop seeing it even while the drain runs.
+	srcDev.mu.Lock()
+	srcDev.retired = true
+	srcDev.mu.Unlock()
+
+	// Drain: stop admission, wait for in-flight offloads. A timeout
+	// reports the stragglers and aborts the failover — migrating pages
+	// out from under a live TEE would throw the tenant out mid-run.
+	dctx, cancel := context.WithTimeout(ctx, f.opts.DrainTimeout)
+	defer cancel()
+	if err := srcDev.sched.Drain(dctx); err != nil {
+		rep.StragglersQueued, rep.StragglersRunning = srcDev.sched.Pending()
+		return rep, fmt.Errorf("fleet: failover of device %d: %w", src, err)
+	}
+
+	// Target: healthiest non-retired device, ties to the lowest ID — the
+	// same rule the replay layer pins deterministically.
+	target, best := -1, -1.0
+	for d := range f.devices {
+		if d == src || !f.eligible(d) {
+			continue
+		}
+		if s := f.Health(d); s > best {
+			target, best = d, s
+		}
+	}
+	if target < 0 {
+		return rep, fmt.Errorf("fleet: no healthy failover target for device %d", src)
+	}
+	rep.Target = target
+	dstDev := f.devices[target]
+
+	// Migrate each of the source's tenants.
+	f.mu.Lock()
+	var names []string
+	for name, rec := range f.tenants {
+		if rec.device == src {
+			names = append(names, name)
+		}
+	}
+	f.mu.Unlock()
+	sort.Strings(names)
+	for _, name := range names {
+		_, rec, err := f.lookup(name)
+		if err != nil {
+			return rep, err
+		}
+		moved, err := f.migrate(name, rec, srcDev, dstDev)
+		if err != nil {
+			return rep, fmt.Errorf("fleet: migrating tenant %s: %w", name, err)
+		}
+		rep.Migrated = append(rep.Migrated, name)
+		rep.PagesMoved += moved
+	}
+	return rep, nil
+}
+
+// migrate moves one tenant's pages src→dst through the encrypted data
+// path and re-points the tenant record.
+func (f *Fleet) migrate(name string, rec *tenantRec, src, dst *device) (int, error) {
+	// Source side: a migration TEE over the tenant's pages reads each one
+	// through ReadPage — permission-checked translation, MAC verification,
+	// ciphertext across the source bus, plaintext out.
+	srcTask, err := src.ssd.OffloadCode(f.offload(rec))
+	if err != nil {
+		return 0, fmt.Errorf("source TEE: %w", err)
+	}
+	pages := make([][]byte, len(rec.lpas))
+	for i, lpa := range rec.lpas {
+		if pages[i], err = srcTask.Store().ReadPage(lpa); err != nil {
+			return 0, fmt.Errorf("reading LPA %d: %w", lpa, err)
+		}
+	}
+	if err := srcTask.Finish(nil); err != nil {
+		return 0, fmt.Errorf("source TEE finish: %w", err)
+	}
+
+	// Destination side: fresh pages, a migration TEE claiming them, and
+	// WritePage re-encrypting every transfer under the destination's own
+	// bus keys.
+	newLPAs, err := dst.alloc(len(rec.lpas))
+	if err != nil {
+		return 0, err
+	}
+	dstTask, err := dst.ssd.OffloadCode(host.Offload{
+		TaskID: f.offload(rec).TaskID, Binary: make([]byte, migrationBinary), LPAs: newLPAs,
+	})
+	if err != nil {
+		return 0, fmt.Errorf("destination TEE: %w", err)
+	}
+	for i, lpa := range newLPAs {
+		if err := dstTask.Store().WritePage(lpa, pages[i]); err != nil {
+			return 0, fmt.Errorf("writing LPA %d: %w", lpa, err)
+		}
+	}
+	if err := dstTask.Finish(nil); err != nil {
+		return 0, fmt.Errorf("destination TEE finish: %w", err)
+	}
+
+	f.mu.Lock()
+	rec.device = dst.id
+	rec.lpas = newLPAs
+	f.mu.Unlock()
+	return len(newLPAs), nil
+}
+
+// Reopen returns a previously failed-over device to service: it becomes
+// eligible for placement again and its scheduler re-admits work.
+func (f *Fleet) Reopen(d int) error {
+	dev := f.devices[d]
+	if err := dev.sched.Reopen(); err != nil {
+		return err
+	}
+	dev.mu.Lock()
+	dev.retired = false
+	dev.mu.Unlock()
+	return nil
+}

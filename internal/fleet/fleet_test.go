@@ -1,0 +1,201 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"iceclave"
+	"iceclave/internal/query"
+	"iceclave/internal/sched"
+)
+
+const testPageSize = 4096
+
+// newTestFleet builds a small live fleet.
+func newTestFleet(t *testing.T, devices int) *Fleet {
+	t.Helper()
+	f, err := New(Options{
+		Devices:       devices,
+		PlacementSeed: 21,
+		SSD:           iceclave.Options{BlocksPerPlane: 8},
+		Sched:         sched.Config{Workers: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := f.Close(context.Background()); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	})
+	return f
+}
+
+// tenantPages builds n deterministic full-size pages for a tenant.
+func tenantPages(rng *rand.Rand, n int) [][]byte {
+	pages := make([][]byte, n)
+	for i := range pages {
+		pages[i] = make([]byte, testPageSize)
+		rng.Read(pages[i])
+	}
+	return pages
+}
+
+// sumProgram sums every byte of the store's pages — a minimal offloaded
+// program touching the full TEE data path.
+func sumProgram(lpas []uint32) iceclave.Program {
+	return func(st query.Store, m *query.Meter) ([]byte, error) {
+		var sum uint64
+		for _, l := range lpas {
+			page, err := st.ReadPage(l)
+			if err != nil {
+				return nil, err
+			}
+			for _, b := range page {
+				sum += uint64(b)
+			}
+		}
+		return []byte(fmt.Sprintf("%d", sum)), nil
+	}
+}
+
+// The live fleet places tenants, executes offloads through per-device
+// schedulers, and fails over: tenants drain off the source, their pages
+// migrate through the encrypted path, and they keep executing on the
+// target — while the source is retired from placement until reopened.
+func TestFleetFailoverLifecycle(t *testing.T) {
+	f := newTestFleet(t, 3)
+	rng := rand.New(rand.NewSource(4))
+
+	byDevice := make(map[int][]string)
+	data := make(map[string][][]byte)
+	want := make(map[string][]byte)
+	for i := 0; i < 6; i++ {
+		name := fmt.Sprintf("tenant-%d", i)
+		pages := tenantPages(rng, 3)
+		d, err := f.AddTenant(name, pages)
+		if err != nil {
+			t.Fatal(err)
+		}
+		byDevice[d] = append(byDevice[d], name)
+		data[name] = pages
+
+		lpas, err := f.TenantLPAs(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := f.Execute(name, sched.PriorityNormal, sumProgram(lpas))
+		if err != nil {
+			t.Fatalf("execute %s: %v", name, err)
+		}
+		want[name] = out
+	}
+	for d := 0; d < f.Devices(); d++ {
+		if h := f.Health(d); h != 1 {
+			t.Errorf("clean device %d health %v, want 1", d, h)
+		}
+		for o := d + 1; o < f.Devices(); o++ {
+			if bytes.Equal(f.DeviceKey(d), f.DeviceKey(o)) {
+				t.Errorf("devices %d and %d share a bus cipher key", d, o)
+			}
+		}
+	}
+
+	// Fail over the busiest device.
+	src := 0
+	for d, names := range byDevice {
+		if len(names) > len(byDevice[src]) {
+			src = d
+		}
+	}
+	if len(byDevice[src]) == 0 {
+		t.Fatal("no device holds a tenant; placement test setup broken")
+	}
+	rep, err := f.Failover(context.Background(), src)
+	if err != nil {
+		t.Fatalf("failover: %v", err)
+	}
+	if rep.Source != src || rep.Target == src || rep.Target < 0 {
+		t.Fatalf("bad failover endpoints: %+v", rep)
+	}
+	if len(rep.Migrated) != len(byDevice[src]) {
+		t.Errorf("migrated %v, want all of %v", rep.Migrated, byDevice[src])
+	}
+	if rep.StragglersQueued != 0 || rep.StragglersRunning != 0 {
+		t.Errorf("clean drain reported stragglers: %+v", rep)
+	}
+
+	// Every migrated tenant: moved off the source, data intact through
+	// both read paths, offloads still running — now on the target.
+	for _, name := range rep.Migrated {
+		d, err := f.TenantDevice(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d == src {
+			t.Errorf("tenant %s still on failed device %d", name, src)
+		}
+		for i, page := range data[name] {
+			host, err := f.HostReadTenantPage(name, i)
+			if err != nil {
+				t.Fatalf("host read %s[%d]: %v", name, i, err)
+			}
+			if !bytes.Equal(host, page) {
+				t.Errorf("tenant %s page %d corrupted across migration (host path)", name, i)
+			}
+		}
+		lpas, err := f.TenantLPAs(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := f.Execute(name, sched.PriorityNormal, sumProgram(lpas))
+		if err != nil {
+			t.Fatalf("post-migration execute %s: %v", name, err)
+		}
+		if !bytes.Equal(out, want[name]) {
+			t.Errorf("tenant %s: post-migration result %q, want %q", name, out, want[name])
+		}
+	}
+
+	// The retired source accepts no work and no placements.
+	if _, err := f.Execute(byDevice[src][0], sched.PriorityNormal, nil); err == nil {
+		t.Error("nil program on migrated tenant unexpectedly succeeded")
+	}
+	for i := 0; i < 8; i++ {
+		name := fmt.Sprintf("late-%d", i)
+		d, err := f.AddTenant(name, tenantPages(rng, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d == src {
+			t.Errorf("tenant %s placed on retired device %d", name, src)
+		}
+	}
+
+	// Reopen returns the device to service: placements may land on it
+	// again and its scheduler admits work.
+	if err := f.Reopen(src); err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	reopened := false
+	for i := 0; i < 64 && !reopened; i++ {
+		name := fmt.Sprintf("fresh-%d", i)
+		d, err := f.AddTenant(name, tenantPages(rng, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d == src {
+			reopened = true
+			lpas, _ := f.TenantLPAs(name)
+			if _, err := f.Execute(name, sched.PriorityNormal, sumProgram(lpas)); err != nil {
+				t.Fatalf("execute on reopened device: %v", err)
+			}
+		}
+	}
+	if !reopened {
+		t.Errorf("64 placements after Reopen never picked device %d", src)
+	}
+}

@@ -1,0 +1,116 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"iceclave/internal/fault"
+	"iceclave/internal/tee"
+)
+
+// Migration data-integrity property: for random tenant page sets, every
+// page read back after failover — through the host path and through the
+// TEE/MEE encrypted path — equals the pre-migration plaintext, even
+// though the destination sealed it under different bus keys.
+func TestMigrationPreservesPlaintextProperty(t *testing.T) {
+	for trial := 0; trial < 3; trial++ {
+		trial := trial
+		t.Run(fmt.Sprintf("trial-%d", trial), func(t *testing.T) {
+			f := newTestFleet(t, 2)
+			rng := rand.New(rand.NewSource(int64(1000 + trial)))
+
+			data := make(map[string][][]byte)
+			var onSrc []string
+			const src = 0
+			for i := 0; i < 4+rng.Intn(4); i++ {
+				name := fmt.Sprintf("prop-%d-%d", trial, i)
+				pages := tenantPages(rng, 1+rng.Intn(5))
+				d, err := f.AddTenant(name, pages)
+				if err != nil {
+					t.Fatal(err)
+				}
+				data[name] = pages
+				if d == src {
+					onSrc = append(onSrc, name)
+				}
+			}
+			if len(onSrc) == 0 {
+				t.Skip("no tenant landed on the source this trial")
+			}
+
+			rep, err := f.Failover(context.Background(), src)
+			if err != nil {
+				t.Fatalf("failover: %v", err)
+			}
+			if len(rep.Migrated) != len(onSrc) {
+				t.Fatalf("migrated %v, want %v", rep.Migrated, onSrc)
+			}
+
+			for name, pages := range data {
+				for i, want := range pages {
+					host, err := f.HostReadTenantPage(name, i)
+					if err != nil {
+						t.Fatalf("host read %s[%d]: %v", name, i, err)
+					}
+					if !bytes.Equal(host, want) {
+						t.Errorf("tenant %s page %d: host read-back diverges from pre-migration plaintext", name, i)
+					}
+					enc, err := f.ReadTenantPage(name, i)
+					if err != nil {
+						t.Fatalf("TEE read %s[%d]: %v", name, i, err)
+					}
+					if !bytes.Equal(enc, want) {
+						t.Errorf("tenant %s page %d: TEE read-back diverges from pre-migration plaintext", name, i)
+					}
+				}
+			}
+		})
+	}
+}
+
+// Tampered migrated pages do not pass silently: when the destination's
+// MAC verification fails on a migrated page, the TEE read path surfaces
+// tee.ErrIntegrity through the public API instead of returning bytes.
+func TestMigrationTamperSurfacesErrIntegrity(t *testing.T) {
+	f := newTestFleet(t, 2)
+	rng := rand.New(rand.NewSource(7))
+
+	var victim string
+	const src = 0
+	for i := 0; victim == ""; i++ {
+		if i > 64 {
+			t.Fatal("64 tenants and none placed on device 0")
+		}
+		name := fmt.Sprintf("tamper-%d", i)
+		d, err := f.AddTenant(name, tenantPages(rng, 2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d == src {
+			victim = name
+		}
+	}
+	if _, err := f.Failover(context.Background(), src); err != nil {
+		t.Fatalf("failover: %v", err)
+	}
+	dst, err := f.TenantDevice(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Model post-migration tampering: every MAC verification on the
+	// destination now fails, as it would if the migrated ciphertext had
+	// been modified at rest.
+	f.SSD(dst).Runtime().SetFaultPlan(&fault.Plan{Seed: 1, MACFail: 1})
+	_, err = f.ReadTenantPage(victim, 0)
+	if err == nil {
+		t.Fatal("TEE read of a tampered migrated page returned data")
+	}
+	if !errors.Is(err, tee.ErrIntegrity) {
+		t.Fatalf("tampered read error %v does not wrap tee.ErrIntegrity", err)
+	}
+}

@@ -1,0 +1,100 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Place is a pure function: the same arguments always pick the same
+// device, and the salt reshuffles the assignment.
+func TestPlaceDeterministic(t *testing.T) {
+	weights := []float64{1, 2, 1, 4}
+	for i := 0; i < 200; i++ {
+		name := fmt.Sprintf("tenant-%d", i)
+		d := Place(name, 4, 42, weights, nil)
+		if d < 0 || d >= 4 {
+			t.Fatalf("tenant %s placed on device %d", name, d)
+		}
+		for rep := 0; rep < 3; rep++ {
+			if got := Place(name, 4, 42, weights, nil); got != d {
+				t.Fatalf("tenant %s: placement flapped %d -> %d", name, d, got)
+			}
+		}
+	}
+	moved := 0
+	for i := 0; i < 200; i++ {
+		name := fmt.Sprintf("tenant-%d", i)
+		if Place(name, 4, 42, weights, nil) != Place(name, 4, 43, weights, nil) {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Error("changing the placement salt moved no tenant")
+	}
+}
+
+// Weighted rendezvous distributes tenants roughly proportionally to the
+// device weights.
+func TestPlaceWeightProportional(t *testing.T) {
+	weights := []float64{1, 1, 2, 4}
+	const tenants = 8000
+	counts := make([]int, len(weights))
+	for i := 0; i < tenants; i++ {
+		counts[Place(fmt.Sprintf("w-%d", i), len(weights), 7, weights, nil)]++
+	}
+	var wsum float64
+	for _, w := range weights {
+		wsum += w
+	}
+	for d, w := range weights {
+		expect := float64(tenants) * w / wsum
+		if f := float64(counts[d]); f < 0.85*expect || f > 1.15*expect {
+			t.Errorf("device %d: %d tenants, want ~%.0f (weight %.0f)", d, counts[d], expect, w)
+		}
+	}
+}
+
+// Removing a device from the eligible set moves only that device's
+// tenants — the minimal-disruption property failover depends on.
+func TestPlaceMinimalDisruption(t *testing.T) {
+	const n, dead = 5, 3
+	before := make(map[string]int)
+	for i := 0; i < 500; i++ {
+		name := fmt.Sprintf("d-%d", i)
+		before[name] = Place(name, n, 11, nil, nil)
+	}
+	onDead := 0
+	for name, d := range before {
+		after := Place(name, n, 11, nil, func(dev int) bool { return dev != dead })
+		if d == dead {
+			onDead++
+			if after == dead {
+				t.Errorf("tenant %s still placed on removed device", name)
+			}
+			continue
+		}
+		if after != d {
+			t.Errorf("tenant %s moved %d -> %d though its device survived", name, d, after)
+		}
+	}
+	if onDead == 0 {
+		t.Fatal("no tenant landed on the removed device; test pins nothing")
+	}
+}
+
+// Placements is the batch form of Place; no eligible device yields -1.
+func TestPlacements(t *testing.T) {
+	names := []string{"a", "b", "c"}
+	got := Placements(names, 3, 5, nil)
+	for i, name := range names {
+		if want := Place(name, 3, 5, nil, nil); got[i] != want {
+			t.Errorf("tenant %s: Placements %d != Place %d", name, got[i], want)
+		}
+	}
+	if d := Place("a", 3, 5, nil, func(int) bool { return false }); d != -1 {
+		t.Errorf("no eligible device still placed on %d", d)
+	}
+	if d := Place("a", 2, 5, []float64{0, 0}, nil); d != -1 {
+		t.Errorf("all-zero weights still placed on %d", d)
+	}
+}

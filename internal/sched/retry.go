@@ -82,6 +82,21 @@ func (bs *Breakers) Trips() int {
 	return n
 }
 
+// Config returns the per-breaker configuration the set was built with —
+// the identity the resource pool matches on when deciding whether a
+// recycled set can serve an upcoming run.
+func (bs *Breakers) Config() sim.BreakerConfig { return bs.cfg }
+
+// Reset returns every breaker in the set to its initial closed state
+// with zero trips — the pooled-reuse contract hook: a recycled replay
+// stack's breaker set must be indistinguishable from a fresh one, no
+// matter how tripped, open, or half-open the previous run left it.
+func (bs *Breakers) Reset() {
+	for _, b := range bs.m {
+		b.Reset()
+	}
+}
+
 // Straggler reports one tenant's unfinished work at a drain deadline.
 type Straggler struct {
 	Tenant  string
@@ -103,6 +118,21 @@ func (s *Scheduler) DrainTimeout(timeout time.Duration) ([]Straggler, error) {
 		return nil, nil
 	}
 	return s.stragglers(), err
+}
+
+// Reopen returns a drained (but not Closed) scheduler to service:
+// Submit accepts work again. It is the re-admit half of the fleet
+// failover sequence — a device drained for migration or repair comes
+// back into rotation without rebuilding its scheduler and workers.
+// Reopening a Closed scheduler fails with ErrClosed.
+func (s *Scheduler) Reopen() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stopped {
+		return ErrClosed
+	}
+	s.draining = false
+	return nil
 }
 
 // stragglers snapshots the tenants with queued or running jobs.
